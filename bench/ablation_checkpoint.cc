@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: checkpoint cadence versus failure-recovery cost
+ * (paper §IV-A fault tolerance).
+ *
+ * COW snapshots make the steady-state checkpoint overhead nearly
+ * free, so the trade is all on the recovery side: sparser
+ * checkpoints replay more lost iterations after a failure.
+ */
+
+#include <cstdio>
+
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+struct Outcome
+{
+    double totalSeconds;
+    std::uint32_t replayed;
+};
+
+Outcome
+runWith(std::uint32_t checkpointEvery, bool fail)
+{
+    coarse::sim::Simulation sim;
+    auto machine = coarse::fabric::makeAwsV100(sim);
+    coarse::core::CoarseOptions options;
+    options.checkpointEveryIters = checkpointEvery;
+    if (fail)
+        options.failAtIteration = 9;
+    coarse::core::CoarseEngine engine(
+        *machine, coarse::dl::makeBertBase(), 2, options);
+    const auto report = engine.run(12, 0);
+    return Outcome{report.iterationSeconds * report.iterations
+                       + 0.0 * report.computeSeconds,
+                   engine.iterationsReplayed()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: checkpoint cadence vs recovery cost "
+                "(bert_base on aws_v100, 12 iterations, worker "
+                "failure after iteration 9)\n\n");
+    std::printf("%-18s %16s %16s %10s\n", "checkpoint every",
+                "no-failure (s)", "with failure (s)", "replayed");
+    for (std::uint32_t every : {1u, 2u, 4u, 8u}) {
+        const auto clean = runWith(every, false);
+        const auto failed = runWith(every, true);
+        std::printf("%-18u %16.3f %16.3f %10u\n", every,
+                    clean.totalSeconds, failed.totalSeconds,
+                    failed.replayed);
+    }
+    std::printf("\nCOW snapshots cost no data copies, so frequent "
+                "checkpoints are nearly free while cutting the "
+                "replay window\n");
+    return 0;
+}

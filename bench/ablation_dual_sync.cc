@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: dual synchronization — planner-chosen split versus
+ * all-proxy and (effectively) all-GPU synchronization.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "coarse/dual_sync.hh"
+
+int
+main()
+{
+    using coarse::bench::runScheme;
+
+    const auto model = coarse::dl::makeBertLarge();
+    std::printf("Ablation: dual synchronization split (bert_large, "
+                "aws_v100, batch 2)\n\n");
+    std::printf("%-22s %12s %15s\n", "strategy", "iter (ms)",
+                "blocked (ms)");
+
+    for (double share : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        coarse::core::CoarseOptions options;
+        options.proxyShareOverride = share;
+        const auto r =
+            runScheme("COARSE", "aws_v100", model, 2, {}, options);
+        char label[40];
+        std::snprintf(label, sizeof(label), "fixed m = %.0f%% n",
+                      share * 100.0);
+        std::printf("%-22s %12.2f %15.2f\n", label,
+                    r.report.iterationSeconds * 1e3,
+                    r.report.blockedCommSeconds * 1e3);
+    }
+    {
+        coarse::core::CoarseOptions options; // planner decides m
+        const auto r =
+            runScheme("COARSE", "aws_v100", model, 2, {}, options);
+        std::printf("%-22s %12.2f %15.2f\n", "dual sync (planner)",
+                    r.report.iterationSeconds * 1e3,
+                    r.report.blockedCommSeconds * 1e3);
+    }
+    {
+        // All-GPU synchronization is exactly the AllReduce baseline.
+        const auto r = runScheme("AllReduce", "aws_v100", model, 2);
+        std::printf("%-22s %12.2f %15.2f\n", "all-GPU (AllReduce)",
+                    r.report.iterationSeconds * 1e3,
+                    r.report.blockedCommSeconds * 1e3);
+    }
+    std::printf("\npaper (S)III-F: T_train = max(T_FP+T_BP+"
+                "T_sync(GPU), T_FP+T_sync(proxy)); the planner picks "
+                "m to minimize it\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: flat ring versus hierarchical allreduce across two
+ * server nodes, sweeping the synchronization size.
+ *
+ * A flat ring is bandwidth-optimal (fewer bytes cross the NIC) but
+ * pays 2(p-1) network round-trips; the three-phase hierarchical
+ * schedule has ~2 network rounds but moves more data. The crossover
+ * sits where latency stops dominating.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "collective/communicator.hh"
+#include "collective/hierarchical.hh"
+#include "fabric/machine.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::coll;
+using namespace coarse::fabric;
+
+double
+timedFlat(std::uint64_t bytes)
+{
+    coarse::sim::Simulation sim;
+    MachineOptions mo;
+    mo.nodes = 2;
+    auto machine = makeAwsV100(sim, mo);
+    Communicator comm(machine->topology(), machine->workers());
+    comm.allReduceTimed(bytes, RingOptions{}, [] {});
+    sim.run();
+    return coarse::sim::toSeconds(sim.now());
+}
+
+double
+timedHier(std::uint64_t bytes)
+{
+    coarse::sim::Simulation sim;
+    MachineOptions mo;
+    mo.nodes = 2;
+    auto machine = makeAwsV100(sim, mo);
+    std::vector<std::vector<NodeId>> groups(2);
+    for (NodeId worker : machine->workers())
+        groups[machine->serverNodeOf(worker)].push_back(worker);
+    HierarchicalAllReduce hier(machine->topology(), groups);
+    hier.allReduceTimed(bytes, HierarchicalOptions{}, [] {});
+    sim.run();
+    return coarse::sim::toSeconds(sim.now());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: flat ring vs hierarchical allreduce "
+                "(8 workers across 2 aws_v100 nodes)\n\n");
+    std::printf("%-12s %14s %14s %10s\n", "bytes", "flat (us)",
+                "hierarchical", "winner");
+    for (std::uint64_t bytes = 1 << 12; bytes <= (256 << 20);
+         bytes *= 8) {
+        const double flat = timedFlat(bytes);
+        const double hier = timedHier(bytes);
+        char label[32];
+        if (bytes >= (1 << 20))
+            std::snprintf(label, sizeof(label), "%lluMiB",
+                          static_cast<unsigned long long>(bytes >> 20));
+        else
+            std::snprintf(label, sizeof(label), "%lluKiB",
+                          static_cast<unsigned long long>(bytes >> 10));
+        std::printf("%-12s %14.1f %14.1f %10s\n", label, flat * 1e6,
+                    hier * 1e6, hier < flat ? "hier" : "flat");
+    }
+    std::printf("\nflat rings are bandwidth-optimal; hierarchy wins "
+                "only while network latency dominates — which is why "
+                "the AllReduce baseline defaults to flat\n");
+    return 0;
+}

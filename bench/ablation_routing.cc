@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: bandwidth-aware tensor routing on/off.
+ *
+ * On the anti-local AWS V100 fabric, routing large tensors to the
+ * remote bandwidth-optimal proxy should beat always-local routing;
+ * on the conventional SDSC fabric the two coincide.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace {
+
+using coarse::bench::runScheme;
+
+void
+runMachine(const char *machine)
+{
+    const auto model = coarse::dl::makeBertBase();
+    std::printf("\n%s (bert_base, batch 2):\n", machine);
+    std::printf("%-18s %12s %15s\n", "routing", "iter (ms)",
+                "blocked (ms)");
+    for (bool routing : {false, true}) {
+        coarse::core::CoarseOptions options;
+        options.tensorRouting = routing;
+        const auto r =
+            runScheme("COARSE", machine, model, 2, {}, options);
+        std::printf("%-18s %12.2f %15.2f\n",
+                    routing ? "Lat/Bw proxies" : "local only",
+                    r.report.iterationSeconds * 1e3,
+                    r.report.blockedCommSeconds * 1e3);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: tensor routing (paper (S)III-E)\n");
+    runMachine("aws_v100");
+    runMachine("sdsc_p100");
+    return 0;
+}

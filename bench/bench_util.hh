@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: scheme
+ * runners over fresh simulations and small table-printing utilities.
+ */
+
+#ifndef COARSE_BENCH_BENCH_UTIL_HH
+#define COARSE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/allreduce.hh"
+#include "baselines/cpu_ps.hh"
+#include "baselines/dense.hh"
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "dl/trainer.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace coarse::bench {
+
+/** Iterations per measured run (plus 1 warmup). */
+constexpr std::uint32_t kIterations = 5;
+
+/** One fully isolated run of a communication scheme. */
+struct SchemeResult
+{
+    dl::TrainingReport report;
+    bool outOfMemory = false;
+};
+
+inline SchemeResult
+runScheme(const std::string &scheme, const std::string &machineName,
+          const dl::ModelSpec &model, std::uint32_t batch,
+          fabric::MachineOptions machineOptions = {},
+          core::CoarseOptions coarseOptions = {})
+{
+    SchemeResult result;
+    sim::Simulation simulation;
+    auto machine =
+        fabric::makeMachine(machineName, simulation, machineOptions);
+    try {
+        std::unique_ptr<dl::Trainer> trainer;
+        if (scheme == "DENSE") {
+            trainer = std::make_unique<baselines::DenseTrainer>(
+                *machine, model, batch);
+        } else if (scheme == "AllReduce") {
+            trainer = std::make_unique<baselines::AllReduceTrainer>(
+                *machine, model, batch);
+        } else if (scheme == "CPU-PS") {
+            trainer = std::make_unique<baselines::CpuPsTrainer>(
+                *machine, model, batch);
+        } else if (scheme == "COARSE") {
+            trainer = std::make_unique<core::CoarseEngine>(
+                *machine, model, batch, coarseOptions);
+        } else {
+            sim::fatal("runScheme: unknown scheme ", scheme);
+        }
+        result.report = trainer->run(kIterations, 1);
+    } catch (const sim::FatalError &e) {
+        const std::string what = e.what();
+        if (what.find("out of memory") == std::string::npos
+            && what.find("needs") == std::string::npos)
+            throw;
+        result.outOfMemory = true;
+    }
+    return result;
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+inline void
+printRule()
+{
+    std::printf("------------------------------------------------------"
+                "----------------\n");
+}
+
+} // namespace coarse::bench
+
+#endif // COARSE_BENCH_BENCH_UTIL_HH

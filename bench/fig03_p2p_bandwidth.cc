@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 3: peer-to-peer access speedup on the CCI prototype.
+ *
+ * Paper result: GPU Direct achieves ~17x read and ~4x write
+ * bandwidth over host-mediated CCI access at saturating sizes.
+ */
+
+#include <cstdio>
+
+#include "cci/prototype_model.hh"
+
+int
+main()
+{
+    using namespace coarse::cci;
+    PrototypeModel model;
+    const std::uint64_t size = 16 << 20; // saturating access
+
+    std::printf("Figure 3: CCI prototype P2P bandwidth (access size "
+                "16 MiB)\n\n");
+    std::printf("%-14s %14s %14s %10s %10s\n", "path", "read GB/s",
+                "write GB/s", "read-x", "write-x");
+
+    const double cciRead =
+        model.bandwidth(AccessPath::Cci, AccessDirection::Read, size);
+    const double cciWrite =
+        model.bandwidth(AccessPath::Cci, AccessDirection::Write, size);
+
+    for (AccessPath path : {AccessPath::Cci, AccessPath::GpuIndirect,
+                            AccessPath::GpuDirect}) {
+        const double r =
+            model.bandwidth(path, AccessDirection::Read, size);
+        const double w =
+            model.bandwidth(path, AccessDirection::Write, size);
+        std::printf("%-14s %14.2f %14.2f %9.1fx %9.1fx\n",
+                    accessPathName(path), r / 1e9, w / 1e9, r / cciRead,
+                    w / cciWrite);
+    }
+
+    std::printf("\npaper: GPU Direct = 17x read / 4x write over CCI\n");
+    return 0;
+}

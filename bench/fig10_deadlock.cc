@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 10: FCFS synchronization deadlock and COARSE's queue-based
+ * avoidance.
+ *
+ * Reproduces the paper's scenario — two tensors pushed to two
+ * proxies in conflicting orders — under both scheduling policies.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "coarse/proxy_sync.hh"
+#include "fabric/machine.hh"
+#include "memdev/memory_device.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::core;
+
+void
+runPolicy(SchedulingPolicy policy)
+{
+    coarse::sim::Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+    std::vector<std::unique_ptr<coarse::memdev::MemoryDevice>> devices;
+    std::vector<coarse::memdev::MemoryDevice *> raw;
+    for (auto node : machine->memDevices()) {
+        devices.push_back(
+            std::make_unique<coarse::memdev::MemoryDevice>(node));
+        raw.push_back(devices.back().get());
+    }
+    ProxySyncService service(machine->topology(), raw, {}, policy,
+                             /*functional=*/true);
+    int synced = 0;
+    service.setOnSynced(
+        [&](const ShardKey &, const std::vector<float> &) {
+            ++synced;
+        });
+
+    const auto &w = machine->workers();
+    const auto &p = machine->memDevices();
+    // Early arrivals: tensor1 at proxy0, tensor2 at proxy1; the
+    // cross-ordered remainder lands later.
+    service.push(w[0], p[0], ShardKey{0, 1, 0}, 8, {1.0f, 1.0f}, 2);
+    service.push(w[1], p[1], ShardKey{0, 2, 0}, 8, {2.0f, 2.0f}, 2);
+    sim.events().schedule(coarse::sim::fromSeconds(0.01), [&] {
+        service.push(w[1], p[0], ShardKey{0, 2, 0}, 8, {3.0f, 3.0f},
+                     2);
+        service.push(w[0], p[1], ShardKey{0, 1, 0}, 8, {4.0f, 4.0f},
+                     2);
+    });
+    sim.run();
+
+    std::printf("%-22s %8d %10zu   %s\n",
+                policy == SchedulingPolicy::Fcfs
+                    ? "FCFS (strawman)"
+                    : "per-client queues",
+                synced, service.pendingCount(),
+                service.idle() ? "completed" : "DEADLOCKED");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 10: deadlock avoidance — cross-ordered pushes "
+                "of 2 tensors to 2 proxies\n\n");
+    std::printf("%-22s %8s %10s   %s\n", "policy", "synced", "stuck",
+                "outcome");
+    runPolicy(SchedulingPolicy::Fcfs);
+    runPolicy(SchedulingPolicy::Queued);
+    std::printf("\npaper: FCFS wedges (proxy 0 waits on tensor 1, "
+                "proxy 1 on tensor 2); COARSE's per-client queues "
+                "synchronize all queues concurrently\n");
+    return 0;
+}

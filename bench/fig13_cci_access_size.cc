@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 13: CCI prototype bandwidth versus access size for the
+ * three access paths, reads (a) and writes (b).
+ *
+ * Paper shapes: CCI read flat across sizes; GPU Indirect read
+ * indistinguishable from CCI; GPU Direct read 9x-17x and write
+ * 1.25x-4x over CCI depending on access size.
+ */
+
+#include <cstdio>
+
+#include "cci/prototype_model.hh"
+
+namespace {
+
+void
+printDirection(const coarse::cci::PrototypeModel &model,
+               coarse::cci::AccessDirection dir)
+{
+    using namespace coarse::cci;
+    std::printf("\nFigure 13%s: %s bandwidth (GB/s) vs access size\n",
+                dir == AccessDirection::Read ? "a" : "b",
+                accessDirectionName(dir));
+    std::printf("%-10s %10s %14s %12s %10s\n", "size", "CCI",
+                "GPU Indirect", "GPU Direct", "direct-x");
+    for (std::uint64_t size = 4 << 10; size <= (64 << 20); size *= 4) {
+        const double cci =
+            model.bandwidth(AccessPath::Cci, dir, size);
+        const double indirect =
+            model.bandwidth(AccessPath::GpuIndirect, dir, size);
+        const double direct =
+            model.bandwidth(AccessPath::GpuDirect, dir, size);
+        char label[32];
+        if (size >= (1 << 20))
+            std::snprintf(label, sizeof(label), "%lluMiB",
+                          static_cast<unsigned long long>(size >> 20));
+        else
+            std::snprintf(label, sizeof(label), "%lluKiB",
+                          static_cast<unsigned long long>(size >> 10));
+        std::printf("%-10s %10.2f %14.2f %12.2f %9.1fx\n", label,
+                    cci / 1e9, indirect / 1e9, direct / 1e9,
+                    direct / cci);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    coarse::cci::PrototypeModel model;
+    std::printf("Figure 13: CCI bandwidth under different access "
+                "sizes\n");
+    printDirection(model, coarse::cci::AccessDirection::Read);
+    printDirection(model, coarse::cci::AccessDirection::Write);
+    std::printf("\npaper: reads 9x-17x, writes 1.25x-4x GPU Direct "
+                "speedup; CCI read flat\n");
+    return 0;
+}

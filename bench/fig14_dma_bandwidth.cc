@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 14: FPGA DMA bandwidth versus access size.
+ *
+ * Paper result: DMA read and write reach max bandwidth at an access
+ * size of 2 MB or higher.
+ */
+
+#include <cstdio>
+
+#include "cci/prototype_model.hh"
+
+int
+main()
+{
+    coarse::cci::PrototypeModel model;
+    const auto &dma = model.dmaCurve();
+
+    std::printf("Figure 14: FPGA DMA bandwidth vs access size\n\n");
+    std::printf("%-10s %12s %12s\n", "size", "GB/s", "frac-of-peak");
+    for (std::uint64_t size = 4 << 10; size <= (64 << 20); size *= 2) {
+        char label[32];
+        if (size >= (1 << 20))
+            std::snprintf(label, sizeof(label), "%lluMiB",
+                          static_cast<unsigned long long>(size >> 20));
+        else
+            std::snprintf(label, sizeof(label), "%lluKiB",
+                          static_cast<unsigned long long>(size >> 10));
+        std::printf("%-10s %12.2f %11.0f%%\n", label,
+                    dma.at(size) / 1e9,
+                    100.0 * dma.at(size) / dma.peak());
+    }
+    std::printf("\nsaturation size (95%% of peak): %llu KiB "
+                "(paper: 2 MiB)\n",
+                static_cast<unsigned long long>(
+                    dma.saturationSize(0.95) >> 10));
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 15: the profiler's view of one client on each machine —
+ * transfer time to the local proxy versus the best remote proxy as a
+ * function of request size, plus the routing table it derives.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "coarse/profiler.hh"
+#include "fabric/machine.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::core;
+using namespace coarse::fabric;
+
+void
+profileMachine(const std::string &name)
+{
+    coarse::sim::Simulation sim;
+    auto machine = makeMachine(name, sim);
+    auto &topo = machine->topology();
+    Profiler profiler(topo);
+
+    const NodeId client = machine->workers()[0];
+    const NodeId local = machine->pairedMemDevice(client);
+    const auto profile =
+        profiler.profileClient(client, machine->memDevices());
+
+    // Best remote proxy = highest-bandwidth non-local one.
+    NodeId remote = kInvalidNode;
+    double remoteBw = 0.0;
+    for (const auto &path : profile.paths) {
+        if (path.proxy != local && path.peakBytesPerSec > remoteBw) {
+            remote = path.proxy;
+            remoteBw = path.peakBytesPerSec;
+        }
+    }
+
+    std::printf("\n%s: client gpu0 -> proxies (transfer time, us)\n",
+                name.c_str());
+    std::printf("%-10s %14s %14s\n", "size", "local proxy",
+                "best remote");
+    const auto localProfile = profiler.profilePath(client, local);
+    const auto remoteProfile = profiler.profilePath(client, remote);
+    for (std::size_t i = 0; i < localProfile.points.size(); i += 2) {
+        const auto &lp = localProfile.points[i];
+        const auto &rp = remoteProfile.points[i];
+        char label[32];
+        if (lp.bytes >= (1 << 20))
+            std::snprintf(label, sizeof(label), "%lluMiB",
+                          static_cast<unsigned long long>(lp.bytes
+                                                          >> 20));
+        else
+            std::snprintf(label, sizeof(label), "%lluKiB",
+                          static_cast<unsigned long long>(lp.bytes
+                                                          >> 10));
+        std::printf("%-10s %14.1f %14.1f\n", label, lp.seconds * 1e6,
+                    rp.seconds * 1e6);
+    }
+
+    std::printf("routing table: LatProxy=%s BwProxy=%s threshold=%llu "
+                "KiB, shard S'=%llu KiB\n",
+                topo.nodeName(profile.routing.latProxy).c_str(),
+                topo.nodeName(profile.routing.bwProxy).c_str(),
+                static_cast<unsigned long long>(
+                    profile.routing.thresholdBytes >> 10),
+                static_cast<unsigned long long>(profile.shardBytes
+                                                >> 10));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 15: client-to-proxy communication profile "
+                "(PCIe path, NVLink disabled)\n");
+    for (const char *machine : {"aws_t4", "sdsc_p100", "aws_v100"})
+        profileMachine(machine);
+    std::printf("\npaper: on the anti-local AWS V100 instance the "
+                "remote proxy wins for large requests, so LatProxy != "
+                "BwProxy and the threshold splits the traffic\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Figure 16: end-to-end training speedup.
+ *
+ *  (a,b) ResNet-50 and BERT on the AWS T4 machine, speedup over
+ *        DENSE, with 1:1 and 2:1 worker/memdev configurations.
+ *  (c)   BERT on SDSC P100.
+ *  (d)   BERT on AWS V100.
+ *  (e)   BERT-Large single node: batch scaling unlocked by COARSE's
+ *        offloaded parameter state (paper: 48.3% over AllReduce).
+ *  (f)   BERT-Large two nodes (paper: up to 42.7% over AllReduce;
+ *        one COARSE node at batch 4 beats two AllReduce nodes).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+
+namespace {
+
+using coarse::bench::printHeader;
+using coarse::bench::runScheme;
+using coarse::fabric::MachineOptions;
+
+void
+speedupPanel(const char *panel, const std::string &machine,
+             const coarse::dl::ModelSpec &model, std::uint32_t batch)
+{
+    printHeader((std::string("Figure 16") + panel + ": " + model.name
+                 + " on " + machine + " (speedup over DENSE)")
+                    .c_str());
+
+    const auto dense = runScheme("DENSE", machine, model, batch);
+    const double base = dense.report.iterationSeconds;
+
+    std::printf("%-22s %10s %10s\n", "scheme", "iter (ms)", "speedup");
+    std::printf("%-22s %10.1f %9.2fx\n", "DENSE", base * 1e3, 1.0);
+
+    const auto ar = runScheme("AllReduce", machine, model, batch);
+    std::printf("%-22s %10.1f %9.2fx\n", "AllReduce",
+                ar.report.iterationSeconds * 1e3,
+                base / ar.report.iterationSeconds);
+
+    const auto c11 = runScheme("COARSE", machine, model, batch);
+    std::printf("%-22s %10.1f %9.2fx\n", "COARSE (1:1)",
+                c11.report.iterationSeconds * 1e3,
+                base / c11.report.iterationSeconds);
+
+    MachineOptions shared;
+    shared.workersPerMemDevice = 2;
+    const auto c21 =
+        runScheme("COARSE", machine, model, batch, shared);
+    std::printf("%-22s %10.1f %9.2fx\n", "COARSE (2:1)",
+                c21.report.iterationSeconds * 1e3,
+                base / c21.report.iterationSeconds);
+}
+
+void
+batchPanel()
+{
+    printHeader("Figure 16e: BERT-Large, single aws_v100 node, batch "
+                "scaling (normalized to AllReduce bs2)");
+    const auto model = coarse::dl::makeBertLarge();
+
+    const auto ar2 = runScheme("AllReduce", "aws_v100", model, 2);
+    const double basePerGpu =
+        ar2.report.throughputSamplesPerSec / ar2.report.workers;
+
+    std::printf("%-24s %14s %12s\n", "scheme", "samples/s/GPU",
+                "vs AllReduce");
+    std::printf("%-24s %14.2f %11.1f%%\n", "AllReduce bs2",
+                basePerGpu, 0.0);
+
+    const auto ar4 = runScheme("AllReduce", "aws_v100", model, 4);
+    if (ar4.outOfMemory)
+        std::printf("%-24s %14s %12s\n", "AllReduce bs4", "OOM", "-");
+
+    for (std::uint32_t batch : {2u, 4u}) {
+        const auto c = runScheme("COARSE", "aws_v100", model, batch);
+        const double perGpu =
+            c.report.throughputSamplesPerSec / c.report.workers;
+        std::printf("%-24s %14.2f %+11.1f%%\n",
+                    batch == 2 ? "COARSE bs2" : "COARSE bs4", perGpu,
+                    100.0 * (perGpu / basePerGpu - 1.0));
+    }
+    std::printf("paper: COARSE bs4 trains 48.3%% faster than "
+                "AllReduce bs2\n");
+}
+
+void
+multiNodePanel()
+{
+    printHeader("Figure 16f: BERT-Large, two aws_v100 nodes "
+                "(normalized to 2-node AllReduce bs2, per GPU)");
+    const auto model = coarse::dl::makeBertLarge();
+    MachineOptions twoNodes;
+    twoNodes.nodes = 2;
+
+    const auto ar = runScheme("AllReduce", "aws_v100", model, 2,
+                              twoNodes);
+    const double basePerGpu =
+        ar.report.throughputSamplesPerSec / ar.report.workers;
+
+    std::printf("%-24s %14s %12s\n", "scheme", "samples/s/GPU",
+                "vs AllReduce");
+    std::printf("%-24s %14.2f %11.1f%%\n", "AllReduce 2-node bs2",
+                basePerGpu, 0.0);
+
+    for (std::uint32_t batch : {2u, 4u}) {
+        const auto c = runScheme("COARSE", "aws_v100", model, batch,
+                                 twoNodes);
+        const double perGpu =
+            c.report.throughputSamplesPerSec / c.report.workers;
+        std::printf("%-24s %14.2f %+11.1f%%\n",
+                    batch == 2 ? "COARSE 2-node bs2"
+                               : "COARSE 2-node bs4",
+                    perGpu, 100.0 * (perGpu / basePerGpu - 1.0));
+    }
+
+    const auto c1 = runScheme("COARSE", "aws_v100", model, 4);
+    const double perGpu =
+        c1.report.throughputSamplesPerSec / c1.report.workers;
+    std::printf("%-24s %14.2f %+11.1f%%\n", "COARSE 1-node bs4",
+                perGpu, 100.0 * (perGpu / basePerGpu - 1.0));
+    std::printf("paper: up to 42.7%% over 2-node AllReduce; a single "
+                "COARSE node at bs4 is 38.6%% faster\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 16: DL training speedup\n");
+    speedupPanel("a", "aws_t4", coarse::dl::makeResNet50(), 64);
+    speedupPanel("b", "aws_t4", coarse::dl::makeBertBase(), 2);
+    speedupPanel("c", "sdsc_p100", coarse::dl::makeBertBase(), 2);
+    speedupPanel("d", "aws_v100", coarse::dl::makeBertBase(), 2);
+    batchPanel();
+    multiNodePanel();
+    return 0;
+}

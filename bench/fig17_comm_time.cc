@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 17: blocked communication time — the time GPUs sit idle
+ * waiting on parameter synchronization.
+ *
+ *  (a-d) normalized to the DENSE CCI parameter server; the paper
+ *        reports AllReduce and COARSE below 10% of DENSE, with
+ *        COARSE 20-46% below AllReduce on P2P machines and 18-20%
+ *        above it on the no-P2P T4 machine.
+ *  (e-f) single- and two-node BERT-Large, normalized to AllReduce.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+
+namespace {
+
+using coarse::bench::printHeader;
+using coarse::bench::runScheme;
+using coarse::fabric::MachineOptions;
+
+void
+densePanel(const char *panel, const std::string &machine,
+           const coarse::dl::ModelSpec &model, std::uint32_t batch)
+{
+    printHeader((std::string("Figure 17") + panel + ": " + model.name
+                 + " on " + machine
+                 + " (blocked comm, normalized to DENSE)")
+                    .c_str());
+
+    const auto dense = runScheme("DENSE", machine, model, batch);
+    const double base = dense.report.blockedCommSeconds;
+
+    std::printf("%-14s %14s %12s\n", "scheme", "blocked (ms)",
+                "vs DENSE");
+    std::printf("%-14s %14.2f %11.1f%%\n", "DENSE", base * 1e3, 100.0);
+    double arBlocked = 0.0;
+    for (const char *scheme : {"AllReduce", "COARSE"}) {
+        const auto r = runScheme(scheme, machine, model, batch);
+        std::printf("%-14s %14.2f %11.1f%%\n", scheme,
+                    r.report.blockedCommSeconds * 1e3,
+                    100.0 * r.report.blockedCommSeconds / base);
+        if (std::string(scheme) == "AllReduce")
+            arBlocked = r.report.blockedCommSeconds;
+        else if (arBlocked > 0.0) {
+            std::printf("%-14s %14s %+11.1f%%\n", "  (vs AllReduce)",
+                        "", 100.0
+                            * (r.report.blockedCommSeconds / arBlocked
+                               - 1.0));
+        }
+    }
+}
+
+void
+allReducePanel(const char *panel, std::uint32_t nodes)
+{
+    printHeader((std::string("Figure 17") + panel + ": bert_large, "
+                 + std::to_string(nodes)
+                 + "-node aws_v100 (normalized to AllReduce)")
+                    .c_str());
+    const auto model = coarse::dl::makeBertLarge();
+    MachineOptions mo;
+    mo.nodes = nodes;
+
+    const auto ar = runScheme("AllReduce", "aws_v100", model, 2, mo);
+    const double base = ar.report.blockedCommSeconds;
+    std::printf("%-14s %14s %12s\n", "scheme", "blocked (ms)",
+                "vs AllReduce");
+    std::printf("%-14s %14.2f %11.1f%%\n", "AllReduce", base * 1e3,
+                100.0);
+    const auto c = runScheme("COARSE", "aws_v100", model, 2, mo);
+    std::printf("%-14s %14.2f %11.1f%%\n", "COARSE",
+                c.report.blockedCommSeconds * 1e3,
+                100.0 * c.report.blockedCommSeconds / base);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 17: blocked communication time\n");
+    densePanel("a", "aws_t4", coarse::dl::makeResNet50(), 64);
+    densePanel("b", "aws_t4", coarse::dl::makeBertBase(), 2);
+    densePanel("c", "sdsc_p100", coarse::dl::makeBertBase(), 2);
+    densePanel("d", "aws_v100", coarse::dl::makeBertBase(), 2);
+    allReducePanel("e", 1);
+    allReducePanel("f", 2);
+    std::printf("\npaper: AllReduce and COARSE < 10%% of DENSE; "
+                "COARSE -20%%..-46%% vs AllReduce with P2P, "
+                "+18-20%% without\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: event
+ * queue throughput, fabric transfers, ring allreduce, and a full
+ * COARSE iteration. These guard the simulator's own performance so
+ * the figure benches stay fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "coarse/engine.hh"
+#include "collective/communicator.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto count = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        coarse::sim::EventQueue queue;
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            queue.schedule(i * 10, [&sum, i] { sum += i; });
+        }
+        queue.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * count));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_FabricTransfer(benchmark::State &state)
+{
+    const std::uint64_t bytes = std::uint64_t(state.range(0)) << 20;
+    for (auto _ : state) {
+        coarse::sim::Simulation sim;
+        auto machine = coarse::fabric::makeAwsV100(sim);
+        coarse::fabric::Message msg;
+        msg.src = machine->workers()[0];
+        msg.dst = machine->workers()[1];
+        msg.bytes = bytes;
+        machine->topology().send(std::move(msg));
+        sim.run();
+        benchmark::DoNotOptimize(sim.now());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_FabricTransfer)->Arg(16)->Arg(256);
+
+void
+BM_RingAllReduceTimed(benchmark::State &state)
+{
+    const std::uint64_t bytes = std::uint64_t(state.range(0)) << 20;
+    for (auto _ : state) {
+        coarse::sim::Simulation sim;
+        auto machine = coarse::fabric::makeAwsV100(sim);
+        coarse::coll::Communicator comm(machine->topology(),
+                                        machine->workers());
+        comm.allReduceTimed(bytes, coarse::coll::RingOptions{}, [] {});
+        sim.run();
+        benchmark::DoNotOptimize(sim.now());
+    }
+}
+BENCHMARK(BM_RingAllReduceTimed)->Arg(64)->Arg(512);
+
+void
+BM_RingAllReduceFunctional(benchmark::State &state)
+{
+    const std::size_t elems = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        coarse::sim::Simulation sim;
+        auto machine = coarse::fabric::makeAwsV100(sim);
+        coarse::coll::Communicator comm(machine->topology(),
+                                        machine->workers());
+        std::vector<std::vector<float>> buffers(
+            machine->workers().size(), std::vector<float>(elems, 1.0f));
+        std::vector<std::span<float>> spans;
+        for (auto &b : buffers)
+            spans.emplace_back(b);
+        comm.allReduce(spans, coarse::coll::RingOptions{}, [] {});
+        sim.run();
+        benchmark::DoNotOptimize(buffers[0][0]);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * elems));
+}
+BENCHMARK(BM_RingAllReduceFunctional)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_CoarseIterationResnet(benchmark::State &state)
+{
+    const auto model = coarse::dl::makeResNet50();
+    for (auto _ : state) {
+        coarse::sim::Simulation sim;
+        auto machine = coarse::fabric::makeAwsV100(sim);
+        coarse::core::CoarseEngine engine(*machine, model, 64);
+        const auto report = engine.run(2, 1);
+        benchmark::DoNotOptimize(report.iterationSeconds);
+    }
+}
+BENCHMARK(BM_CoarseIterationResnet)->Unit(benchmark::kMillisecond);
+
+void
+BM_CoarseIterationBertLarge(benchmark::State &state)
+{
+    const auto model = coarse::dl::makeBertLarge();
+    for (auto _ : state) {
+        coarse::sim::Simulation sim;
+        auto machine = coarse::fabric::makeAwsV100(sim);
+        coarse::core::CoarseEngine engine(*machine, model, 2);
+        const auto report = engine.run(2, 1);
+        benchmark::DoNotOptimize(report.iterationSeconds);
+    }
+}
+BENCHMARK(BM_CoarseIterationBertLarge)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table I: the evaluation machine instances. Prints each preset's
+ * configuration as built by the fabric layer.
+ */
+
+#include <cstdio>
+
+#include "dl/gpu.hh"
+#include "fabric/machine.hh"
+#include "sim/simulation.hh"
+
+int
+main()
+{
+    std::printf("Table I: machine instances used for evaluation\n\n");
+    std::printf("%-11s %-6s %8s %8s %6s %5s %7s %9s\n", "machine",
+                "gpu", "workers", "memdevs", "cpus", "p2p", "nvlink",
+                "nodes");
+
+    for (const char *name : {"aws_t4", "sdsc_p100", "aws_v100"}) {
+        coarse::sim::Simulation sim;
+        auto m = coarse::fabric::makeMachine(name, sim);
+        bool nvlink = false;
+        for (std::size_t l = 0; l < m->topology().linkCount(); ++l) {
+            if (m->topology().link(static_cast<coarse::fabric::LinkId>(l))
+                    .kind()
+                == coarse::fabric::LinkKind::NvLink)
+                nvlink = true;
+        }
+        std::printf("%-11s %-6s %8zu %8zu %6zu %5s %7s %9u\n", name,
+                    m->gpuModel().c_str(), m->workers().size(),
+                    m->memDevices().size(), m->hostCpus().size(),
+                    m->p2pSupported() ? "yes" : "no",
+                    nvlink ? "yes" : "no", m->serverNodeCount());
+    }
+
+    std::printf("\nGPU specs (public):\n");
+    std::printf("%-6s %12s %10s %12s\n", "gpu", "fp32-TFLOPs",
+                "mem (GiB)", "mem-BW GB/s");
+    for (const char *gpu : {"T4", "P100", "V100"}) {
+        const auto spec = coarse::dl::gpuSpec(gpu);
+        std::printf("%-6s %12.1f %10llu %12.0f\n", gpu,
+                    spec.fp32Tflops,
+                    static_cast<unsigned long long>(spec.memBytes >> 30),
+                    spec.memBytesPerSec / 1e9);
+    }
+
+    std::printf("\nVariants exercised by the figure benches: 2:1 "
+                "worker/memdev sharing (aws_v100), 2-node clusters "
+                "with 100 Gb/s NICs.\n");
+    return 0;
+}

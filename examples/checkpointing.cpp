@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fault tolerance with copy-on-write snapshots (paper §IV-A):
+ * training with periodic epoch checkpoints, a simulated worker
+ * failure, and recovery from the latest snapshot. Shows that
+ * unchanged parameters are deduplicated and snapshots cost no data
+ * copies.
+ *
+ * Run: ./build/examples/checkpointing
+ */
+
+#include <cstdio>
+
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "memdev/cow_store.hh"
+#include "sim/simulation.hh"
+
+int
+main()
+{
+    // Train a small model functionally with checkpoints every 2
+    // iterations.
+    coarse::sim::Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+    const auto model = coarse::dl::makeSynthetic(
+        "ckpt_demo", {1 << 20, 4096, 2 << 20}, 2e9, 1 << 20);
+
+    coarse::core::CoarseOptions options;
+    options.functionalData = true;
+    options.checkpointEveryIters = 2;
+    coarse::core::CoarseEngine engine(*machine, model, 8, options);
+    engine.run(6, 0);
+
+    auto &store = engine.memoryDevice(0).store();
+    std::printf("After 6 iterations with a checkpoint every 2:\n");
+    std::printf("  checkpoints taken:   %u\n",
+                engine.checkpointsTaken());
+    std::printf("  tensor versions:     %llu\n",
+                static_cast<unsigned long long>(
+                    store.versionsCreated().value()));
+    std::printf("  COW bytes copied:    %.1f MiB\n",
+                double(store.bytesCopied().value()) / double(1 << 20));
+    std::printf("  writes deduplicated: %llu\n",
+                static_cast<unsigned long long>(
+                    store.writesAbsorbed().value()));
+
+    // Simulate a failure mid-epoch: the latest durable state is the
+    // previous checkpoint (the one before the crash), so roll back
+    // to it. Snapshot ids are 1-based and one is taken every
+    // checkpoint interval.
+    // Snapshot ids: 1 is the initial recovery floor, then one per
+    // checkpoint interval; the latest durable state before a crash
+    // at the end of training is snapshot checkpointsTaken().
+    const auto beforeCrash = store.get(0);
+    store.restore(engine.checkpointsTaken());
+    const auto restored = store.get(0);
+    std::printf("\nSimulated failure: restored tensor 0 from the "
+                "previous checkpoint.\n");
+    std::printf("  weight[0] at crash:   %.6f\n", (*beforeCrash)[0]);
+    std::printf("  weight[0] restored:   %.6f (2 iterations earlier)"
+                "\n",
+                (*restored)[0]);
+
+    // Snapshots share immutable versions: show the standalone store.
+    coarse::memdev::CowStore demo;
+    demo.put(42, std::vector<float>(1 << 20, 1.0f)); // 4 MiB tensor
+    const auto copiedBefore = demo.bytesCopied().value();
+    for (int epoch = 0; epoch < 100; ++epoch)
+        demo.snapshot();
+    std::printf("\n100 snapshots of a 4 MiB tensor copied %llu extra "
+                "bytes (COW: snapshots are pointer swaps).\n",
+                static_cast<unsigned long long>(
+                    demo.bytesCopied().value() - copiedBefore));
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Using COARSE the way a training framework would: the raw push/pull
+ * parameter-server API (paper §IV-B — the TensorFlow plugin wraps
+ * exactly this). Two workers run a hand-written SGD loop on a toy
+ * quadratic problem; the session handles routing, partitioning,
+ * proxy synchronization, and the server-side optimizer.
+ *
+ * Run: ./build/examples/pushpull_api
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "coarse/session.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+/**
+ * Toy objective per worker: minimize sum_e (w[e] - target)^2 where
+ * each worker sees a different target; the consensus optimum is the
+ * mean of the targets.
+ */
+std::vector<float>
+gradientFor(const std::vector<float> &weights, float target)
+{
+    std::vector<float> gradient(weights.size());
+    for (std::size_t e = 0; e < weights.size(); ++e)
+        gradient[e] = 2.0f * (weights[e] - target);
+    return gradient;
+}
+
+} // namespace
+
+int
+main()
+{
+    coarse::sim::Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+
+    // One 64k-element tensor; plain SGD at lr 0.1 on the server.
+    const auto model = coarse::dl::makeSynthetic(
+        "toy", {64 * 1024}, 1e9, 1 << 20);
+    coarse::core::SessionOptions options;
+    options.optimizer.learningRate = 0.1;
+    coarse::core::CoarseSession session(*machine, model, options);
+
+    const float targets[2] = {2.0f, 6.0f}; // consensus optimum: 4.0
+
+    std::printf("push/pull API demo: 2 workers descending to the "
+                "consensus optimum (4.0)\n\n");
+    std::printf("%-8s %14s %16s\n", "round", "weights[0]",
+                "sim time (us)");
+
+    // Each round: every worker pulls the weights, computes its local
+    // gradient, and pushes; the session synchronizes and applies.
+    for (int round = 0; round < 12; ++round) {
+        for (std::size_t w = 0; w < session.clientCount(); ++w) {
+            session.client(w).pull(
+                0, [&session, &targets, w](
+                       const std::vector<float> &weights) {
+                    session.client(w).push(
+                        0, gradientFor(weights, targets[w]));
+                });
+        }
+        sim.run();
+        std::printf("%-8d %14.4f %16.1f\n", round,
+                    session.weights(0)[0],
+                    coarse::sim::toMicroseconds(sim.now()));
+    }
+
+    std::printf("\nfinal weights[0] = %.4f (optimum 4.0); every "
+                "synchronization ran through the real routing, "
+                "partitioning, and sync-core machinery\n",
+                session.weights(0)[0]);
+    return 0;
+}

@@ -1,0 +1,127 @@
+#include "options.hh"
+
+#include <charconv>
+
+#include "sim/logging.hh"
+
+namespace coarse::app {
+
+namespace {
+
+std::uint32_t
+parseUint(const std::string &flag, const std::string &value)
+{
+    std::uint32_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), out);
+    if (ec != std::errc{} || ptr != value.data() + value.size())
+        sim::fatal("coarsesim: ", flag, " expects a non-negative "
+                   "integer, got '", value, "'");
+    return out;
+}
+
+} // namespace
+
+std::uint32_t
+defaultBatch(const std::string &model)
+{
+    if (model == "resnet50" || model == "vgg16")
+        return 64;
+    return 2; // BERT-class fine-tuning batches
+}
+
+Options
+parseOptions(const std::vector<std::string> &args)
+{
+    Options options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                sim::fatal("coarsesim: ", arg, " expects a value");
+            return args[++i];
+        };
+
+        if (arg == "--machine") {
+            options.machine = value();
+        } else if (arg == "--model") {
+            options.model = value();
+        } else if (arg == "--scheme") {
+            options.scheme = value();
+        } else if (arg == "--batch") {
+            options.batch = parseUint(arg, value());
+        } else if (arg == "--iters") {
+            options.iterations = parseUint(arg, value());
+        } else if (arg == "--warmup") {
+            options.warmup = parseUint(arg, value());
+        } else if (arg == "--nodes") {
+            options.nodes = parseUint(arg, value());
+        } else if (arg == "--share") {
+            options.workersPerMemDevice = parseUint(arg, value());
+        } else if (arg == "--checkpoint-every") {
+            options.checkpointEvery = parseUint(arg, value());
+        } else if (arg == "--no-routing") {
+            options.routing = false;
+        } else if (arg == "--no-partitioning") {
+            options.partitioning = false;
+        } else if (arg == "--no-dual-sync") {
+            options.dualSync = false;
+        } else if (arg == "--compress") {
+            options.compressGradients = true;
+        } else if (arg == "--data-loading") {
+            options.dataLoading = true;
+        } else if (arg == "--format") {
+            options.format = value();
+        } else if (arg == "--stats") {
+            options.dumpStats = true;
+        } else if (arg == "--list") {
+            options.listPresets = true;
+        } else if (arg == "--help" || arg == "-h") {
+            options.showHelp = true;
+        } else {
+            sim::fatal("coarsesim: unknown argument '", arg,
+                       "' (try --help)");
+        }
+    }
+    if (options.iterations == 0)
+        sim::fatal("coarsesim: --iters must be at least 1");
+    if (options.nodes == 0)
+        sim::fatal("coarsesim: --nodes must be at least 1");
+    if (options.format != "table" && options.format != "csv")
+        sim::fatal("coarsesim: --format must be table or csv");
+    if (options.batch == 0)
+        options.batch = defaultBatch(options.model);
+    return options;
+}
+
+std::string
+usageText()
+{
+    return R"(coarsesim — simulate distributed DL training with COARSE
+
+usage: coarsesim [options]
+
+  --machine NAME        aws_t4 | sdsc_p100 | aws_v100   (aws_v100)
+  --model NAME          resnet50 | bert_base | bert_large | vgg16
+                        (resnet50)
+  --scheme NAME         DENSE | AllReduce | CPU-PS | COARSE | all
+                        (all)
+  --batch N             per-GPU batch size (model default)
+  --iters N             measured iterations (5)
+  --warmup N            unmeasured warmup iterations (1)
+  --nodes N             server nodes (1)
+  --share N             workers per memory device (1)
+  --checkpoint-every N  snapshot parameters every N iterations (off)
+  --no-routing          disable Lat/Bw tensor routing
+  --no-partitioning     disable tensor partitioning
+  --no-dual-sync        synchronize everything through the proxies
+  --compress            fp16 gradients on the client-proxy wire
+  --data-loading        fetch minibatches from the memory pool
+  --format FMT          table | csv                     (table)
+  --stats               dump fabric statistics after the run
+  --list                list machine and model presets
+  --help                this text
+)";
+}
+
+} // namespace coarse::app

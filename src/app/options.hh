@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Command-line options for the coarsesim driver.
+ */
+
+#ifndef COARSE_APP_OPTIONS_HH
+#define COARSE_APP_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coarse::app {
+
+/** Parsed command line. */
+struct Options
+{
+    std::string machine = "aws_v100";
+    std::string model = "resnet50";
+    /** DENSE | AllReduce | CPU-PS | COARSE | all. */
+    std::string scheme = "all";
+    std::uint32_t batch = 0; //!< 0 = model-specific default
+    std::uint32_t iterations = 5;
+    std::uint32_t warmup = 1;
+    std::uint32_t nodes = 1;
+    std::uint32_t workersPerMemDevice = 1;
+    bool routing = true;
+    bool partitioning = true;
+    bool dualSync = true;
+    bool compressGradients = false;
+    bool dataLoading = false;
+    std::uint32_t checkpointEvery = 0;
+    bool dumpStats = false;
+    /** "table" (default) or "csv". */
+    std::string format = "table";
+    bool listPresets = false;
+    bool showHelp = false;
+};
+
+/**
+ * Parse argv. Throws sim::FatalError on unknown flags or malformed
+ * values; the message names the offending argument.
+ */
+Options parseOptions(const std::vector<std::string> &args);
+
+/** The --help text. */
+std::string usageText();
+
+/** Model-specific default batch size (ResNet 64, BERT 2, ...). */
+std::uint32_t defaultBatch(const std::string &model);
+
+} // namespace coarse::app
+
+#endif // COARSE_APP_OPTIONS_HH

@@ -1,0 +1,160 @@
+#include "runner.hh"
+
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "baselines/allreduce.hh"
+#include "baselines/async_ps.hh"
+#include "baselines/cpu_ps.hh"
+#include "baselines/dense.hh"
+#include "baselines/sharded_ps.hh"
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace coarse::app {
+
+std::vector<std::string>
+schemesFor(const Options &options)
+{
+    if (options.scheme == "all")
+        return {"DENSE", "Sharded-PS", "CPU-PS", "Async-PS",
+                "AllReduce", "COARSE"};
+    return {options.scheme};
+}
+
+RunOutcome
+runOne(const Options &options, const std::string &scheme)
+{
+    RunOutcome outcome;
+    sim::Simulation simulation;
+    fabric::MachineOptions machineOptions;
+    machineOptions.nodes = options.nodes;
+    machineOptions.workersPerMemDevice = options.workersPerMemDevice;
+    auto machine = fabric::makeMachine(options.machine, simulation,
+                                       machineOptions);
+    const auto model = dl::makeModel(options.model);
+
+    std::unique_ptr<dl::Trainer> trainer;
+    if (scheme == "DENSE") {
+        trainer = std::make_unique<baselines::DenseTrainer>(
+            *machine, model, options.batch);
+    } else if (scheme == "AllReduce") {
+        trainer = std::make_unique<baselines::AllReduceTrainer>(
+            *machine, model, options.batch);
+    } else if (scheme == "CPU-PS") {
+        trainer = std::make_unique<baselines::CpuPsTrainer>(
+            *machine, model, options.batch);
+    } else if (scheme == "Sharded-PS") {
+        trainer = std::make_unique<baselines::ShardedPsTrainer>(
+            *machine, model, options.batch);
+    } else if (scheme == "Async-PS") {
+        trainer = std::make_unique<baselines::AsyncPsTrainer>(
+            *machine, model, options.batch);
+    } else if (scheme == "COARSE") {
+        core::CoarseOptions coarseOptions;
+        coarseOptions.tensorRouting = options.routing;
+        coarseOptions.tensorPartitioning = options.partitioning;
+        coarseOptions.dualSync = options.dualSync;
+        coarseOptions.compressGradients = options.compressGradients;
+        coarseOptions.dataLoading = options.dataLoading;
+        coarseOptions.checkpointEveryIters = options.checkpointEvery;
+        trainer = std::make_unique<core::CoarseEngine>(
+            *machine, model, options.batch, coarseOptions);
+    } else {
+        sim::fatal("coarsesim: unknown scheme '", scheme,
+                   "' (expected DENSE, Sharded-PS, CPU-PS, Async-PS, "
+                   "AllReduce, COARSE, or all)");
+    }
+
+    try {
+        outcome.report =
+            trainer->run(options.iterations, options.warmup);
+    } catch (const sim::FatalError &e) {
+        const std::string what = e.what();
+        if (what.find("needs") == std::string::npos)
+            throw;
+        outcome.outOfMemory = true;
+        return outcome;
+    }
+
+    if (options.dumpStats) {
+        sim::StatGroup fabricStats("fabric");
+        machine->topology().attachStats(fabricStats);
+        std::ostringstream oss;
+        fabricStats.dump(oss);
+        outcome.statsDump = oss.str();
+    }
+    return outcome;
+}
+
+int
+runCli(const Options &options, std::ostream &out)
+{
+    if (options.showHelp) {
+        out << usageText();
+        return 0;
+    }
+    if (options.listPresets) {
+        out << "machines: aws_t4 sdsc_p100 aws_v100\n"
+            << "models:   resnet50 bert_base bert_large vgg16 "
+               "gpt2_medium\n"
+            << "schemes:  DENSE Sharded-PS CPU-PS Async-PS AllReduce "
+               "COARSE all\n";
+        return 0;
+    }
+
+    if (options.format == "csv") {
+        out << "scheme,machine,model,batch,iter_ms,blocked_ms,"
+               "utilization,samples_per_sec,oom\n";
+    } else {
+        out << options.model << " on " << options.machine
+            << ", batch " << options.batch << ", "
+            << options.iterations << " measured iterations";
+        if (options.nodes > 1)
+            out << ", " << options.nodes << " nodes";
+        out << "\n\n";
+        out << std::left << std::setw(11) << "scheme" << std::right
+            << std::setw(12) << "iter (ms)" << std::setw(14)
+            << "blocked (ms)" << std::setw(10) << "util %"
+            << std::setw(13) << "samples/s" << "\n";
+    }
+
+    for (const std::string &scheme : schemesFor(options)) {
+        const RunOutcome outcome = runOne(options, scheme);
+        const auto &r = outcome.report;
+        if (options.format == "csv") {
+            out << scheme << ',' << options.machine << ','
+                << options.model << ',' << options.batch << ',';
+            if (outcome.outOfMemory) {
+                out << ",,,," << "1\n";
+            } else {
+                out << std::fixed << std::setprecision(4)
+                    << r.iterationSeconds * 1e3 << ','
+                    << r.blockedCommSeconds * 1e3 << ','
+                    << r.gpuUtilization << ','
+                    << r.throughputSamplesPerSec << ",0\n";
+            }
+            continue;
+        }
+        if (outcome.outOfMemory) {
+            out << std::left << std::setw(11) << scheme
+                << "  out of GPU memory at this batch size\n";
+            continue;
+        }
+        out << std::left << std::setw(11) << scheme << std::right
+            << std::fixed << std::setprecision(2) << std::setw(12)
+            << r.iterationSeconds * 1e3 << std::setw(14)
+            << r.blockedCommSeconds * 1e3 << std::setw(10)
+            << r.gpuUtilization * 100.0 << std::setw(13)
+            << r.throughputSamplesPerSec << "\n";
+        if (!outcome.statsDump.empty())
+            out << "\n" << outcome.statsDump << "\n";
+    }
+    return 0;
+}
+
+} // namespace coarse::app

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Experiment runner behind the coarsesim CLI: builds machines,
+ * models, and trainers from parsed Options and renders reports.
+ */
+
+#ifndef COARSE_APP_RUNNER_HH
+#define COARSE_APP_RUNNER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dl/trainer.hh"
+#include "options.hh"
+
+namespace coarse::app {
+
+/** Outcome of one scheme run. */
+struct RunOutcome
+{
+    dl::TrainingReport report;
+    bool outOfMemory = false;
+    /** Fabric stats dump (only when options.dumpStats). */
+    std::string statsDump;
+};
+
+/** Run one scheme per Options; scheme given explicitly. */
+RunOutcome runOne(const Options &options, const std::string &scheme);
+
+/** Schemes implied by options.scheme ("all" expands). */
+std::vector<std::string> schemesFor(const Options &options);
+
+/** Full CLI flow: parse-level decisions, runs, table output. */
+int runCli(const Options &options, std::ostream &out);
+
+} // namespace coarse::app
+
+#endif // COARSE_APP_RUNNER_HH

@@ -1,0 +1,61 @@
+#include "allreduce.hh"
+
+#include "collective/ring_builder.hh"
+
+namespace coarse::baselines {
+
+AllReduceTrainer::AllReduceTrainer(fabric::Machine &machine,
+                                   dl::ModelSpec model,
+                                   std::uint32_t batchSize,
+                                   AllReduceOptions options)
+    : PhasedTrainer(machine, std::move(model), batchSize),
+      options_(options)
+{
+    std::vector<fabric::NodeId> ranks = machine.workers();
+    if (options_.optimizeRingOrder) {
+        coll::RingBuildOptions build;
+        build.mask = options_.useNvlink ? fabric::kAllLinks
+                                        : fabric::kNoNvLink;
+        ranks = coll::buildRing(machine.topology(), std::move(ranks),
+                                build);
+    }
+    comm_ = std::make_unique<coll::Communicator>(machine.topology(),
+                                                 std::move(ranks));
+
+    const bool wantHier =
+        options_.topology == AllReduceTopology::Hierarchical;
+    if (wantHier && machine.serverNodeCount() > 1) {
+        std::vector<std::vector<fabric::NodeId>> groups(
+            machine.serverNodeCount());
+        for (fabric::NodeId worker : machine.workers())
+            groups[machine.serverNodeOf(worker)].push_back(worker);
+        hier_ = std::make_unique<coll::HierarchicalAllReduce>(
+            machine.topology(), std::move(groups));
+    }
+}
+
+void
+AllReduceTrainer::synchronize(std::uint32_t iter,
+                              std::function<void()> done)
+{
+    (void)iter;
+    coll::RingOptions ring;
+    ring.mask = options_.useNvlink ? fabric::kAllLinks
+                                   : fabric::kNoNvLink;
+    ring.rings = options_.rings;
+    ring.reduceBytesPerSec = gpu().reduceBytesPerSec();
+
+    if (hier_ != nullptr) {
+        coll::HierarchicalOptions options;
+        options.intra = ring;
+        options.inter = ring;
+        options.inter.mask = fabric::kAllLinks;
+        hier_->allReduceTimed(model().parameterBytes(), options,
+                              std::move(done));
+        return;
+    }
+    comm_->allReduceTimed(model().parameterBytes(), ring,
+                          std::move(done));
+}
+
+} // namespace coarse::baselines

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * NCCL-style decentralized ring AllReduce baseline (paper §II-B).
+ *
+ * After each backward pass the workers ring-allreduce all gradients;
+ * the GPUs are blocked for the duration (the synchronization runs on
+ * their stream processors). Rings traverse NVLink where available,
+ * but a ring is always gated by its slowest device-to-device hop.
+ */
+
+#ifndef COARSE_BASELINES_ALLREDUCE_HH
+#define COARSE_BASELINES_ALLREDUCE_HH
+
+#include <memory>
+
+#include "collective/communicator.hh"
+#include "collective/hierarchical.hh"
+#include "phased_trainer.hh"
+
+namespace coarse::baselines {
+
+/**
+ * Multi-node schedule selection. A flat ring is bandwidth-optimal
+ * (it crosses the network fewer bytes than the three-phase schedule)
+ * and is what NCCL rings do, so Auto resolves to Flat; the
+ * hierarchical schedule wins only for latency-bound (small)
+ * synchronizations — see bench/ablation_hierarchical.
+ */
+enum class AllReduceTopology
+{
+    Auto,         //!< Flat (the bandwidth-optimal default).
+    Flat,         //!< One ring across every worker.
+    Hierarchical, //!< Intra-node reduce, leader ring, broadcast.
+};
+
+/** Tuning for the AllReduce baseline. */
+struct AllReduceOptions
+{
+    /** Parallel rings (NCCL channels); alternating directions. */
+    std::size_t rings = 2;
+    /** Allow the rings to use NVLink. */
+    bool useNvlink = true;
+    /** Flat vs hierarchical multi-node schedule. */
+    AllReduceTopology topology = AllReduceTopology::Auto;
+    /** Search for a bandwidth-optimal ring order (NCCL-style). */
+    bool optimizeRingOrder = false;
+};
+
+class AllReduceTrainer : public PhasedTrainer
+{
+  public:
+    AllReduceTrainer(fabric::Machine &machine, dl::ModelSpec model,
+                     std::uint32_t batchSize,
+                     AllReduceOptions options = {});
+
+    std::string name() const override { return "AllReduce"; }
+
+    coll::Communicator &communicator() { return *comm_; }
+
+    /** True when the hierarchical multi-node schedule is active. */
+    bool hierarchical() const { return hier_ != nullptr; }
+
+  protected:
+    void synchronize(std::uint32_t iter,
+                     std::function<void()> done) override;
+
+  private:
+    AllReduceOptions options_;
+    std::unique_ptr<coll::Communicator> comm_;
+    std::unique_ptr<coll::HierarchicalAllReduce> hier_;
+};
+
+} // namespace coarse::baselines
+
+#endif // COARSE_BASELINES_ALLREDUCE_HH

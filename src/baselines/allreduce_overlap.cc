@@ -1,0 +1,155 @@
+#include "allreduce_overlap.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace coarse::baselines {
+
+OverlapAllReduceTrainer::OverlapAllReduceTrainer(
+    fabric::Machine &machine, dl::ModelSpec model,
+    std::uint32_t batchSize, OverlapAllReduceOptions options)
+    : machine_(machine), model_(std::move(model)), batch_(batchSize),
+      options_(options), gpu_(dl::gpuSpec(machine.gpuModel())),
+      iteration_(model_, gpu_, batchSize)
+{
+    if (options_.bucketBytes == 0)
+        sim::fatal("OverlapAllReduceTrainer: zero bucket size");
+    comm_ = std::make_unique<coll::Communicator>(machine.topology(),
+                                                 machine.workers());
+
+    // Fuse tensors into buckets in gradient-production order (output
+    // side first). A bucket launches when its most input-side tensor
+    // — the last to be produced — is ready.
+    Bucket current;
+    for (std::size_t t = model_.tensors.size(); t-- > 0;) {
+        current.bytes += model_.tensors[t].bytes();
+        current.readySeconds = iteration_.gradReadySeconds(t);
+        if (current.bytes >= options_.bucketBytes) {
+            buckets_.push_back(current);
+            current = Bucket{};
+        }
+    }
+    if (current.bytes > 0)
+        buckets_.push_back(current);
+}
+
+void
+OverlapAllReduceTrainer::startIteration(std::uint32_t iter)
+{
+    auto &sim = machine_.topology().sim();
+    const sim::Tick start = sim.now();
+
+    // Overlapping NCCL kernels steal compute; the backward pass
+    // stretches by the configured slowdown.
+    const double stretchedBwd = iteration_.backwardSeconds()
+        * (1.0 + options_.computeSlowdown);
+    const sim::Tick computeEnd = start
+        + sim::fromSeconds(iteration_.forwardSeconds() + stretchedBwd);
+    const sim::Tick fwdDone =
+        start + sim::fromSeconds(iteration_.forwardSeconds());
+
+    coll::RingOptions ring;
+    ring.mask = options_.useNvlink ? fabric::kAllLinks
+                                   : fabric::kNoNvLink;
+    ring.rings = options_.rings;
+    ring.reduceBytesPerSec = gpu_.reduceBytesPerSec();
+
+    auto state = std::make_shared<std::pair<std::size_t, bool>>(
+        buckets_.size(), false); // {buckets left, compute done}
+    auto tryFinish = [this, iter, start, computeEnd, state] {
+        if (state->first == 0 && state->second)
+            finishIteration(iter, start, computeEnd);
+    };
+
+    for (const Bucket &bucket : buckets_) {
+        const sim::Tick launch = fwdDone
+            + sim::fromSeconds(bucket.readySeconds
+                               * (1.0 + options_.computeSlowdown));
+        sim.events().schedule(
+            launch, [this, bytes = bucket.bytes, ring, state,
+                     tryFinish] {
+                comm_->allReduceTimed(bytes, ring,
+                                      [state, tryFinish] {
+                                          --state->first;
+                                          tryFinish();
+                                      });
+            });
+    }
+    sim.events().schedule(computeEnd, [state, tryFinish] {
+        state->second = true;
+        tryFinish();
+    });
+}
+
+void
+OverlapAllReduceTrainer::finishIteration(std::uint32_t iter,
+                                         sim::Tick start,
+                                         sim::Tick computeEnd)
+{
+    auto &sim = machine_.topology().sim();
+    (void)computeEnd;
+    if (iter >= warmup_) {
+        const double iterSeconds =
+            sim::toSeconds(sim.now() - start);
+        measuredSeconds_ += iterSeconds;
+        // Blocked = anything beyond the pure compute time (stretch
+        // plus tail).
+        measuredBlocked_ += iterSeconds
+            - (iteration_.forwardSeconds()
+               + iteration_.backwardSeconds());
+        ++measuredIters_;
+    }
+    if (iter + 1 < totalIterations_)
+        startIteration(iter + 1);
+}
+
+dl::TrainingReport
+OverlapAllReduceTrainer::run(std::uint32_t iterations,
+                             std::uint32_t warmup)
+{
+    if (iterations == 0)
+        sim::fatal("OverlapAllReduceTrainer: need >= 1 iteration");
+    const auto needed = dl::gpuMemoryNeeded(model_, batch_,
+                                            dl::residentStateModel());
+    if (needed > gpu_.memBytes) {
+        sim::fatal(name(), ": model ", model_.name, " at batch ",
+                   batch_, " needs ", needed, " bytes on a ",
+                   gpu_.memBytes, "-byte ", gpu_.name,
+                   " GPU (out of memory)");
+    }
+
+    warmup_ = warmup;
+    totalIterations_ = iterations + warmup;
+    measuredSeconds_ = 0.0;
+    measuredBlocked_ = 0.0;
+    measuredIters_ = 0;
+
+    auto &sim = machine_.topology().sim();
+    startIteration(0);
+    sim.run();
+
+    if (measuredIters_ == 0)
+        sim::fatal(name(), ": no measured iterations completed");
+
+    dl::TrainingReport report;
+    report.scheme = name();
+    report.model = model_.name;
+    report.machine = machine_.name();
+    report.workers =
+        static_cast<std::uint32_t>(machine_.workers().size());
+    report.batchSize = batch_;
+    report.iterations = measuredIters_;
+    report.computeSeconds =
+        iteration_.forwardSeconds() + iteration_.backwardSeconds();
+    report.iterationSeconds = measuredSeconds_ / measuredIters_;
+    report.blockedCommSeconds = measuredBlocked_ / measuredIters_;
+    report.gpuUtilization =
+        report.computeSeconds / report.iterationSeconds;
+    report.throughputSamplesPerSec = static_cast<double>(batch_)
+        * report.workers / report.iterationSeconds;
+    return report;
+}
+
+} // namespace coarse::baselines

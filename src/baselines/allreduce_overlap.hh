@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Overlapped (Horovod-style) ring AllReduce.
+ *
+ * The paper models MPI AllReduce as blocking after the backward pass
+ * (§II-B). Modern frameworks do better: gradients are grouped into
+ * fusion buckets and each bucket's allreduce launches as soon as its
+ * gradients exist, overlapping communication with the rest of the
+ * backward pass. Only the tail — whatever has not finished when the
+ * backward pass ends — blocks the GPUs. This trainer implements that
+ * stronger baseline so COARSE's margins can be judged against it.
+ */
+
+#ifndef COARSE_BASELINES_ALLREDUCE_OVERLAP_HH
+#define COARSE_BASELINES_ALLREDUCE_OVERLAP_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "collective/communicator.hh"
+#include "dl/gpu.hh"
+#include "dl/iteration.hh"
+#include "dl/trainer.hh"
+#include "fabric/machine.hh"
+
+namespace coarse::baselines {
+
+/** Tuning for the overlapped AllReduce baseline. */
+struct OverlapAllReduceOptions
+{
+    /** Gradient fusion bucket size (Horovod's default is 64 MiB). */
+    std::uint64_t bucketBytes = 64 << 20;
+    /** Parallel rings per bucket. */
+    std::size_t rings = 2;
+    bool useNvlink = true;
+    /**
+     * Fraction of compute throughput lost while an allreduce overlaps
+     * the backward pass (NCCL kernels steal SMs and memory
+     * bandwidth). 0 = free overlap.
+     */
+    double computeSlowdown = 0.10;
+};
+
+class OverlapAllReduceTrainer : public dl::Trainer
+{
+  public:
+    OverlapAllReduceTrainer(fabric::Machine &machine,
+                            dl::ModelSpec model, std::uint32_t batchSize,
+                            OverlapAllReduceOptions options = {});
+
+    std::string name() const override { return "AllReduce-OL"; }
+
+    dl::TrainingReport run(std::uint32_t iterations,
+                           std::uint32_t warmup = 2) override;
+
+    /** Buckets the model's tensors were fused into. */
+    std::size_t bucketCount() const { return buckets_.size(); }
+
+  private:
+    struct Bucket
+    {
+        std::uint64_t bytes = 0;
+        /** Ready when the *last* (input-side) tensor in it is. */
+        double readySeconds = 0.0;
+    };
+
+    void startIteration(std::uint32_t iter);
+    void finishIteration(std::uint32_t iter, sim::Tick start,
+                         sim::Tick computeEnd);
+
+    fabric::Machine &machine_;
+    dl::ModelSpec model_;
+    std::uint32_t batch_;
+    OverlapAllReduceOptions options_;
+    dl::GpuSpec gpu_;
+    dl::IterationModel iteration_;
+    std::unique_ptr<coll::Communicator> comm_;
+    std::vector<Bucket> buckets_;
+
+    std::uint32_t totalIterations_ = 0;
+    std::uint32_t warmup_ = 0;
+    double measuredSeconds_ = 0.0;
+    double measuredBlocked_ = 0.0;
+    std::uint32_t measuredIters_ = 0;
+};
+
+} // namespace coarse::baselines
+
+#endif // COARSE_BASELINES_ALLREDUCE_OVERLAP_HH

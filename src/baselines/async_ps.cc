@@ -1,0 +1,212 @@
+#include "async_ps.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace coarse::baselines {
+
+/** Per-worker asynchronous training loop state. */
+struct AsyncPsTrainer::WorkerLoop
+{
+    fabric::NodeId node = fabric::kInvalidNode;
+    std::uint32_t nextIter = 0;
+    /** Own updates fully applied at the server. */
+    std::uint32_t acked = 0;
+    bool gated = false;
+    sim::Tick gateStart = 0;
+    bool finished = false;
+
+    // Post-warmup measurement.
+    double measuredSeconds = 0.0;
+    double blockedSeconds = 0.0;
+    std::uint32_t measuredIters = 0;
+};
+
+AsyncPsTrainer::AsyncPsTrainer(fabric::Machine &machine,
+                               dl::ModelSpec model,
+                               std::uint32_t batchSize,
+                               AsyncPsOptions options)
+    : machine_(machine), model_(std::move(model)), batch_(batchSize),
+      options_(options), gpu_(dl::gpuSpec(machine.gpuModel())),
+      iteration_(model_, gpu_, batchSize)
+{
+    if (options_.stalenessBound == 0)
+        sim::fatal("AsyncPsTrainer: staleness bound must be >= 1");
+
+    const fabric::NodeId node = machine.memDevices().front();
+    server_ = std::make_unique<memdev::MemoryDevice>(
+        node, options_.deviceParams);
+    space_ = std::make_unique<cci::AddressSpace>();
+    space_->addDevice(node, options_.deviceParams.dramBytes);
+    params_ = space_->allocate(node, model_.parameterBytes(),
+                               model_.name + ".params");
+    directory_ = std::make_unique<cci::Directory>(machine.topology(),
+                                                  *space_);
+    prototype_ =
+        std::make_unique<cci::PrototypeModel>(options_.prototype);
+    port_ = std::make_unique<cci::CciPort>(machine.topology(),
+                                           *directory_, *space_,
+                                           *prototype_);
+
+    for (fabric::NodeId worker : machine.workers()) {
+        auto loop = std::make_unique<WorkerLoop>();
+        loop->node = worker;
+        loops_.push_back(std::move(loop));
+    }
+}
+
+AsyncPsTrainer::~AsyncPsTrainer() = default;
+
+void
+AsyncPsTrainer::startIteration(WorkerLoop &loop)
+{
+    auto &sim = machine_.topology().sim();
+    if (loop.nextIter >= totalIterations_) {
+        loop.finished = true;
+        maybeFinish();
+        return;
+    }
+
+    // Staleness gate: may run iteration k only if the server has
+    // applied this worker's update for iteration k - s.
+    const std::uint32_t k = loop.nextIter;
+    maxStale_ = std::max(maxStale_, k - loop.acked);
+    if (k >= loop.acked + options_.stalenessBound) {
+        if (!loop.gated) {
+            loop.gated = true;
+            loop.gateStart = sim.now();
+        }
+        return; // an ack will retry
+    }
+    double gateWait = 0.0;
+    if (loop.gated) {
+        loop.gated = false;
+        gateWait = sim::toSeconds(sim.now() - loop.gateStart);
+    }
+
+    const sim::Tick iterStart = sim.now();
+    ++loop.nextIter;
+
+    cci::AccessOptions access;
+    access.path = options_.gpuDirect ? cci::AccessPath::GpuDirect
+                                     : cci::AccessPath::Cci;
+    access.coherent = true;
+    access.via = machine_.hostCpus().front();
+
+    // Pull the current parameters, compute, then push the update
+    // asynchronously: the worker moves on while the server applies.
+    port_->read(loop.node, params_, 0, model_.parameterBytes(), access,
+                [this, &loop, iterStart, gateWait, k, access] {
+        auto &sim = machine_.topology().sim();
+        const double pullSec =
+            sim::toSeconds(sim.now() - iterStart);
+        const sim::Tick compute =
+            sim::fromSeconds(iteration_.forwardSeconds()
+                             + iteration_.backwardSeconds());
+        sim.events().scheduleIn(compute, [this, &loop, iterStart,
+                                          gateWait, pullSec, k,
+                                          access] {
+            auto &sim2 = machine_.topology().sim();
+            // Measurement: the iteration is over for the worker.
+            if (k >= warmup_) {
+                loop.measuredSeconds +=
+                    sim::toSeconds(sim2.now() - iterStart) + gateWait;
+                loop.blockedSeconds += gateWait + pullSec;
+                ++loop.measuredIters;
+            }
+
+            // Push in the background; the ack lifts the gate later.
+            port_->write(loop.node, params_, 0,
+                         model_.parameterBytes(), access,
+                         [this, &loop] {
+                const double applySec =
+                    static_cast<double>(model_.parameterBytes())
+                    / server_->armReduceBytesPerSec();
+                machine_.topology().sim().events().scheduleIn(
+                    sim::fromSeconds(applySec), [this, &loop] {
+                        ++loop.acked;
+                        // Only a gated loop needs a kick; otherwise
+                        // its own chain is already running.
+                        if (loop.gated)
+                            startIteration(loop);
+                    });
+            });
+
+            // Next iteration proceeds immediately (subject to gate).
+            startIteration(loop);
+        });
+    });
+}
+
+void
+AsyncPsTrainer::maybeFinish()
+{
+    for (const auto &loop : loops_) {
+        if (!loop->finished)
+            return;
+    }
+    if (allDone_) {
+        auto done = std::move(allDone_);
+        allDone_ = nullptr;
+        done();
+    }
+}
+
+dl::TrainingReport
+AsyncPsTrainer::run(std::uint32_t iterations, std::uint32_t warmup)
+{
+    if (iterations == 0)
+        sim::fatal("AsyncPsTrainer: need at least one iteration");
+
+    const auto needed = dl::gpuMemoryNeeded(model_, batch_,
+                                            dl::residentStateModel());
+    if (needed > gpu_.memBytes) {
+        sim::fatal(name(), ": model ", model_.name, " at batch ",
+                   batch_, " needs ", needed, " bytes on a ",
+                   gpu_.memBytes, "-byte ", gpu_.name,
+                   " GPU (out of memory)");
+    }
+
+    warmup_ = warmup;
+    totalIterations_ = iterations + warmup;
+    maxStale_ = 0;
+
+    auto &sim = machine_.topology().sim();
+    bool finished = false;
+    allDone_ = [&finished] { finished = true; };
+    for (auto &loop : loops_)
+        startIteration(*loop);
+    sim.run();
+
+    double seconds = 0.0;
+    double blocked = 0.0;
+    std::uint32_t iters = 0;
+    for (const auto &loop : loops_) {
+        seconds += loop->measuredSeconds;
+        blocked += loop->blockedSeconds;
+        iters += loop->measuredIters;
+    }
+    if (iters == 0)
+        sim::fatal(name(), ": no measured iterations completed");
+
+    dl::TrainingReport report;
+    report.scheme = name();
+    report.model = model_.name;
+    report.machine = machine_.name();
+    report.workers = static_cast<std::uint32_t>(loops_.size());
+    report.batchSize = batch_;
+    report.iterations = iters / report.workers;
+    report.computeSeconds =
+        iteration_.forwardSeconds() + iteration_.backwardSeconds();
+    report.iterationSeconds = seconds / iters;
+    report.blockedCommSeconds = blocked / iters;
+    report.gpuUtilization =
+        report.computeSeconds / report.iterationSeconds;
+    report.throughputSamplesPerSec = static_cast<double>(batch_)
+        * report.workers / report.iterationSeconds;
+    report.deadlocked = !finished;
+    return report;
+}
+
+} // namespace coarse::baselines

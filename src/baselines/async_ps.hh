@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Asynchronous bounded-staleness parameter server.
+ *
+ * The paper's related work contrasts COARSE (fully synchronous) with
+ * Hop-style bounded-staleness designs: workers do not wait for a
+ * global synchronization point; each pushes its gradients and pulls
+ * whatever parameters the server currently has, subject to a bound
+ * on how many iterations ahead of the slowest in-flight update it
+ * may run. This trainer models that timing (statistical efficiency —
+ * the accuracy cost of staleness — is out of scope, as it is in the
+ * paper's comparison).
+ */
+
+#ifndef COARSE_BASELINES_ASYNC_PS_HH
+#define COARSE_BASELINES_ASYNC_PS_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cci/address_space.hh"
+#include "cci/directory.hh"
+#include "cci/port.hh"
+#include "cci/prototype_model.hh"
+#include "dl/gpu.hh"
+#include "dl/iteration.hh"
+#include "dl/trainer.hh"
+#include "fabric/machine.hh"
+#include "memdev/memory_device.hh"
+
+namespace coarse::baselines {
+
+/** Tuning for the asynchronous parameter server. */
+struct AsyncPsOptions
+{
+    /**
+     * Staleness bound s: a worker may start iteration k only when
+     * its own update for iteration k - s has been applied at the
+     * server. s = 1 degenerates to (per-worker) synchronous.
+     */
+    std::uint32_t stalenessBound = 2;
+    memdev::MemoryDeviceParams deviceParams = {};
+    cci::PrototypeParams prototype = {};
+    /** Use GPU-direct DMA instead of the CCI load/store path. */
+    bool gpuDirect = true;
+};
+
+class AsyncPsTrainer : public dl::Trainer
+{
+  public:
+    AsyncPsTrainer(fabric::Machine &machine, dl::ModelSpec model,
+                   std::uint32_t batchSize, AsyncPsOptions options = {});
+    ~AsyncPsTrainer() override;
+
+    std::string name() const override { return "Async-PS"; }
+
+    dl::TrainingReport run(std::uint32_t iterations,
+                           std::uint32_t warmup = 2) override;
+
+    /** Largest observed gap between a worker and its acked update. */
+    std::uint32_t maxObservedStaleness() const { return maxStale_; }
+
+  private:
+    struct WorkerLoop;
+
+    void startIteration(WorkerLoop &loop);
+    void maybeFinish();
+
+    fabric::Machine &machine_;
+    dl::ModelSpec model_;
+    std::uint32_t batch_;
+    AsyncPsOptions options_;
+    dl::GpuSpec gpu_;
+    dl::IterationModel iteration_;
+
+    std::unique_ptr<memdev::MemoryDevice> server_;
+    std::unique_ptr<cci::AddressSpace> space_;
+    std::unique_ptr<cci::Directory> directory_;
+    std::unique_ptr<cci::PrototypeModel> prototype_;
+    std::unique_ptr<cci::CciPort> port_;
+    cci::RegionId params_ = 0;
+
+    std::vector<std::unique_ptr<WorkerLoop>> loops_;
+    std::uint32_t totalIterations_ = 0;
+    std::uint32_t warmup_ = 0;
+    std::uint32_t maxStale_ = 0;
+    std::function<void()> allDone_;
+};
+
+} // namespace coarse::baselines
+
+#endif // COARSE_BASELINES_ASYNC_PS_HH

@@ -1,0 +1,76 @@
+#include "cpu_ps.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace coarse::baselines {
+
+CpuPsTrainer::CpuPsTrainer(fabric::Machine &machine, dl::ModelSpec model,
+                           std::uint32_t batchSize, CpuPsOptions options)
+    : PhasedTrainer(machine, std::move(model), batchSize),
+      options_(options)
+{
+    if (machine.hostCpus().empty())
+        sim::fatal("CpuPsTrainer: machine has no host CPU");
+}
+
+void
+CpuPsTrainer::synchronize(std::uint32_t iter, std::function<void()> done)
+{
+    (void)iter;
+    const std::uint64_t bytes = model().parameterBytes();
+    const auto &workers = machine().workers();
+    auto &topo = machine().topology();
+    auto &sim = topo.sim();
+
+    // All workers push concurrently; the CPU's lanes split across
+    // them, expressed as a per-transfer rate cap.
+    const double perWorkerCap = options_.cpuLanesBytesPerSec
+        / static_cast<double>(workers.size());
+
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto pulls = std::make_shared<std::size_t>(workers.size());
+    auto pullAll = [this, bytes, &workers, &topo, perWorkerCap, pulls,
+                    doneShared] {
+        for (fabric::NodeId worker : workers) {
+            const fabric::NodeId cpu =
+                machine().hostCpus()[machine().serverNodeOf(worker)];
+            fabric::Message msg;
+            msg.src = cpu;
+            msg.dst = worker;
+            msg.bytes = bytes;
+            msg.rateCap = perWorkerCap;
+            msg.onDelivered = [pulls, doneShared] {
+                if (--*pulls == 0)
+                    (*doneShared)();
+            };
+            topo.send(std::move(msg), fabric::kNoNvLink);
+        }
+    };
+
+    auto pushes = std::make_shared<std::size_t>(workers.size());
+    auto afterPushes = [this, bytes, &sim, pullAll] {
+        const double sec = static_cast<double>(bytes)
+            / options_.cpuReduceBytesPerSec;
+        sim.events().scheduleIn(sim::fromSeconds(sec), pullAll);
+    };
+
+    for (fabric::NodeId worker : workers) {
+        const fabric::NodeId cpu =
+            machine().hostCpus()[machine().serverNodeOf(worker)];
+        fabric::Message msg;
+        msg.src = worker;
+        msg.dst = cpu;
+        msg.bytes = bytes;
+        msg.rateCap = perWorkerCap;
+        msg.onDelivered = [pushes, afterPushes] {
+            if (--*pushes == 0)
+                afterPushes();
+        };
+        topo.send(std::move(msg), fabric::kNoNvLink);
+    }
+}
+
+} // namespace coarse::baselines

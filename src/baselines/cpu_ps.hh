@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Centralized CPU parameter server baseline (paper §II-B, Fig. 2a).
+ *
+ * Workers push gradients to a parameter server running on the host
+ * CPU and pull updated weights back. The CPU's limited serial-bus
+ * lanes cap the aggregate service bandwidth, so concurrent worker
+ * requests divide it — the scaling bottleneck that motivates
+ * decentralized designs.
+ */
+
+#ifndef COARSE_BASELINES_CPU_PS_HH
+#define COARSE_BASELINES_CPU_PS_HH
+
+#include "phased_trainer.hh"
+
+namespace coarse::baselines {
+
+/** Tuning for the CPU parameter-server baseline. */
+struct CpuPsOptions
+{
+    /** Aggregate serial-bus bandwidth the CPU's lanes provide. */
+    double cpuLanesBytesPerSec = 16e9;
+    /** Update-apply throughput of the host CPU. */
+    double cpuReduceBytesPerSec = 6e9;
+};
+
+class CpuPsTrainer : public PhasedTrainer
+{
+  public:
+    CpuPsTrainer(fabric::Machine &machine, dl::ModelSpec model,
+                 std::uint32_t batchSize, CpuPsOptions options = {});
+
+    std::string name() const override { return "CPU-PS"; }
+
+  protected:
+    void synchronize(std::uint32_t iter,
+                     std::function<void()> done) override;
+
+  private:
+    CpuPsOptions options_;
+};
+
+} // namespace coarse::baselines
+
+#endif // COARSE_BASELINES_CPU_PS_HH

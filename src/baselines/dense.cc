@@ -1,0 +1,93 @@
+#include "dense.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace coarse::baselines {
+
+DenseTrainer::DenseTrainer(fabric::Machine &machine, dl::ModelSpec model,
+                           std::uint32_t batchSize, DenseOptions options)
+    : PhasedTrainer(machine, std::move(model), batchSize),
+      options_(options)
+{
+    const auto &devices = machine.memDevices();
+    if (options_.serverDevice >= devices.size())
+        sim::fatal("DenseTrainer: no memory device ",
+                   options_.serverDevice);
+    const fabric::NodeId node = devices[options_.serverDevice];
+
+    server_ = std::make_unique<memdev::MemoryDevice>(
+        node, options_.deviceParams);
+    space_ = std::make_unique<cci::AddressSpace>();
+    space_->addDevice(node, options_.deviceParams.dramBytes);
+    params_ = space_->allocate(node, this->model().parameterBytes(),
+                               this->model().name + ".params");
+    directory_ = std::make_unique<cci::Directory>(machine.topology(),
+                                                  *space_);
+    prototype_ =
+        std::make_unique<cci::PrototypeModel>(options_.prototype);
+    port_ = std::make_unique<cci::CciPort>(machine.topology(),
+                                           *directory_, *space_,
+                                           *prototype_);
+    for (fabric::NodeId worker : machine.workers()) {
+        caches_.push_back(std::make_unique<cci::CoherentCache>(
+            worker, *directory_, *port_));
+    }
+}
+
+void
+DenseTrainer::synchronize(std::uint32_t iter, std::function<void()> done)
+{
+    (void)iter;
+    const std::uint64_t bytes = model().parameterBytes();
+    const auto &workers = machine().workers();
+    auto &sim = machine().topology().sim();
+
+    // Phase 1: every worker pushes its gradients coherently over the
+    // CCI path; phase 2: the on-device ARM core applies the update;
+    // phase 3: every worker pulls the fresh parameters back.
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto pulls = std::make_shared<std::size_t>(workers.size());
+    auto pullAll = [this, bytes, &workers, pulls, doneShared] {
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+            cci::AccessOptions read;
+            read.path = cci::AccessPath::Cci;
+            read.coherent = true;
+            // Each worker pulls through its coherent parameter cache
+            // (Fig. 5): granules the PS update invalidated refetch.
+            caches_[w]->read(params_, 0, bytes, read,
+                             [pulls, doneShared] {
+                                 if (--*pulls == 0)
+                                     (*doneShared)();
+                             });
+        }
+    };
+
+    auto pushes = std::make_shared<std::size_t>(workers.size());
+    auto afterPushes = [this, bytes, &sim, pullAll] {
+        // Gradient apply on the weak on-device processor; the update
+        // write invalidates every worker's cached copy.
+        const double sec = static_cast<double>(bytes)
+            / server_->armReduceBytesPerSec();
+        sim.events().scheduleIn(sim::fromSeconds(sec), [this, bytes,
+                                                        pullAll] {
+            directory_->acquireWrite(server_->node(), params_, 0,
+                                     bytes, pullAll);
+        });
+    };
+
+    for (fabric::NodeId worker : workers) {
+        cci::AccessOptions write;
+        write.path = cci::AccessPath::Cci;
+        write.coherent = true;
+        port_->write(worker, params_, 0, bytes, write,
+                     [pushes, afterPushes] {
+                         if (--*pushes == 0)
+                             afterPushes();
+                     });
+    }
+}
+
+} // namespace coarse::baselines

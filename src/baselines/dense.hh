@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DENSE: the naive CCI disaggregated parameter server (paper Fig. 5).
+ *
+ * One memory device runs the whole parameter server on its on-device
+ * processor. Every worker pushes its full gradient set coherently
+ * over the CCI path, the ARM-class core applies the update, and
+ * every worker pulls the new parameters back — all over one device's
+ * serial-bus attachment and the protocol-limited CCI load/store
+ * rates, with invalidation traffic that grows with the number of
+ * sharers. This is the baseline the paper normalizes Fig. 16 to.
+ */
+
+#ifndef COARSE_BASELINES_DENSE_HH
+#define COARSE_BASELINES_DENSE_HH
+
+#include <memory>
+
+#include "cci/address_space.hh"
+#include "cci/coherent_cache.hh"
+#include "cci/directory.hh"
+#include "cci/port.hh"
+#include "cci/prototype_model.hh"
+#include "memdev/memory_device.hh"
+#include "phased_trainer.hh"
+
+namespace coarse::baselines {
+
+/** Tuning for the DENSE baseline. */
+struct DenseOptions
+{
+    /** Index (into machine.memDevices()) of the PS device. */
+    std::size_t serverDevice = 0;
+    memdev::MemoryDeviceParams deviceParams = {};
+    cci::PrototypeParams prototype = {};
+};
+
+class DenseTrainer : public PhasedTrainer
+{
+  public:
+    DenseTrainer(fabric::Machine &machine, dl::ModelSpec model,
+                 std::uint32_t batchSize, DenseOptions options = {});
+
+    std::string name() const override { return "DENSE"; }
+
+    cci::Directory &directory() { return *directory_; }
+
+    /** The parameter cache of worker @p i (Fig. 5). */
+    cci::CoherentCache &workerCache(std::size_t i)
+    {
+        return *caches_.at(i);
+    }
+
+  protected:
+    void synchronize(std::uint32_t iter,
+                     std::function<void()> done) override;
+
+  private:
+    DenseOptions options_;
+    std::unique_ptr<memdev::MemoryDevice> server_;
+    std::unique_ptr<cci::AddressSpace> space_;
+    std::unique_ptr<cci::Directory> directory_;
+    std::unique_ptr<cci::PrototypeModel> prototype_;
+    std::unique_ptr<cci::CciPort> port_;
+    std::vector<std::unique_ptr<cci::CoherentCache>> caches_;
+    cci::RegionId params_ = 0;
+};
+
+} // namespace coarse::baselines
+
+#endif // COARSE_BASELINES_DENSE_HH

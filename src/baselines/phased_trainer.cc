@@ -1,0 +1,91 @@
+#include "phased_trainer.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::baselines {
+
+PhasedTrainer::PhasedTrainer(fabric::Machine &machine,
+                             dl::ModelSpec model, std::uint32_t batchSize)
+    : machine_(machine), model_(std::move(model)), batch_(batchSize),
+      gpu_(dl::gpuSpec(machine.gpuModel())),
+      iteration_(model_, gpu_, batchSize)
+{
+}
+
+void
+PhasedTrainer::startIteration(std::uint32_t iter)
+{
+    auto &sim = machine_.topology().sim();
+    const sim::Tick start = sim.now();
+    const sim::Tick computeEnd = start
+        + sim::fromSeconds(iteration_.forwardSeconds()
+                           + iteration_.backwardSeconds());
+    sim.events().schedule(computeEnd, [this, iter, start, computeEnd] {
+        synchronize(iter, [this, iter, start, computeEnd] {
+            finishIteration(iter, start, computeEnd);
+        });
+    });
+}
+
+void
+PhasedTrainer::finishIteration(std::uint32_t iter, sim::Tick start,
+                               sim::Tick computeEnd)
+{
+    auto &sim = machine_.topology().sim();
+    if (iter >= warmup_) {
+        measuredSeconds_ += sim::toSeconds(sim.now() - start);
+        measuredBlocked_ += sim::toSeconds(sim.now() - computeEnd);
+        ++measuredIters_;
+    }
+    if (iter + 1 < totalIterations_)
+        startIteration(iter + 1);
+}
+
+dl::TrainingReport
+PhasedTrainer::run(std::uint32_t iterations, std::uint32_t warmup)
+{
+    if (iterations == 0)
+        sim::fatal("PhasedTrainer: need at least one iteration");
+
+    const auto needed =
+        dl::gpuMemoryNeeded(model_, batch_, stateModel());
+    if (needed > gpu_.memBytes) {
+        sim::fatal(name(), ": model ", model_.name, " at batch ", batch_,
+                   " needs ", needed, " bytes on a ", gpu_.memBytes,
+                   "-byte ", gpu_.name, " GPU (out of memory)");
+    }
+
+    warmup_ = warmup;
+    totalIterations_ = iterations + warmup;
+    measuredSeconds_ = 0.0;
+    measuredBlocked_ = 0.0;
+    measuredIters_ = 0;
+
+    auto &sim = machine_.topology().sim();
+    startIteration(0);
+    sim.run();
+
+    if (measuredIters_ == 0)
+        sim::fatal(name(), ": no measured iterations completed");
+
+    dl::TrainingReport report;
+    report.scheme = name();
+    report.model = model_.name;
+    report.machine = machine_.name();
+    report.workers =
+        static_cast<std::uint32_t>(machine_.workers().size());
+    report.batchSize = batch_;
+    report.iterations = measuredIters_;
+    report.computeSeconds =
+        iteration_.forwardSeconds() + iteration_.backwardSeconds();
+    report.iterationSeconds = measuredSeconds_ / measuredIters_;
+    report.blockedCommSeconds = measuredBlocked_ / measuredIters_;
+    report.gpuUtilization =
+        report.computeSeconds / report.iterationSeconds;
+    report.throughputSamplesPerSec =
+        static_cast<double>(batch_) * report.workers
+        / report.iterationSeconds;
+    return report;
+}
+
+} // namespace coarse::baselines

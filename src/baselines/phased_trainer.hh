@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Skeleton for baseline trainers whose synchronization strictly
+ * follows the compute phase (the model the paper uses for both the
+ * centralized parameter server and MPI AllReduce: "a parameter
+ * synchronization operation blocks all GPUs", §II-B).
+ */
+
+#ifndef COARSE_BASELINES_PHASED_TRAINER_HH
+#define COARSE_BASELINES_PHASED_TRAINER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dl/gpu.hh"
+#include "dl/iteration.hh"
+#include "dl/model.hh"
+#include "dl/trainer.hh"
+#include "fabric/machine.hh"
+
+namespace coarse::baselines {
+
+/**
+ * Runs the compute/sync/repeat iteration loop; subclasses provide
+ * the synchronization phase.
+ */
+class PhasedTrainer : public dl::Trainer
+{
+  public:
+    PhasedTrainer(fabric::Machine &machine, dl::ModelSpec model,
+                  std::uint32_t batchSize);
+
+    dl::TrainingReport run(std::uint32_t iterations,
+                           std::uint32_t warmup = 2) override;
+
+    const dl::ModelSpec &model() const { return model_; }
+    const dl::GpuSpec &gpu() const { return gpu_; }
+    std::uint32_t batchSize() const { return batch_; }
+    fabric::Machine &machine() { return machine_; }
+
+  protected:
+    /**
+     * Perform one iteration's parameter synchronization; invoked at
+     * the end of the backward pass. Must call @p done exactly once.
+     */
+    virtual void synchronize(std::uint32_t iter,
+                             std::function<void()> done) = 0;
+
+    /** Memory placement used for the batch-size fit check. */
+    virtual dl::TrainingStateModel stateModel() const
+    {
+        return dl::residentStateModel();
+    }
+
+    dl::IterationModel &iterationModel() { return iteration_; }
+
+  private:
+    void startIteration(std::uint32_t iter);
+    void finishIteration(std::uint32_t iter, sim::Tick start,
+                         sim::Tick computeEnd);
+
+    fabric::Machine &machine_;
+    dl::ModelSpec model_;
+    std::uint32_t batch_;
+    dl::GpuSpec gpu_;
+    dl::IterationModel iteration_;
+
+    std::uint32_t totalIterations_ = 0;
+    std::uint32_t warmup_ = 0;
+    double measuredSeconds_ = 0.0;
+    double measuredBlocked_ = 0.0;
+    std::uint32_t measuredIters_ = 0;
+};
+
+} // namespace coarse::baselines
+
+#endif // COARSE_BASELINES_PHASED_TRAINER_HH

@@ -1,0 +1,110 @@
+#include "sharded_ps.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace coarse::baselines {
+
+ShardedPsTrainer::ShardedPsTrainer(fabric::Machine &machine,
+                                   dl::ModelSpec model,
+                                   std::uint32_t batchSize,
+                                   ShardedPsOptions options)
+    : PhasedTrainer(machine, std::move(model), batchSize),
+      options_(options)
+{
+    const auto &devices = machine.memDevices();
+    if (devices.empty())
+        sim::fatal("ShardedPsTrainer: machine has no memory devices");
+
+    space_ = std::make_unique<cci::AddressSpace>();
+    const std::uint64_t total = this->model().parameterBytes();
+    const std::uint64_t per =
+        (total + devices.size() - 1) / devices.size();
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        servers_.push_back(std::make_unique<memdev::MemoryDevice>(
+            devices[d], options_.deviceParams));
+        space_->addDevice(devices[d], options_.deviceParams.dramBytes);
+        const std::uint64_t bytes =
+            std::min<std::uint64_t>(per, total - d * per);
+        if (bytes == 0)
+            break;
+        shards_.push_back(space_->allocate(
+            devices[d], bytes,
+            this->model().name + ".shard" + std::to_string(d)));
+    }
+    directory_ = std::make_unique<cci::Directory>(machine.topology(),
+                                                  *space_);
+    prototype_ =
+        std::make_unique<cci::PrototypeModel>(options_.prototype);
+    port_ = std::make_unique<cci::CciPort>(machine.topology(),
+                                           *directory_, *space_,
+                                           *prototype_);
+}
+
+std::uint64_t
+ShardedPsTrainer::shardBytes(std::size_t i) const
+{
+    return space_->region(shards_.at(i)).bytes;
+}
+
+void
+ShardedPsTrainer::synchronize(std::uint32_t iter,
+                              std::function<void()> done)
+{
+    (void)iter;
+    const auto &workers = machine().workers();
+    auto &sim = machine().topology().sim();
+
+    cci::AccessOptions access;
+    access.path = options_.gpuDirect ? cci::AccessPath::GpuDirect
+                                     : cci::AccessPath::Cci;
+    access.coherent = true;
+
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+
+    // Phase 3: every worker pulls every shard.
+    auto pulls = std::make_shared<std::size_t>(workers.size()
+                                               * shards_.size());
+    auto pullAll = [this, &workers, access, pulls, doneShared] {
+        for (fabric::NodeId worker : workers) {
+            for (std::size_t s = 0; s < shards_.size(); ++s) {
+                port_->read(worker, shards_[s], 0, shardBytes(s),
+                            access, [pulls, doneShared] {
+                                if (--*pulls == 0)
+                                    (*doneShared)();
+                            });
+            }
+        }
+    };
+
+    // Phase 2: each shard's home applies the update.
+    auto applies = std::make_shared<std::size_t>(shards_.size());
+    auto applyAll = [this, &sim, pullAll, applies] {
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            const double sec = static_cast<double>(shardBytes(s))
+                / servers_[s]->armReduceBytesPerSec();
+            sim.events().scheduleIn(sim::fromSeconds(sec),
+                                    [applies, pullAll] {
+                                        if (--*applies == 0)
+                                            pullAll();
+                                    });
+        }
+    };
+
+    // Phase 1: every worker pushes every shard's slice.
+    auto pushes = std::make_shared<std::size_t>(workers.size()
+                                                * shards_.size());
+    for (fabric::NodeId worker : workers) {
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            port_->write(worker, shards_[s], 0, shardBytes(s), access,
+                         [pushes, applyAll] {
+                             if (--*pushes == 0)
+                                 applyAll();
+                         });
+        }
+    }
+}
+
+} // namespace coarse::baselines

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sharded parameter server over the CCI memory pool: the halfway
+ * design between DENSE and COARSE.
+ *
+ * Parameters are partitioned across all memory devices (a
+ * distributed key-value store, as in classic parameter servers), so
+ * no single device's serial-bus attachment carries all the traffic —
+ * but there are no proxies and no collective synchronization: every
+ * worker still pushes its full gradient set to, and pulls fresh
+ * parameters from, every shard's home device. Useful for isolating
+ * how much of COARSE's win comes from decentralizing *storage*
+ * versus decentralizing *synchronization*.
+ */
+
+#ifndef COARSE_BASELINES_SHARDED_PS_HH
+#define COARSE_BASELINES_SHARDED_PS_HH
+
+#include <memory>
+#include <vector>
+
+#include "cci/address_space.hh"
+#include "cci/directory.hh"
+#include "cci/port.hh"
+#include "cci/prototype_model.hh"
+#include "memdev/memory_device.hh"
+#include "phased_trainer.hh"
+
+namespace coarse::baselines {
+
+/** Tuning for the sharded parameter server. */
+struct ShardedPsOptions
+{
+    memdev::MemoryDeviceParams deviceParams = {};
+    cci::PrototypeParams prototype = {};
+    /** Use GPU-direct DMA instead of the CCI load/store path. */
+    bool gpuDirect = true;
+};
+
+class ShardedPsTrainer : public PhasedTrainer
+{
+  public:
+    ShardedPsTrainer(fabric::Machine &machine, dl::ModelSpec model,
+                     std::uint32_t batchSize,
+                     ShardedPsOptions options = {});
+
+    std::string name() const override { return "Sharded-PS"; }
+
+    std::size_t shardCount() const { return shards_.size(); }
+    std::uint64_t shardBytes(std::size_t i) const;
+
+  protected:
+    void synchronize(std::uint32_t iter,
+                     std::function<void()> done) override;
+
+  private:
+    ShardedPsOptions options_;
+    std::vector<std::unique_ptr<memdev::MemoryDevice>> servers_;
+    std::unique_ptr<cci::AddressSpace> space_;
+    std::unique_ptr<cci::Directory> directory_;
+    std::unique_ptr<cci::PrototypeModel> prototype_;
+    std::unique_ptr<cci::CciPort> port_;
+    std::vector<cci::RegionId> shards_;
+};
+
+} // namespace coarse::baselines
+
+#endif // COARSE_BASELINES_SHARDED_PS_HH

@@ -1,0 +1,106 @@
+#include "address_space.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::cci {
+
+void
+AddressSpace::addDevice(fabric::NodeId device, std::uint64_t bytes)
+{
+    if (findDevice(device) != nullptr)
+        sim::fatal("AddressSpace: device ", device, " already added");
+    if (bytes == 0)
+        sim::fatal("AddressSpace: device ", device, " has zero capacity");
+    // Devices get disjoint base addresses: a simple 1 TiB stride per
+    // device keeps regions from different homes visibly apart.
+    const std::uint64_t stride = std::uint64_t(1) << 40;
+    DeviceState state{device, bytes, 0,
+                      stride * (devices_.size() + 1)};
+    devices_.push_back(state);
+}
+
+bool
+AddressSpace::hasDevice(fabric::NodeId device) const
+{
+    return findDevice(device) != nullptr;
+}
+
+std::uint64_t
+AddressSpace::freeBytes(fabric::NodeId device) const
+{
+    const DeviceState *state = findDevice(device);
+    if (state == nullptr)
+        sim::fatal("AddressSpace: unknown device ", device);
+    return state->capacity - state->used;
+}
+
+std::uint64_t
+AddressSpace::capacity(fabric::NodeId device) const
+{
+    const DeviceState *state = findDevice(device);
+    if (state == nullptr)
+        sim::fatal("AddressSpace: unknown device ", device);
+    return state->capacity;
+}
+
+RegionId
+AddressSpace::allocate(fabric::NodeId device, std::uint64_t bytes,
+                       std::string name)
+{
+    DeviceState *state = findDevice(device);
+    if (state == nullptr)
+        sim::fatal("AddressSpace: unknown device ", device);
+    if (bytes == 0)
+        sim::fatal("AddressSpace: zero-byte allocation '", name, "'");
+    if (state->used + bytes > state->capacity) {
+        sim::fatal("AddressSpace: device ", device, " out of memory: ",
+                   "need ", bytes, " bytes, have ",
+                   state->capacity - state->used, " ('", name, "')");
+    }
+
+    const auto id = static_cast<RegionId>(regions_.size());
+    regions_.push_back(
+        Region{id, device, state->nextBase, bytes, std::move(name)});
+    released_.push_back(false);
+    state->used += bytes;
+    state->nextBase += bytes;
+    ++live_;
+    return id;
+}
+
+void
+AddressSpace::release(RegionId region)
+{
+    if (region >= regions_.size() || released_[region])
+        sim::fatal("AddressSpace: bad release of region ", region);
+    released_[region] = true;
+    DeviceState *state = findDevice(regions_[region].home);
+    state->used -= regions_[region].bytes;
+    --live_;
+}
+
+const Region &
+AddressSpace::region(RegionId id) const
+{
+    if (id >= regions_.size() || released_[id])
+        sim::fatal("AddressSpace: unknown region ", id);
+    return regions_[id];
+}
+
+AddressSpace::DeviceState *
+AddressSpace::findDevice(fabric::NodeId device)
+{
+    for (auto &state : devices_) {
+        if (state.node == device)
+            return &state;
+    }
+    return nullptr;
+}
+
+const AddressSpace::DeviceState *
+AddressSpace::findDevice(fabric::NodeId device) const
+{
+    return const_cast<AddressSpace *>(this)->findDevice(device);
+}
+
+} // namespace coarse::cci

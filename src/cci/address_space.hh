@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The CCI-unified memory address space.
+ *
+ * Memory devices map their on-device DRAM into a single shared
+ * address space (paper §II-C); regions are the allocation unit and
+ * each region has a home device that hosts its directory state.
+ */
+
+#ifndef COARSE_CCI_ADDRESS_SPACE_HH
+#define COARSE_CCI_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/message.hh"
+
+namespace coarse::cci {
+
+/** Identifier of an allocated region. */
+using RegionId = std::uint32_t;
+
+/** A contiguous allocation in the unified address space. */
+struct Region
+{
+    RegionId id = 0;
+    fabric::NodeId home = fabric::kInvalidNode;
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+    std::string name;
+};
+
+/**
+ * Tracks device capacities and region allocations.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace() = default;
+
+    /** Declare @p device as a CCI memory home with @p bytes capacity. */
+    void addDevice(fabric::NodeId device, std::uint64_t bytes);
+
+    /** True if @p device was registered with addDevice(). */
+    bool hasDevice(fabric::NodeId device) const;
+
+    /** Bytes still unallocated on @p device. */
+    std::uint64_t freeBytes(fabric::NodeId device) const;
+
+    /** Total capacity registered for @p device. */
+    std::uint64_t capacity(fabric::NodeId device) const;
+
+    /**
+     * Allocate a region on @p device. Throws FatalError when the
+     * device is unknown or lacks capacity.
+     */
+    RegionId allocate(fabric::NodeId device, std::uint64_t bytes,
+                      std::string name);
+
+    /** Release a region (capacity returns to its home device). */
+    void release(RegionId region);
+
+    const Region &region(RegionId id) const;
+    std::size_t regionCount() const { return live_; }
+
+  private:
+    struct DeviceState
+    {
+        fabric::NodeId node;
+        std::uint64_t capacity;
+        std::uint64_t used = 0;
+        std::uint64_t nextBase = 0;
+    };
+
+    DeviceState *findDevice(fabric::NodeId device);
+    const DeviceState *findDevice(fabric::NodeId device) const;
+
+    std::vector<DeviceState> devices_;
+    std::vector<Region> regions_;
+    std::vector<bool> released_;
+    std::size_t live_ = 0;
+};
+
+} // namespace coarse::cci
+
+#endif // COARSE_CCI_ADDRESS_SPACE_HH

@@ -1,0 +1,129 @@
+#include "coherent_cache.hh"
+#include <algorithm>
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace coarse::cci {
+
+CoherentCache::CoherentCache(fabric::NodeId owner, Directory &directory,
+                             CciPort &port, CacheParams params)
+    : owner_(owner), directory_(directory), port_(port), params_(params)
+{
+}
+
+void
+CoherentCache::insert(const GranuleKey &key, std::uint64_t bytes)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.first);
+        return;
+    }
+    lru_.push_front(key);
+    entries_[key] = {lru_.begin(), bytes};
+    resident_ += bytes;
+
+    while (params_.capacityBytes != 0
+           && resident_ > params_.capacityBytes && lru_.size() > 1) {
+        const GranuleKey victim = lru_.back();
+        lru_.pop_back();
+        auto vit = entries_.find(victim);
+        resident_ -= vit->second.second;
+        entries_.erase(vit);
+        directory_.evictGranule(owner_, victim.region, victim.index);
+        evictions_.inc();
+    }
+}
+
+void
+CoherentCache::read(RegionId region, std::uint64_t offset,
+                    std::uint64_t bytes, AccessOptions options,
+                    std::function<void()> done)
+{
+    const std::uint64_t granule = directory_.granuleBytes();
+    const std::uint64_t first = offset / granule;
+    const std::uint64_t last =
+        bytes == 0 ? first : (offset + bytes - 1) / granule;
+
+    // Classify granules. A granule is a hit only if both the
+    // directory still lists us as a sharer (no remote writer
+    // invalidated it) and the data is locally resident.
+    std::uint64_t missBytes = 0;
+    std::uint64_t missFirst = 0;
+    bool haveMiss = false;
+    for (std::uint64_t g = first; g <= last; ++g) {
+        const GranuleKey key{region, g};
+        const bool residentHere =
+            entries_.find(key) != entries_.end();
+        const bool valid =
+            directory_.isSharer(owner_, region, g * granule);
+        if (residentHere && valid) {
+            hits_.inc();
+            insert(key, granule); // LRU touch
+        } else {
+            misses_.inc();
+            if (!haveMiss) {
+                missFirst = g;
+                haveMiss = true;
+            }
+            missBytes += granule;
+            insert(key, granule);
+        }
+    }
+
+    if (!haveMiss) {
+        // Pure hit: local access, no fabric traffic.
+        directory_.acquireRead(owner_, region, offset, bytes,
+                               std::move(done));
+        return;
+    }
+
+    bytesFetched_.inc(missBytes);
+    // One batched coherent fetch covering the missing granules,
+    // clamped to the requested range so we never run past the
+    // region's end. The fetch registers the whole range as shared,
+    // so afterwards drop directory entries for anything the LRU
+    // evicted during this access — the directory must mirror what is
+    // actually resident.
+    const std::uint64_t fetchOffset = missFirst * granule;
+    const std::uint64_t fetchBytes =
+        std::min(missBytes, offset + bytes - fetchOffset);
+    auto reconcile = [this, region, first, last,
+                      done = std::move(done)]() mutable {
+        for (std::uint64_t g = first; g <= last; ++g) {
+            if (entries_.find(GranuleKey{region, g}) == entries_.end())
+                directory_.evictGranule(owner_, region, g);
+        }
+        done();
+    };
+    port_.read(owner_, region, fetchOffset, fetchBytes, options,
+               std::move(reconcile));
+}
+
+void
+CoherentCache::flush(RegionId region)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->first.region == region) {
+            resident_ -= it->second.second;
+            lru_.erase(it->second.first);
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    directory_.evict(owner_, region);
+}
+
+void
+CoherentCache::attachStats(sim::StatGroup &group) const
+{
+    group.addCounter("hits", hits_);
+    group.addCounter("misses", misses_);
+    group.addCounter("bytes_fetched", bytesFetched_);
+    group.addCounter("evictions", evictions_);
+}
+
+} // namespace coarse::cci

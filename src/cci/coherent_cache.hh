@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A coherent parameter cache (paper Fig. 5).
+ *
+ * In the DENSE baseline every GPU keeps a CCI-backed cache of the
+ * global parameters: reads hit locally while the directory still
+ * lists the GPU as a sharer, and refetch granules that a writer
+ * invalidated. The directory is the single source of coherence
+ * truth; the cache asks it for residency and registers itself by
+ * performing coherent reads.
+ */
+
+#ifndef COARSE_CCI_COHERENT_CACHE_HH
+#define COARSE_CCI_COHERENT_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+
+#include "directory.hh"
+#include "port.hh"
+#include "sim/stats.hh"
+
+namespace coarse::cci {
+
+/** Static cache parameters. */
+struct CacheParams
+{
+    /** Capacity; 0 = unbounded. */
+    std::uint64_t capacityBytes = 0;
+};
+
+/**
+ * Per-node coherent cache over CCI regions.
+ */
+class CoherentCache
+{
+  public:
+    CoherentCache(fabric::NodeId owner, Directory &directory,
+                  CciPort &port, CacheParams params = {});
+
+    fabric::NodeId owner() const { return owner_; }
+
+    /**
+     * Read [offset, offset+bytes) of @p region through the cache:
+     * granules the directory still shows this node sharing are hits;
+     * the rest are fetched coherently in one batched transfer, then
+     * @p done fires.
+     */
+    void read(RegionId region, std::uint64_t offset,
+              std::uint64_t bytes, AccessOptions options,
+              std::function<void()> done);
+
+    /** Drop everything (also informs the directory). */
+    void flush(RegionId region);
+
+    /** Bytes currently resident (by granule accounting). */
+    std::uint64_t residentBytes() const { return resident_; }
+
+    /** @name Stats */
+    ///@{
+    const sim::Counter &hits() const { return hits_; }
+    const sim::Counter &misses() const { return misses_; }
+    const sim::Counter &bytesFetched() const { return bytesFetched_; }
+    const sim::Counter &evictions() const { return evictions_; }
+    void attachStats(sim::StatGroup &group) const;
+    ///@}
+
+  private:
+    struct GranuleKey
+    {
+        RegionId region;
+        std::uint64_t index;
+
+        bool
+        operator<(const GranuleKey &o) const
+        {
+            if (region != o.region)
+                return region < o.region;
+            return index < o.index;
+        }
+    };
+
+    /** Insert a granule and evict LRU past capacity. */
+    void insert(const GranuleKey &key, std::uint64_t bytes);
+
+    fabric::NodeId owner_;
+    Directory &directory_;
+    CciPort &port_;
+    CacheParams params_;
+
+    /** LRU list, most recent at the front; map points into it. */
+    std::list<GranuleKey> lru_;
+    std::map<GranuleKey,
+             std::pair<std::list<GranuleKey>::iterator, std::uint64_t>>
+        entries_;
+    std::uint64_t resident_ = 0;
+
+    sim::Counter hits_;
+    sim::Counter misses_;
+    sim::Counter bytesFetched_;
+    sim::Counter evictions_;
+};
+
+} // namespace coarse::cci
+
+#endif // COARSE_CCI_COHERENT_CACHE_HH

@@ -1,0 +1,216 @@
+#include "directory.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace coarse::cci {
+
+Directory::Directory(fabric::Topology &topo, const AddressSpace &space,
+                     CoherenceParams params)
+    : topo_(topo), space_(space), params_(params)
+{
+    if (params_.granuleBytes == 0)
+        sim::fatal("Directory: granule size must be positive");
+}
+
+std::vector<std::uint64_t>
+Directory::granulesOf(RegionId region, std::uint64_t offset,
+                      std::uint64_t bytes) const
+{
+    const Region &r = space_.region(region);
+    if (offset + bytes > r.bytes) {
+        sim::fatal("Directory: access [", offset, ", ", offset + bytes,
+                   ") beyond region '", r.name, "' of ", r.bytes,
+                   " bytes");
+    }
+    const std::uint64_t first = offset / params_.granuleBytes;
+    const std::uint64_t last =
+        bytes == 0 ? first : (offset + bytes - 1) / params_.granuleBytes;
+    std::vector<std::uint64_t> out;
+    out.reserve(last - first + 1);
+    for (std::uint64_t g = first; g <= last; ++g)
+        out.push_back(g);
+    return out;
+}
+
+void
+Directory::control(fabric::NodeId from, fabric::NodeId to,
+                   std::function<void()> next)
+{
+    controlMsgs_.inc();
+    controlBytes_.inc(params_.controlBytes);
+    if (from == to) {
+        topo_.sim().events().scheduleIn(0, std::move(next));
+        return;
+    }
+    fabric::Message msg;
+    msg.src = from;
+    msg.dst = to;
+    msg.bytes = params_.controlBytes;
+    msg.onDelivered = std::move(next);
+    topo_.send(std::move(msg), fabric::kCciPath);
+}
+
+void
+Directory::acquireRead(fabric::NodeId requester, RegionId region,
+                       std::uint64_t offset, std::uint64_t bytes,
+                       std::function<void()> done)
+{
+    const fabric::NodeId home = space_.region(region).home;
+    const auto granules = granulesOf(region, offset, bytes);
+
+    // Collect remote owners that must be downgraded.
+    std::vector<fabric::NodeId> downgrades;
+    for (std::uint64_t g : granules) {
+        GranuleState &state = granules_[GranuleKey{region, g}];
+        if (state.owner != fabric::kInvalidNode
+            && state.owner != requester) {
+            downgrades.push_back(state.owner);
+            state.sharers.insert(state.owner);
+            state.owner = fabric::kInvalidNode;
+        }
+        state.sharers.insert(requester);
+    }
+
+    auto pending = std::make_shared<std::size_t>(downgrades.size());
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto finish = [this, requester, home, doneShared, pending] {
+        if (*pending > 0)
+            return;
+        // Grant: home tells the requester it may proceed.
+        control(home, requester, std::move(*doneShared));
+    };
+
+    // Request travels requester -> home first.
+    control(requester, home, [this, home, downgrades, pending, finish] {
+        if (downgrades.empty()) {
+            finish();
+            return;
+        }
+        for (fabric::NodeId target : downgrades) {
+            invalidations_.inc();
+            control(home, target, [this, target, home, pending, finish] {
+                // Ack flows back to the home.
+                control(target, home, [pending, finish] {
+                    --*pending;
+                    finish();
+                });
+            });
+        }
+    });
+}
+
+void
+Directory::acquireWrite(fabric::NodeId requester, RegionId region,
+                        std::uint64_t offset, std::uint64_t bytes,
+                        std::function<void()> done)
+{
+    const fabric::NodeId home = space_.region(region).home;
+    const auto granules = granulesOf(region, offset, bytes);
+
+    std::set<fabric::NodeId> targets;
+    for (std::uint64_t g : granules) {
+        GranuleState &state = granules_[GranuleKey{region, g}];
+        for (fabric::NodeId sharer : state.sharers) {
+            if (sharer != requester)
+                targets.insert(sharer);
+        }
+        if (state.owner != fabric::kInvalidNode
+            && state.owner != requester)
+            targets.insert(state.owner);
+        state.sharers.clear();
+        state.owner = requester;
+    }
+
+    auto pending = std::make_shared<std::size_t>(targets.size());
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto finish = [this, requester, home, doneShared, pending] {
+        if (*pending > 0)
+            return;
+        control(home, requester, std::move(*doneShared));
+    };
+
+    control(requester, home, [this, home, targets, pending, finish] {
+        if (targets.empty()) {
+            finish();
+            return;
+        }
+        for (fabric::NodeId target : targets) {
+            invalidations_.inc();
+            control(home, target, [this, target, home, pending, finish] {
+                control(target, home, [pending, finish] {
+                    --*pending;
+                    finish();
+                });
+            });
+        }
+    });
+}
+
+void
+Directory::evict(fabric::NodeId node, RegionId region)
+{
+    const Region &r = space_.region(region);
+    const std::uint64_t count =
+        (r.bytes + params_.granuleBytes - 1) / params_.granuleBytes;
+    for (std::uint64_t g = 0; g < count; ++g) {
+        auto it = granules_.find(GranuleKey{region, g});
+        if (it == granules_.end())
+            continue;
+        it->second.sharers.erase(node);
+        if (it->second.owner == node)
+            it->second.owner = fabric::kInvalidNode;
+    }
+}
+
+void
+Directory::evictGranule(fabric::NodeId node, RegionId region,
+                        std::uint64_t granuleIndex)
+{
+    auto it = granules_.find(GranuleKey{region, granuleIndex});
+    if (it == granules_.end())
+        return;
+    it->second.sharers.erase(node);
+    if (it->second.owner == node)
+        it->second.owner = fabric::kInvalidNode;
+}
+
+bool
+Directory::isSharer(fabric::NodeId node, RegionId region,
+                    std::uint64_t offset) const
+{
+    const std::uint64_t g = offset / params_.granuleBytes;
+    auto it = granules_.find(GranuleKey{region, g});
+    if (it == granules_.end())
+        return false;
+    return it->second.owner == node
+        || it->second.sharers.find(node) != it->second.sharers.end();
+}
+
+std::size_t
+Directory::sharerCount(RegionId region, std::uint64_t offset) const
+{
+    const std::uint64_t g = offset / params_.granuleBytes;
+    auto it = granules_.find(GranuleKey{region, g});
+    if (it == granules_.end())
+        return 0;
+    std::size_t n = it->second.sharers.size();
+    if (it->second.owner != fabric::kInvalidNode
+        && it->second.sharers.find(it->second.owner)
+            == it->second.sharers.end())
+        ++n;
+    return n;
+}
+
+void
+Directory::attachStats(sim::StatGroup &group) const
+{
+    group.addCounter("invalidations", invalidations_);
+    group.addCounter("control_messages", controlMsgs_);
+    group.addCounter("control_bytes", controlBytes_);
+}
+
+} // namespace coarse::cci

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Directory-based coherence for CCI regions.
+ *
+ * Each region's home device tracks, per granule, which nodes hold a
+ * cached copy. Writes invalidate remote sharers; the resulting
+ * control traffic rides the fabric, so coherence overhead grows with
+ * the number of sharers — the scalability limit the paper cites for
+ * the naive DENSE design (§III-D).
+ */
+
+#ifndef COARSE_CCI_DIRECTORY_HH
+#define COARSE_CCI_DIRECTORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "address_space.hh"
+#include "fabric/topology.hh"
+#include "sim/stats.hh"
+
+namespace coarse::cci {
+
+/** Coherence protocol parameters. */
+struct CoherenceParams
+{
+    /** Directory tracking granule. */
+    std::uint64_t granuleBytes = 2 * 1024 * 1024;
+    /** Size of one control message (request/invalidate/ack). */
+    std::uint64_t controlBytes = 128;
+};
+
+/**
+ * One directory serving every region of one AddressSpace.
+ *
+ * The protocol is an MSI skeleton: a granule is either uncached,
+ * shared by a set of readers, or owned by one writer. Transitions
+ * cost control messages between the home and the affected caches.
+ */
+class Directory
+{
+  public:
+    Directory(fabric::Topology &topo, const AddressSpace &space,
+              CoherenceParams params = {});
+
+    /**
+     * Acquire read permission on [offset, offset+bytes) of a region
+     * for @p requester, then invoke @p done. Any granule owned by a
+     * remote writer is downgraded first (one control round trip per
+     * granule).
+     */
+    void acquireRead(fabric::NodeId requester, RegionId region,
+                     std::uint64_t offset, std::uint64_t bytes,
+                     std::function<void()> done);
+
+    /**
+     * Acquire write ownership; every remote sharer of each touched
+     * granule receives an invalidation and must ack before @p done.
+     */
+    void acquireWrite(fabric::NodeId requester, RegionId region,
+                      std::uint64_t offset, std::uint64_t bytes,
+                      std::function<void()> done);
+
+    /** Drop @p node's cached copies of an entire region. */
+    void evict(fabric::NodeId node, RegionId region);
+
+    /** Drop @p node's copy of one granule (capacity eviction). */
+    void evictGranule(fabric::NodeId node, RegionId region,
+                      std::uint64_t granuleIndex);
+
+    /** Number of sharers currently tracked for a granule. */
+    std::size_t sharerCount(RegionId region, std::uint64_t offset) const;
+
+    /** True while @p node holds a valid copy of the granule at
+     *  @p offset (as reader or owner). */
+    bool isSharer(fabric::NodeId node, RegionId region,
+                  std::uint64_t offset) const;
+
+    /** Directory tracking granule size. */
+    std::uint64_t granuleBytes() const { return params_.granuleBytes; }
+
+    /** @name Stats */
+    ///@{
+    const sim::Counter &invalidations() const { return invalidations_; }
+    const sim::Counter &controlMessages() const { return controlMsgs_; }
+    const sim::Counter &controlBytes() const { return controlBytes_; }
+    void attachStats(sim::StatGroup &group) const;
+    ///@}
+
+  private:
+    struct GranuleKey
+    {
+        RegionId region;
+        std::uint64_t index;
+
+        bool
+        operator<(const GranuleKey &o) const
+        {
+            if (region != o.region)
+                return region < o.region;
+            return index < o.index;
+        }
+    };
+
+    struct GranuleState
+    {
+        std::set<fabric::NodeId> sharers;
+        fabric::NodeId owner = fabric::kInvalidNode;
+    };
+
+    /** Granule indices covering [offset, offset+bytes). */
+    std::vector<std::uint64_t> granulesOf(RegionId region,
+                                          std::uint64_t offset,
+                                          std::uint64_t bytes) const;
+
+    /** Send one control message and run @p next on delivery. */
+    void control(fabric::NodeId from, fabric::NodeId to,
+                 std::function<void()> next);
+
+    fabric::Topology &topo_;
+    const AddressSpace &space_;
+    CoherenceParams params_;
+    std::map<GranuleKey, GranuleState> granules_;
+
+    sim::Counter invalidations_;
+    sim::Counter controlMsgs_;
+    sim::Counter controlBytes_;
+};
+
+} // namespace coarse::cci
+
+#endif // COARSE_CCI_DIRECTORY_HH

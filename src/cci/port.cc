@@ -1,0 +1,117 @@
+#include "port.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::cci {
+
+CciPort::CciPort(fabric::Topology &topo, Directory &directory,
+                 const AddressSpace &space, const PrototypeModel &model)
+    : topo_(topo), directory_(directory), space_(space), model_(model)
+{
+}
+
+void
+CciPort::read(fabric::NodeId requester, RegionId region,
+              std::uint64_t offset, std::uint64_t bytes,
+              AccessOptions options, std::function<void()> done)
+{
+    const fabric::NodeId home = space_.region(region).home;
+    bytesRead_.inc(bytes);
+    auto move = [this, requester, home, bytes, options,
+                 done = std::move(done)]() mutable {
+        transfer(home, requester, bytes, AccessDirection::Read, options,
+                 std::move(done));
+    };
+    if (options.coherent) {
+        directory_.acquireRead(requester, region, offset, bytes,
+                               std::move(move));
+    } else {
+        move();
+    }
+}
+
+void
+CciPort::write(fabric::NodeId requester, RegionId region,
+               std::uint64_t offset, std::uint64_t bytes,
+               AccessOptions options, std::function<void()> done)
+{
+    const fabric::NodeId home = space_.region(region).home;
+    bytesWritten_.inc(bytes);
+    auto move = [this, requester, home, bytes, options,
+                 done = std::move(done)]() mutable {
+        transfer(requester, home, bytes, AccessDirection::Write, options,
+                 std::move(done));
+    };
+    if (options.coherent) {
+        directory_.acquireWrite(requester, region, offset, bytes,
+                                std::move(move));
+    } else {
+        move();
+    }
+}
+
+void
+CciPort::attachStats(sim::StatGroup &group) const
+{
+    group.addCounter("bytes_read", bytesRead_);
+    group.addCounter("bytes_written", bytesWritten_);
+}
+
+void
+CciPort::transfer(fabric::NodeId from, fabric::NodeId to,
+                  std::uint64_t bytes, AccessDirection dir,
+                  const AccessOptions &options,
+                  std::function<void()> done)
+{
+    const std::uint64_t lookup =
+        options.flowBytes == 0 ? bytes : options.flowBytes;
+
+    if (options.path == AccessPath::GpuIndirect) {
+        if (options.via == fabric::kInvalidNode)
+            sim::fatal("CciPort: indirect access needs a via node");
+        // The leg touching the memory device is protocol-limited; the
+        // other leg is an ordinary bus DMA.
+        const fabric::NodeId memLeg =
+            dir == AccessDirection::Read ? from : to;
+        const fabric::NodeId first =
+            dir == AccessDirection::Read ? from : to;
+        (void)first;
+        fabric::Message leg1;
+        leg1.src = from;
+        leg1.dst = options.via;
+        leg1.bytes = bytes;
+        leg1.flowBytes = lookup;
+        if (memLeg == from) {
+            leg1.rateCap = model_.bandwidth(AccessPath::Cci, dir, lookup);
+        }
+        leg1.onDelivered = [this, to, bytes, dir, lookup, memLeg,
+                            via = options.via,
+                            done = std::move(done)]() mutable {
+            fabric::Message leg2;
+            leg2.src = via;
+            leg2.dst = to;
+            leg2.bytes = bytes;
+            leg2.flowBytes = lookup;
+            if (memLeg == to) {
+                leg2.rateCap =
+                    model_.bandwidth(AccessPath::Cci, dir, lookup);
+            }
+            leg2.onDelivered = std::move(done);
+            topo_.send(std::move(leg2), fabric::kNoNvLink);
+        };
+        topo_.send(std::move(leg1), fabric::kNoNvLink);
+        return;
+    }
+
+    fabric::Message msg;
+    msg.src = from;
+    msg.dst = to;
+    msg.bytes = bytes;
+    msg.flowBytes = lookup;
+    if (options.path == AccessPath::Cci)
+        msg.rateCap = model_.bandwidth(AccessPath::Cci, dir, lookup);
+    msg.onDelivered = std::move(done);
+    topo_.send(std::move(msg), fabric::kNoNvLink);
+}
+
+} // namespace coarse::cci

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Access port to CCI memory: coherence acquisition plus data movement
+ * along one of the three access paths of the prototype model.
+ */
+
+#ifndef COARSE_CCI_PORT_HH
+#define COARSE_CCI_PORT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "address_space.hh"
+#include "directory.hh"
+#include "fabric/topology.hh"
+#include "prototype_model.hh"
+#include "sim/stats.hh"
+
+namespace coarse::cci {
+
+/** Options for one CCI access. */
+struct AccessOptions
+{
+    AccessPath path = AccessPath::GpuDirect;
+    /** Acquire directory permission before moving data. */
+    bool coherent = true;
+    /** Bounce node for AccessPath::GpuIndirect (usually the host). */
+    fabric::NodeId via = fabric::kInvalidNode;
+    /** Logical flow size for bandwidth lookup (0 = access size). */
+    std::uint64_t flowBytes = 0;
+};
+
+/**
+ * Issues reads and writes against CCI regions.
+ *
+ * A read moves data home -> requester; a write moves data
+ * requester -> home. The GPU-Direct path runs at the serial-bus
+ * curve; the CCI load/store path is capped at the prototype's
+ * protocol-limited rate; the indirect path adds a bounce through
+ * @c via with the CCI cap on the memory-device leg.
+ */
+class CciPort
+{
+  public:
+    CciPort(fabric::Topology &topo, Directory &directory,
+            const AddressSpace &space, const PrototypeModel &model);
+
+    /** Read @p bytes of a region into @p requester, then @p done. */
+    void read(fabric::NodeId requester, RegionId region,
+              std::uint64_t offset, std::uint64_t bytes,
+              AccessOptions options, std::function<void()> done);
+
+    /** Write @p bytes from @p requester into a region, then @p done. */
+    void write(fabric::NodeId requester, RegionId region,
+               std::uint64_t offset, std::uint64_t bytes,
+               AccessOptions options, std::function<void()> done);
+
+    const sim::Counter &bytesRead() const { return bytesRead_; }
+    const sim::Counter &bytesWritten() const { return bytesWritten_; }
+    void attachStats(sim::StatGroup &group) const;
+
+  private:
+    void transfer(fabric::NodeId from, fabric::NodeId to,
+                  std::uint64_t bytes, AccessDirection dir,
+                  const AccessOptions &options,
+                  std::function<void()> done);
+
+    fabric::Topology &topo_;
+    Directory &directory_;
+    const AddressSpace &space_;
+    const PrototypeModel &model_;
+    sim::Counter bytesRead_;
+    sim::Counter bytesWritten_;
+};
+
+} // namespace coarse::cci
+
+#endif // COARSE_CCI_PORT_HH

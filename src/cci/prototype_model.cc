@@ -1,0 +1,89 @@
+#include "prototype_model.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::cci {
+
+const char *
+accessPathName(AccessPath path)
+{
+    switch (path) {
+      case AccessPath::Cci:
+        return "CCI";
+      case AccessPath::GpuIndirect:
+        return "GPU Indirect";
+      case AccessPath::GpuDirect:
+        return "GPU Direct";
+    }
+    return "?";
+}
+
+const char *
+accessDirectionName(AccessDirection dir)
+{
+    return dir == AccessDirection::Read ? "read" : "write";
+}
+
+namespace {
+
+fabric::BandwidthCurve
+speedupRamp(fabric::Bandwidth base, double minSpeedup, double maxSpeedup,
+            std::uint64_t rampStart, std::uint64_t saturation)
+{
+    return fabric::BandwidthCurve::ramp(base * maxSpeedup, rampStart,
+                                        saturation,
+                                        minSpeedup / maxSpeedup);
+}
+
+} // namespace
+
+PrototypeModel::PrototypeModel(PrototypeParams params)
+    : params_(params),
+      cciRead_(fabric::BandwidthCurve::flat(params.cciRead)),
+      cciWrite_(fabric::BandwidthCurve::flat(params.cciWrite)),
+      // Indirect read is experimentally indistinguishable from CCI
+      // (Fig. 13a): the host bounce is bounded by the CCI leg.
+      indirectRead_(fabric::BandwidthCurve::flat(params.cciRead)),
+      indirectWrite_(fabric::BandwidthCurve::flat(
+          params.cciWrite * params.indirectWriteFraction)),
+      directRead_(speedupRamp(params.cciRead, params.directReadSpeedupMin,
+                              params.directReadSpeedupMax,
+                              params.minAccessBytes,
+                              params.dmaSaturationBytes)),
+      directWrite_(speedupRamp(params.cciWrite,
+                               params.directWriteSpeedupMin,
+                               params.directWriteSpeedupMax,
+                               params.minAccessBytes,
+                               params.dmaSaturationBytes)),
+      dma_(fabric::BandwidthCurve::ramp(
+          params.cciRead * params.directReadSpeedupMax,
+          params.minAccessBytes, params.dmaSaturationBytes, 0.12))
+{
+    if (params.directReadSpeedupMin > params.directReadSpeedupMax
+        || params.directWriteSpeedupMin > params.directWriteSpeedupMax)
+        sim::fatal("PrototypeModel: min speedup exceeds max speedup");
+}
+
+fabric::Bandwidth
+PrototypeModel::bandwidth(AccessPath path, AccessDirection dir,
+                          std::uint64_t accessBytes) const
+{
+    return curve(path, dir).at(accessBytes);
+}
+
+const fabric::BandwidthCurve &
+PrototypeModel::curve(AccessPath path, AccessDirection dir) const
+{
+    switch (path) {
+      case AccessPath::Cci:
+        return dir == AccessDirection::Read ? cciRead_ : cciWrite_;
+      case AccessPath::GpuIndirect:
+        return dir == AccessDirection::Read ? indirectRead_
+                                            : indirectWrite_;
+      case AccessPath::GpuDirect:
+        return dir == AccessDirection::Read ? directRead_ : directWrite_;
+    }
+    sim::panic("PrototypeModel: bad access path");
+}
+
+} // namespace coarse::cci

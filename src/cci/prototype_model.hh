@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Performance model of the FPGA-based CCI disaggregated-memory
+ * prototype (paper §IV-C / §V-B).
+ *
+ * The paper profiles the prototype under three access paths and then
+ * drives every training evaluation from the resulting
+ * bandwidth-versus-size model. This class is that model, calibrated
+ * to the published curve shapes:
+ *
+ *  - CCI (host load/store): read bandwidth flat across access sizes;
+ *    write a few times faster than read but also protocol-limited.
+ *  - GPU Indirect (bounce through host memory): read bounded by the
+ *    CCI path ("the difference is not visible in Fig. 13a").
+ *  - GPU Direct (peer-to-peer DMA): 9-17x read and 1.25-4x write
+ *    speedup over CCI, saturating at a 2 MB access size (Fig. 14).
+ */
+
+#ifndef COARSE_CCI_PROTOTYPE_MODEL_HH
+#define COARSE_CCI_PROTOTYPE_MODEL_HH
+
+#include <cstdint>
+
+#include "fabric/bandwidth.hh"
+
+namespace coarse::cci {
+
+/** How an agent reaches CCI memory (paper Fig. 3 / Fig. 13). */
+enum class AccessPath
+{
+    Cci,         //!< Host CPU load/store over the CCI protocol.
+    GpuIndirect, //!< GPU <-> host memory <-> CCI memory.
+    GpuDirect,   //!< GPU peer-to-peer DMA straight to CCI memory.
+};
+
+/** Transfer direction relative to the CCI memory device. */
+enum class AccessDirection
+{
+    Read, //!< Data flows out of CCI memory.
+    Write //!< Data flows into CCI memory.
+};
+
+const char *accessPathName(AccessPath path);
+const char *accessDirectionName(AccessDirection dir);
+
+/** Calibration knobs; the defaults reproduce the paper's shapes. */
+struct PrototypeParams
+{
+    /** Flat CCI load/store read bandwidth. */
+    fabric::Bandwidth cciRead = fabric::gbps(0.9);
+    /** Flat CCI load/store write bandwidth. */
+    fabric::Bandwidth cciWrite = fabric::gbps(4.0);
+    /** GPU Direct read speedup over CCI at small / saturated sizes. */
+    double directReadSpeedupMin = 9.0;
+    double directReadSpeedupMax = 17.0;
+    /** GPU Direct write speedup over CCI at small / saturated sizes. */
+    double directWriteSpeedupMin = 1.25;
+    double directWriteSpeedupMax = 4.0;
+    /** DMA saturates at this access size (Fig. 14). */
+    std::uint64_t dmaSaturationBytes = 2 * 1024 * 1024;
+    /** Smallest profiled access size. */
+    std::uint64_t minAccessBytes = 4 * 1024;
+    /** Indirect path pays a host bounce: fraction of the CCI rate. */
+    double indirectWriteFraction = 0.9;
+};
+
+/**
+ * Bandwidth-versus-size model for every (path, direction) pair.
+ */
+class PrototypeModel
+{
+  public:
+    explicit PrototypeModel(PrototypeParams params = {});
+
+    /** Effective bandwidth for one access. */
+    fabric::Bandwidth bandwidth(AccessPath path, AccessDirection dir,
+                                std::uint64_t accessBytes) const;
+
+    /** Full curve for one (path, direction). */
+    const fabric::BandwidthCurve &curve(AccessPath path,
+                                        AccessDirection dir) const;
+
+    /** Raw DMA engine curve (Fig. 14), direction-independent. */
+    const fabric::BandwidthCurve &dmaCurve() const { return dma_; }
+
+    const PrototypeParams &params() const { return params_; }
+
+  private:
+    PrototypeParams params_;
+    fabric::BandwidthCurve cciRead_;
+    fabric::BandwidthCurve cciWrite_;
+    fabric::BandwidthCurve indirectRead_;
+    fabric::BandwidthCurve indirectWrite_;
+    fabric::BandwidthCurve directRead_;
+    fabric::BandwidthCurve directWrite_;
+    fabric::BandwidthCurve dma_;
+};
+
+} // namespace coarse::cci
+
+#endif // COARSE_CCI_PROTOTYPE_MODEL_HH

@@ -1,0 +1,100 @@
+#include "dual_sync.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace coarse::core {
+
+namespace {
+
+double
+ringFactor(std::uint32_t p)
+{
+    if (p <= 1)
+        return 0.0;
+    return 2.0 * static_cast<double>(p - 1) / static_cast<double>(p);
+}
+
+} // namespace
+
+double
+predictedIterationSeconds(const DualSyncInputs &in,
+                          std::uint64_t proxyBytes)
+{
+    if (proxyBytes > in.totalBytes)
+        sim::fatal("predictedIterationSeconds: m exceeds n");
+    const double c = ringFactor(in.workers);
+    const double gpuSync = in.gpuRingBytesPerSec > 0
+        ? c * static_cast<double>(in.totalBytes - proxyBytes)
+            / in.gpuRingBytesPerSec
+        : 0.0;
+    const double proxySync = in.proxyRingBytesPerSec > 0
+        ? c * static_cast<double>(proxyBytes) / in.proxyRingBytesPerSec
+        : 0.0;
+    const double gpuPath =
+        in.forwardSeconds + in.backwardSeconds + gpuSync;
+    const double proxyPath = in.forwardSeconds + proxySync;
+    return std::max(gpuPath, proxyPath);
+}
+
+DualSyncPlan
+planDualSync(const DualSyncInputs &in)
+{
+    if (in.workers == 0)
+        sim::fatal("planDualSync: zero workers");
+    if (in.gpuRingBytesPerSec <= 0 || in.proxyRingBytesPerSec <= 0)
+        sim::fatal("planDualSync: ring bandwidths must be positive");
+
+    DualSyncPlan plan;
+    const double c = ringFactor(in.workers);
+    const double n = static_cast<double>(in.totalBytes);
+
+    std::uint64_t m;
+    if (c == 0.0) {
+        m = in.totalBytes; // single worker: nothing to synchronize
+    } else {
+        // The GPU path decreases in m, the proxy path increases;
+        // the optimum is their intersection (clamped to [0, n]):
+        //   T_BP + c*(n-m)/Bg = c*m/Bp
+        const double bg = in.gpuRingBytesPerSec;
+        const double bp = in.proxyRingBytesPerSec;
+        const double ideal =
+            (in.backwardSeconds + c * n / bg) / (c / bp + c / bg);
+        m = static_cast<std::uint64_t>(
+            std::clamp(ideal, 0.0, n));
+    }
+
+    // The intersection may be interior or clamped; evaluate the
+    // candidates and keep the best (the function is piecewise convex).
+    const std::uint64_t candidates[] = {0, m, in.totalBytes};
+    plan.proxyBytes = 0;
+    plan.predictedIterationSeconds =
+        predictedIterationSeconds(in, 0);
+    for (std::uint64_t candidate : candidates) {
+        const double t = predictedIterationSeconds(in, candidate);
+        if (t < plan.predictedIterationSeconds) {
+            plan.predictedIterationSeconds = t;
+            plan.proxyBytes = candidate;
+        }
+    }
+    plan.gpuBytes = in.totalBytes - plan.proxyBytes;
+    return plan;
+}
+
+std::size_t
+assignTensors(const dl::ModelSpec &model, std::uint64_t proxyBytes)
+{
+    // Walk from the output side accumulating proxy bytes; stop once
+    // covered. Everything before the stopping point is GPU-synced.
+    std::uint64_t accumulated = 0;
+    std::size_t split = model.tensors.size();
+    while (split > 0 && accumulated < proxyBytes) {
+        accumulated += model.tensors[split - 1].bytes();
+        --split;
+    }
+    return split;
+}
+
+} // namespace coarse::core

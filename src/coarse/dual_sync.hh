@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dual-synchronization planner (paper §III-F).
+ *
+ * Splits the model's n parameter bytes so that m bytes are pushed to
+ * the proxies (overlapping the backward pass) and n-m bytes — the
+ * input-side layers whose gradients arrive last but are needed first
+ * — are ring-allreduced directly by the worker GPUs. The split
+ * minimizes
+ *
+ *   T_train = max( T_FP + T_BP + T_sync(GPU),
+ *                  T_FP + T_sync(proxy) )
+ *
+ * with T_sync(X) = 2(p-1)/p * bytes / B_X.
+ */
+
+#ifndef COARSE_CORE_DUAL_SYNC_HH
+#define COARSE_CORE_DUAL_SYNC_HH
+
+#include <cstdint>
+
+#include "dl/model.hh"
+
+namespace coarse::core {
+
+/** Inputs the planner needs; all are profiler/model measurements. */
+struct DualSyncInputs
+{
+    /** Forward-pass time per iteration (seconds). */
+    double forwardSeconds = 0.0;
+    /** Backward-pass time per iteration (seconds). */
+    double backwardSeconds = 0.0;
+    /** Total parameter bytes n. */
+    std::uint64_t totalBytes = 0;
+    /** Worker count p. */
+    std::uint32_t workers = 0;
+    /** Ring bandwidth between worker GPUs (bytes/s). */
+    double gpuRingBytesPerSec = 0.0;
+    /** Ring bandwidth between proxies (bytes/s). */
+    double proxyRingBytesPerSec = 0.0;
+};
+
+/** The planner's decision. */
+struct DualSyncPlan
+{
+    /** Bytes synchronized by the proxies (m). */
+    std::uint64_t proxyBytes = 0;
+    /** Bytes synchronized by the worker GPUs (n - m). */
+    std::uint64_t gpuBytes = 0;
+    /** Predicted iteration time at the chosen split. */
+    double predictedIterationSeconds = 0.0;
+    /**
+     * First proxy-synced tensor index: tensors [splitTensor, N) — the
+     * output side, whose gradients are produced first — go to the
+     * proxies; tensors [0, splitTensor) — the input-side layers the
+     * next forward pass needs first — are GPU-synced.
+     */
+    std::size_t splitTensor = 0;
+};
+
+/** Predicted iteration time for a given proxy-bytes split m. */
+double predictedIterationSeconds(const DualSyncInputs &in,
+                                 std::uint64_t proxyBytes);
+
+/**
+ * Choose m minimizing the predicted iteration time.
+ */
+DualSyncPlan planDualSync(const DualSyncInputs &in);
+
+/**
+ * Map a byte split onto tensor indices: walk the model from the
+ * output side (gradients produced first) assigning tensors to the
+ * proxies until ~m bytes are covered; the remaining input-side
+ * tensors are GPU-synced. Returns the first proxy-synced index, so
+ * tensors [result, N) go to proxies and [0, result) to the GPUs.
+ */
+std::size_t assignTensors(const dl::ModelSpec &model,
+                          std::uint64_t proxyBytes);
+
+} // namespace coarse::core
+
+#endif // COARSE_CORE_DUAL_SYNC_HH

@@ -1,0 +1,715 @@
+#include "engine.hh"
+
+#include <algorithm>
+
+#include "dl/gpu.hh"
+#include "dl/quantize.hh"
+#include "sim/logging.hh"
+
+namespace coarse::core {
+
+/** Per-worker functional state. */
+struct CoarseEngine::WorkerState
+{
+    fabric::NodeId node = fabric::kInvalidNode;
+    /** Functional-mode weights, one vector per tensor. */
+    std::vector<std::vector<float>> weights;
+};
+
+/** Book-keeping for the iteration in flight. */
+struct CoarseEngine::IterationState
+{
+    std::uint32_t iter = 0;
+    sim::Tick start = 0;
+    sim::Tick computeEnd = 0;
+    /** Shard syncs still outstanding at the proxies. */
+    std::size_t outstandingSyncs = 0;
+    /** Pull transfers still in flight to workers. */
+    std::size_t outstandingPulls = 0;
+    bool gpuSyncDone = false;
+    bool finishScheduled = false;
+    IterationTimeline timeline;
+    /** Functional: per-tensor assembled summed gradients. */
+    std::map<std::size_t, std::vector<float>> assembly;
+    /** Remaining shards per tensor (functional assembly). */
+    std::map<std::size_t, std::uint32_t> shardsLeft;
+};
+
+CoarseEngine::CoarseEngine(fabric::Machine &machine, dl::ModelSpec model,
+                           std::uint32_t batchSize, CoarseOptions options)
+    : machine_(machine), model_(std::move(model)), batch_(batchSize),
+      options_(options), gpu_(dl::gpuSpec(machine.gpuModel())),
+      iteration_(model_, gpu_, batchSize)
+{
+    // COARSE offloads optimizer state to the memory pool; check the
+    // batch actually fits the GPU under that placement.
+    const auto needed = dl::gpuMemoryNeeded(model_, batch_,
+                                            dl::offloadedStateModel());
+    if (needed > gpu_.memBytes) {
+        sim::fatal("CoarseEngine: model ", model_.name, " at batch ",
+                   batch_, " needs ", needed, " bytes on a ",
+                   gpu_.memBytes, "-byte ", gpu_.name, " GPU");
+    }
+
+    buildDevices();
+
+    workerComm_ = std::make_unique<coll::Communicator>(
+        machine_.topology(), machine_.workers());
+    profiler_ = std::make_unique<Profiler>(machine_.topology());
+    partitioner_ = std::make_unique<TensorPartitioner>(
+        options_.shardBytesOverride != 0 ? options_.shardBytesOverride
+                                         : (std::uint64_t(2) << 20));
+
+    workers_.reserve(machine_.workers().size());
+    for (fabric::NodeId node : machine_.workers()) {
+        auto state = std::make_unique<WorkerState>();
+        state->node = node;
+        if (options_.functionalData) {
+            state->weights.reserve(model_.tensors.size());
+            for (std::size_t t = 0; t < model_.tensors.size(); ++t) {
+                std::vector<float> w(model_.tensors[t].elements);
+                for (std::size_t e = 0; e < w.size(); ++e) {
+                    w[e] = 1.0f + 0.001f * static_cast<float>(t)
+                        + 1e-6f * static_cast<float>(e % 997);
+                }
+                state->weights.push_back(std::move(w));
+            }
+        }
+        workers_.push_back(std::move(state));
+    }
+
+    if (options_.functionalData) {
+        for (auto &device : devices_) {
+            for (std::size_t t = 0; t < model_.tensors.size(); ++t)
+                device->store().put(t, workers_.front()->weights[t]);
+        }
+        auto optimizerParams = options_.optimizer;
+        optimizerParams.learningRate = options_.learningRate;
+        for (std::size_t t = 0; t < model_.tensors.size(); ++t) {
+            optimizers_.push_back(std::make_unique<dl::Optimizer>(
+                optimizerParams, model_.tensors[t].elements));
+        }
+    }
+    // Initial checkpoint: the recovery floor when a failure strikes
+    // before the first periodic snapshot.
+    for (auto &device : devices_)
+        latestSnapshot_ = device->store().snapshot();
+    lastCheckpointIteration_ = 0;
+    checkpointedOptimizers_.clear();
+    for (const auto &optimizer : optimizers_)
+        checkpointedOptimizers_.push_back(optimizer->saveState());
+
+    profileAndPlan();
+}
+
+CoarseEngine::~CoarseEngine() = default;
+
+void
+CoarseEngine::buildDevices()
+{
+    const auto &nodes = machine_.memDevices();
+    if (nodes.empty())
+        sim::fatal("CoarseEngine: machine has no memory devices");
+
+    space_ = std::make_unique<cci::AddressSpace>();
+    for (fabric::NodeId node : nodes) {
+        devices_.push_back(std::make_unique<memdev::MemoryDevice>(
+            node, options_.deviceParams));
+        space_->addDevice(node, options_.deviceParams.dramBytes);
+        // Each proxy hosts a full parameter replica plus the offloaded
+        // optimizer state (master copy + Adam moments).
+        space_->allocate(node, model_.parameterBytes(),
+                         model_.name + ".params");
+        space_->allocate(node, model_.parameterBytes() * 2,
+                         model_.name + ".optimizer");
+    }
+
+    std::vector<memdev::MemoryDevice *> raw;
+    raw.reserve(devices_.size());
+    for (auto &device : devices_)
+        raw.push_back(device.get());
+
+    memdev::SyncScheduleOptions schedule;
+    schedule.groups = std::min<std::size_t>(
+        options_.syncGroups, options_.deviceParams.syncCoreCount);
+    schedule.alternateDirections = options_.alternateRingDirections;
+    schedule.detailedCores =
+        options_.detailedSyncCores && options_.functionalData;
+    service_ = std::make_unique<ProxySyncService>(
+        machine_.topology(), std::move(raw), schedule,
+        options_.schedulingPolicy, options_.functionalData,
+        options_.compressGradients ? 2 : 4);
+    service_->setOnSynced([this](const ShardKey &key,
+                                 const std::vector<float> &reduced) {
+        onShardSynced(key, reduced);
+    });
+}
+
+void
+CoarseEngine::profileAndPlan()
+{
+    ++profileRuns_;
+    routing_.clear();
+
+    const auto &proxies = machine_.memDevices();
+    std::uint64_t shardBytes = 2 << 20;
+    for (std::size_t w = 0; w < machine_.workers().size(); ++w) {
+        const fabric::NodeId worker = machine_.workers()[w];
+        if (options_.tensorRouting) {
+            ClientProfile profile = profiler_->profileClient(
+                worker, proxies, machine_.pairedMemDevice(worker));
+            routing_.push_back(profile.routing);
+            shardBytes = profile.shardBytes;
+        } else {
+            RoutingTable table;
+            table.latProxy = machine_.pairedMemDevice(worker);
+            table.bwProxy = table.latProxy;
+            table.thresholdBytes = 0;
+            routing_.push_back(table);
+        }
+    }
+    if (options_.shardBytesOverride != 0)
+        shardBytes = options_.shardBytesOverride;
+    partitioner_->setShardBytes(options_.tensorPartitioning ? shardBytes
+                                                            : 0);
+
+    // Dual-sync planning: measure both rings' effective bandwidth on
+    // the model's own volume, then solve for the split.
+    const std::uint64_t n = model_.parameterBytes();
+    const std::uint32_t p =
+        static_cast<std::uint32_t>(machine_.workers().size());
+
+    DualSyncInputs in;
+    in.forwardSeconds = iteration_.forwardSeconds();
+    in.backwardSeconds = iteration_.backwardSeconds();
+    in.totalBytes = n;
+    in.workers = p;
+
+    const double c =
+        p > 1 ? 2.0 * double(p - 1) / double(p) : 1.0;
+    coll::RingOptions gpuRing;
+    gpuRing.reduceBytesPerSec = gpu_.reduceBytesPerSec();
+    gpuRing.rings = 2;
+    const double gpuEst =
+        workerComm_->estimateAllReduceSeconds(n, gpuRing);
+    in.gpuRingBytesPerSec =
+        gpuEst > 0 ? c * double(n) / gpuEst : 1e12;
+    const double proxyEst = service_->scheduler().estimateSeconds(n);
+    double proxyRing = proxyEst > 0 ? c * double(n) / proxyEst : 1e12;
+
+    // The proxy path is a pipeline: client push, ring, client pull.
+    // Its throughput is the bottleneck stage. On machines without a
+    // dedicated CCI interconnect the ring shares the host serial
+    // links with the pushes and pulls, halving the effective rate.
+    auto &topo = machine_.topology();
+    bool dedicatedCci = false;
+    for (std::size_t l = 0; l < topo.linkCount(); ++l) {
+        if (topo.link(static_cast<fabric::LinkId>(l)).kind()
+            == fabric::LinkKind::Cci)
+            dedicatedCci = true;
+    }
+    if (!dedicatedCci)
+        proxyRing *= 0.5;
+    double pushBw = 1e12;
+    for (std::size_t w = 0; w < machine_.workers().size(); ++w) {
+        pushBw = std::min(
+            pushBw, topo.pathBandwidth(machine_.workers()[w],
+                                       routing_[w].bwProxy, n,
+                                       fabric::kNoNvLink));
+    }
+    in.proxyRingBytesPerSec = std::min(proxyRing, pushBw);
+
+    if (options_.proxyShareOverride >= 0.0) {
+        const double share =
+            std::min(options_.proxyShareOverride, 1.0);
+        plan_.proxyBytes =
+            static_cast<std::uint64_t>(share * double(n));
+        plan_.gpuBytes = n - plan_.proxyBytes;
+        plan_.predictedIterationSeconds =
+            predictedIterationSeconds(in, plan_.proxyBytes);
+    } else if (options_.dualSync && p > 1) {
+        plan_ = planDualSync(in);
+    } else {
+        plan_.proxyBytes = n;
+        plan_.gpuBytes = 0;
+        plan_.predictedIterationSeconds =
+            predictedIterationSeconds(in, n);
+    }
+    plan_.splitTensor = assignTensors(model_, plan_.proxyBytes);
+    // Recompute the byte split from the tensor boundary.
+    std::uint64_t proxyBytes = 0;
+    for (std::size_t t = plan_.splitTensor; t < model_.tensors.size();
+         ++t)
+        proxyBytes += model_.tensors[t].bytes();
+    plan_.proxyBytes = proxyBytes;
+    plan_.gpuBytes = n - proxyBytes;
+}
+
+const RoutingTable &
+CoarseEngine::routingTableOf(std::size_t workerIdx) const
+{
+    return routing_.at(workerIdx);
+}
+
+const std::vector<float> &
+CoarseEngine::weights(std::size_t workerIdx, std::size_t tensorIdx) const
+{
+    if (!options_.functionalData)
+        sim::fatal("CoarseEngine: weights only exist in functional mode");
+    return workers_.at(workerIdx)->weights.at(tensorIdx);
+}
+
+memdev::MemoryDevice &
+CoarseEngine::memoryDevice(std::size_t i)
+{
+    return *devices_.at(i);
+}
+
+std::vector<float>
+CoarseEngine::makeGradient(std::size_t workerIdx, std::size_t tensorIdx,
+                           std::uint32_t iter) const
+{
+    std::vector<float> grad(model_.tensors[tensorIdx].elements);
+    const float base = 0.01f * static_cast<float>(workerIdx + 1)
+        + 0.001f * static_cast<float>(tensorIdx % 31)
+        + 0.0001f * static_cast<float>(iter % 17);
+    for (std::size_t e = 0; e < grad.size(); ++e)
+        grad[e] = base + 1e-7f * static_cast<float>(e % 101);
+    return grad;
+}
+
+void
+CoarseEngine::applyUpdate(std::uint32_t iter, std::size_t tensorIdx,
+                          const std::vector<float> &summedGrad)
+{
+    (void)iter;
+    // Average the summed gradient, then let the server-side
+    // optimizer apply its rule to the master copy.
+    const float scale = 1.0f / static_cast<float>(workers_.size());
+    std::vector<float> avg(summedGrad.size());
+    for (std::size_t e = 0; e < avg.size(); ++e)
+        avg[e] = scale * summedGrad[e];
+    std::vector<float> updated = workers_.front()->weights[tensorIdx];
+    optimizers_[tensorIdx]->apply(updated, avg);
+    for (auto &worker : workers_)
+        worker->weights[tensorIdx] = updated;
+    for (auto &device : devices_)
+        device->store().put(tensorIdx, updated);
+}
+
+void
+CoarseEngine::fetchBatch(std::function<void()> done)
+{
+    const std::uint64_t batchBytes =
+        std::uint64_t(batch_) * model_.sampleBytes;
+    auto &topo = machine_.topology();
+    auto pending = std::make_shared<std::size_t>(workers_.size());
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+    for (auto &worker : workers_) {
+        batchesFetched_.inc();
+        batchBytesFetched_.inc(batchBytes);
+        fabric::Message msg;
+        msg.src = machine_.pairedMemDevice(worker->node);
+        msg.dst = worker->node;
+        msg.bytes = batchBytes;
+        msg.onDelivered = [pending, doneShared] {
+            if (--*pending == 0)
+                (*doneShared)();
+        };
+        topo.send(std::move(msg), fabric::kNoNvLink);
+    }
+}
+
+void
+CoarseEngine::startIteration(std::uint32_t iter)
+{
+    if (options_.reprofileEveryIters != 0 && iter != 0
+        && iter % options_.reprofileEveryIters == 0)
+        profileAndPlan();
+
+    iterationAnchor_ = machine_.topology().sim().now();
+
+    // Input pipeline: the iteration body may only run once its
+    // minibatch is resident on the GPUs. With prefetch, iteration
+    // i's batch was requested at the start of iteration i-1 and
+    // normally hides under it; without, the fetch serializes.
+    const std::uint64_t batchBytes =
+        std::uint64_t(batch_) * model_.sampleBytes;
+    if (options_.dataLoading && batchBytes > 0) {
+        if (!options_.dataPrefetch) {
+            fetchBatch([this, iter] { runIterationBody(iter); });
+            return;
+        }
+        if (iter == 0) {
+            fetchBatch([this, iter] {
+                batchReady_ = false;
+                fetchBatch([this] { // prefetch for iteration 1
+                    batchReady_ = true;
+                    if (pendingIteration_) {
+                        auto run = std::move(pendingIteration_);
+                        pendingIteration_ = nullptr;
+                        run();
+                    }
+                });
+                runIterationBody(iter);
+            });
+            return;
+        }
+        auto proceed = [this, iter] {
+            batchReady_ = false;
+            fetchBatch([this] { // prefetch for the next iteration
+                batchReady_ = true;
+                if (pendingIteration_) {
+                    auto run = std::move(pendingIteration_);
+                    pendingIteration_ = nullptr;
+                    run();
+                }
+            });
+            runIterationBody(iter);
+        };
+        if (batchReady_) {
+            proceed();
+        } else {
+            pendingIteration_ = proceed;
+        }
+        return;
+    }
+
+    runIterationBody(iter);
+}
+
+void
+CoarseEngine::runIterationBody(std::uint32_t iter)
+{
+    auto &sim = machine_.topology().sim();
+    iter_ = std::make_unique<IterationState>();
+    iter_->iter = iter;
+    // The anchor was taken before any input-batch fetch, so a
+    // blocking fetch counts against this iteration's time.
+    iter_->start = iterationAnchor_;
+    const sim::Tick fwdTicks =
+        sim::fromSeconds(iteration_.forwardSeconds());
+    const sim::Tick bwdTicks =
+        sim::fromSeconds(iteration_.backwardSeconds());
+    const sim::Tick computeStart = sim.now();
+    iter_->computeEnd = computeStart + fwdTicks + bwdTicks;
+    iter_->timeline.start = iter_->start;
+    iter_->timeline.computeEnd = iter_->computeEnd;
+
+    // Proxy-synced tensors: push at gradient-ready times.
+    for (std::size_t t = plan_.splitTensor; t < model_.tensors.size();
+         ++t) {
+        const auto shards =
+            partitioner_->partition(t, model_.tensors[t].bytes());
+        iter_->outstandingSyncs += shards.size();
+        iter_->shardsLeft[t] = static_cast<std::uint32_t>(shards.size());
+        const sim::Tick ready = computeStart + fwdTicks
+            + sim::fromSeconds(iteration_.gradReadySeconds(t));
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            sim.events().schedule(ready, [this, iter, w, t] {
+                pushTensor(iter, w, t);
+            });
+        }
+    }
+
+    // GPU-synced tensors: a blocking worker-ring allreduce at the end
+    // of the backward pass.
+    sim.events().schedule(iter_->computeEnd, [this, iter] {
+        if (plan_.gpuBytes == 0 || workers_.size() == 1) {
+            iter_->gpuSyncDone = true;
+            onWorkerPathDone(iter);
+            return;
+        }
+        coll::RingOptions ring;
+        ring.reduceBytesPerSec = gpu_.reduceBytesPerSec();
+        ring.rings = 2;
+        auto done = [this, iter] {
+            iter_->gpuSyncDone = true;
+            iter_->timeline.gpuSyncEnd =
+                machine_.topology().sim().now();
+            onWorkerPathDone(iter);
+        };
+        if (!options_.functionalData) {
+            workerComm_->allReduceTimed(plan_.gpuBytes, ring,
+                                        std::move(done));
+            return;
+        }
+        // Functional: fuse the GPU-set gradients into one buffer per
+        // worker, allreduce, then apply the updates.
+        auto fused = std::make_shared<std::vector<std::vector<float>>>();
+        fused->resize(workers_.size());
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            for (std::size_t t = 0; t < plan_.splitTensor; ++t) {
+                const auto grad = makeGradient(w, t, iter);
+                (*fused)[w].insert((*fused)[w].end(), grad.begin(),
+                                   grad.end());
+            }
+        }
+        std::vector<std::span<float>> buffers;
+        buffers.reserve(workers_.size());
+        for (auto &buf : *fused)
+            buffers.emplace_back(buf);
+        auto apply = [this, iter, fused, done] {
+            std::size_t offset = 0;
+            for (std::size_t t = 0; t < plan_.splitTensor; ++t) {
+                const std::size_t len = model_.tensors[t].elements;
+                std::vector<float> sum(
+                    fused->front().begin() + offset,
+                    fused->front().begin() + offset + len);
+                applyUpdate(iter, t, sum);
+                offset += len;
+            }
+            done();
+        };
+        workerComm_->allReduce(std::move(buffers), ring,
+                               std::move(apply));
+    });
+}
+
+void
+CoarseEngine::pushTensor(std::uint32_t iter, std::size_t workerIdx,
+                         std::size_t tensorIdx)
+{
+    const std::uint64_t tensorBytes = model_.tensors[tensorIdx].bytes();
+    const sim::Tick now = machine_.topology().sim().now();
+    if (iter_->timeline.firstPush == 0)
+        iter_->timeline.firstPush = now;
+    iter_->timeline.lastPush = now;
+    const fabric::NodeId proxy = routing_[workerIdx].route(tensorBytes);
+    const auto shards = partitioner_->partition(tensorIdx, tensorBytes);
+
+    std::vector<float> grad;
+    if (options_.functionalData) {
+        grad = makeGradient(workerIdx, tensorIdx, iter);
+        // Compressed transport: what the proxy reconstructs is the
+        // fp16 round-trip of the gradient.
+        if (options_.compressGradients)
+            dl::quantizeFp16(grad);
+    }
+
+    const std::uint32_t wire = options_.compressGradients ? 2 : 4;
+    for (const Shard &shard : shards) {
+        ShardKey key{iter, static_cast<std::uint32_t>(tensorIdx),
+                     shard.shardIndex};
+        std::vector<float> payload;
+        if (options_.functionalData) {
+            const std::size_t begin = shard.offset / sizeof(float);
+            const std::size_t len = shard.bytes / sizeof(float);
+            payload.assign(grad.begin() + begin,
+                           grad.begin() + begin + len);
+        }
+        service_->push(workers_[workerIdx]->node, proxy, key,
+                       shard.bytes / 4 * wire, std::move(payload),
+                       static_cast<std::uint32_t>(workers_.size()));
+    }
+}
+
+void
+CoarseEngine::onShardSynced(const ShardKey &key,
+                            const std::vector<float> &reduced)
+{
+    if (key.iteration != iter_->iter)
+        sim::panic("CoarseEngine: shard from a different iteration");
+    --iter_->outstandingSyncs;
+    {
+        const sim::Tick now = machine_.topology().sim().now();
+        if (iter_->timeline.firstShardSynced == 0)
+            iter_->timeline.firstShardSynced = now;
+        iter_->timeline.lastShardSynced = now;
+    }
+
+    // Functional assembly: collect shards into the full tensor sum.
+    if (options_.functionalData) {
+        const std::size_t t = key.tensor;
+        auto &assembly = iter_->assembly[t];
+        if (assembly.empty())
+            assembly.resize(model_.tensors[t].elements, 0.0f);
+        const auto shards =
+            partitioner_->partition(t, model_.tensors[t].bytes());
+        const Shard &shard = shards.at(key.shard);
+        std::copy(reduced.begin(), reduced.end(),
+                  assembly.begin()
+                      + static_cast<std::ptrdiff_t>(shard.offset
+                                                    / sizeof(float)));
+        if (--iter_->shardsLeft[t] == 0) {
+            applyUpdate(key.iteration, t, assembly);
+            iter_->assembly.erase(t);
+        }
+    }
+
+    // Every worker pulls the updated shard from its routed proxy.
+    auto &topo = machine_.topology();
+    const std::uint64_t tensorBytes =
+        model_.tensors[key.tensor].bytes();
+    const auto shards =
+        partitioner_->partition(key.tensor, tensorBytes);
+    const std::uint32_t wire = options_.compressGradients ? 2 : 4;
+    const std::uint64_t bytes = shards.at(key.shard).bytes / 4 * wire;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+        ++iter_->outstandingPulls;
+        fabric::Message msg;
+        msg.src = routing_[w].route(tensorBytes);
+        msg.dst = workers_[w]->node;
+        msg.bytes = bytes;
+        msg.onDelivered = [this, iter = key.iteration] {
+            --iter_->outstandingPulls;
+            const sim::Tick now = machine_.topology().sim().now();
+            if (iter_->timeline.firstPull == 0)
+                iter_->timeline.firstPull = now;
+            iter_->timeline.lastPull = now;
+            onWorkerPathDone(iter);
+        };
+        topo.send(std::move(msg), fabric::kNoNvLink);
+    }
+}
+
+void
+CoarseEngine::onWorkerPathDone(std::uint32_t iter)
+{
+    if (iter_ == nullptr || iter_->iter != iter)
+        return;
+    if (iter_->outstandingSyncs != 0 || iter_->outstandingPulls != 0
+        || !iter_->gpuSyncDone || iter_->finishScheduled)
+        return;
+
+    auto &sim = machine_.topology().sim();
+    iter_->finishScheduled = true;
+    const sim::Tick end = std::max(sim.now(), iter_->computeEnd);
+    sim.events().schedule(end, [this, iter] { finishIteration(iter); });
+}
+
+void
+CoarseEngine::finishIteration(std::uint32_t iter)
+{
+    auto &sim = machine_.topology().sim();
+    iter_->timeline.end = sim.now();
+    timeline_ = iter_->timeline;
+    const double iterSeconds = sim::toSeconds(sim.now() - iter_->start);
+    const double blocked = sim.now() > iter_->computeEnd
+        ? sim::toSeconds(sim.now() - iter_->computeEnd)
+        : 0.0;
+
+    if (iter >= warmup_) {
+        measuredSeconds_ += iterSeconds;
+        measuredBlocked_ += blocked;
+        ++measuredIters_;
+    }
+
+    if (options_.checkpointEveryIters != 0
+        && (iter + 1) % options_.checkpointEveryIters == 0) {
+        for (auto &device : devices_)
+            latestSnapshot_ = device->store().snapshot();
+        lastCheckpointIteration_ = iter + 1;
+        checkpointedOptimizers_.clear();
+        for (const auto &optimizer : optimizers_)
+            checkpointedOptimizers_.push_back(optimizer->saveState());
+        ++checkpoints_;
+    }
+
+    if (iter == options_.failAtIteration && failures_ == 0) {
+        recoverFromFailure(iter);
+        return;
+    }
+
+    if (iter + 1 < totalIterations_)
+        startIteration(iter + 1);
+}
+
+void
+CoarseEngine::recoverFromFailure(std::uint32_t failedIter)
+{
+    ++failures_;
+    replayed_ += failedIter + 1 - lastCheckpointIteration_;
+
+    // Roll every replica back to the latest durable checkpoint —
+    // parameters and server-side optimizer state together.
+    for (auto &device : devices_)
+        device->store().restore(latestSnapshot_);
+    for (std::size_t t = 0; t < optimizers_.size(); ++t)
+        optimizers_[t]->restoreState(checkpointedOptimizers_[t]);
+    if (options_.functionalData) {
+        auto &store = devices_.front()->store();
+        for (auto &worker : workers_) {
+            for (std::size_t t = 0; t < model_.tensors.size(); ++t)
+                worker->weights[t] = *store.get(t);
+        }
+    }
+
+    // The restarted workers re-pull the full parameter set from
+    // their proxies before resuming.
+    auto &topo = machine_.topology();
+    auto pending = std::make_shared<std::size_t>(workers_.size());
+    for (auto &worker : workers_) {
+        fabric::Message msg;
+        msg.src = machine_.pairedMemDevice(worker->node);
+        msg.dst = worker->node;
+        msg.bytes = model_.parameterBytes();
+        msg.onDelivered = [this, pending] {
+            if (--*pending == 0)
+                startIteration(lastCheckpointIteration_);
+        };
+        topo.send(std::move(msg), fabric::kNoNvLink);
+    }
+}
+
+void
+CoarseEngine::attachStats(sim::StatGroup &group) const
+{
+    group.addCounter("shards_synced", service_->shardsSynced());
+    group.addCounter("bytes_pushed", service_->bytesPushed());
+    group.addCounter("batches_fetched", batchesFetched_);
+    group.addCounter("batch_bytes_fetched", batchBytesFetched_);
+    group.addFormula("profile_runs", [this] {
+        return static_cast<double>(profileRuns_);
+    });
+    group.addFormula("checkpoints", [this] {
+        return static_cast<double>(checkpoints_);
+    });
+    group.addFormula("failures_recovered", [this] {
+        return static_cast<double>(failures_);
+    });
+    devices_.front()->store().attachStats(group.subgroup("store"));
+}
+
+dl::TrainingReport
+CoarseEngine::run(std::uint32_t iterations, std::uint32_t warmup)
+{
+    if (iterations == 0)
+        sim::fatal("CoarseEngine: need at least one iteration");
+    warmup_ = warmup;
+    totalIterations_ = iterations + warmup;
+    measuredSeconds_ = 0.0;
+    measuredBlocked_ = 0.0;
+    measuredIters_ = 0;
+
+    auto &sim = machine_.topology().sim();
+    startIteration(0);
+    sim.run();
+
+    dl::TrainingReport report;
+    report.scheme = name();
+    report.model = model_.name;
+    report.machine = machine_.name();
+    report.workers = static_cast<std::uint32_t>(workers_.size());
+    report.batchSize = batch_;
+    report.iterations = measuredIters_;
+    report.computeSeconds =
+        iteration_.forwardSeconds() + iteration_.backwardSeconds();
+    if (!service_->idle()) {
+        report.deadlocked = true;
+        return report;
+    }
+    if (measuredIters_ == 0)
+        sim::fatal("CoarseEngine: no measured iterations completed");
+    report.iterationSeconds = measuredSeconds_ / measuredIters_;
+    report.blockedCommSeconds = measuredBlocked_ / measuredIters_;
+    report.gpuUtilization =
+        report.computeSeconds / report.iterationSeconds;
+    report.throughputSamplesPerSec =
+        static_cast<double>(batch_) * workers_.size()
+        / report.iterationSeconds;
+    return report;
+}
+
+} // namespace coarse::core

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The COARSE training engine: ties the profiler, routing,
+ * partitioning, dual synchronization, proxy service, and parameter
+ * storage together behind the dl::Trainer interface (paper §III).
+ */
+
+#ifndef COARSE_CORE_ENGINE_HH
+#define COARSE_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cci/address_space.hh"
+#include "collective/communicator.hh"
+#include "dl/iteration.hh"
+#include "dl/model.hh"
+#include "dl/optimizer.hh"
+#include "dl/trainer.hh"
+#include "dual_sync.hh"
+#include "fabric/machine.hh"
+#include "memdev/memory_device.hh"
+#include "partition.hh"
+#include "profiler.hh"
+#include "proxy_sync.hh"
+#include "routing.hh"
+
+namespace coarse::core {
+
+/**
+ * Phase timestamps of one training iteration, for pipeline
+ * introspection (all in simulated ticks). Zero means the phase never
+ * occurred (e.g. no GPU-synced tensors).
+ */
+struct IterationTimeline
+{
+    sim::Tick start = 0;
+    sim::Tick computeEnd = 0;
+    sim::Tick firstPush = 0;
+    sim::Tick lastPush = 0;
+    sim::Tick firstShardSynced = 0;
+    sim::Tick lastShardSynced = 0;
+    sim::Tick firstPull = 0;
+    sim::Tick lastPull = 0;
+    sim::Tick gpuSyncEnd = 0;
+    sim::Tick end = 0;
+};
+
+/** Feature switches and tuning for one COARSE run. */
+struct CoarseOptions
+{
+    /** Use the profiler's Lat/Bw routing (off = always local proxy). */
+    bool tensorRouting = true;
+    /** Split large tensors into pipelined shards. */
+    bool tensorPartitioning = true;
+    /** Enable the dual GPU/proxy synchronization split. */
+    bool dualSync = true;
+    /**
+     * Force the fraction of parameter bytes synchronized by the
+     * proxies (ablations): negative = let the planner decide.
+     */
+    double proxyShareOverride = -1.0;
+    /** Proxy scheduling policy (Fcfs reproduces the Fig. 10 bug). */
+    SchedulingPolicy schedulingPolicy = SchedulingPolicy::Queued;
+    /** Concurrent sync-core groups (counter-rotating rings). */
+    std::size_t syncGroups = 2;
+    /**
+     * Drive proxy reductions through the Fig. 11c RingEngine state
+     * machine (explicit chunk staging + per-entry ring steps).
+     * Functional-data mode only; timed transfers keep the flow model.
+     */
+    bool detailedSyncCores = false;
+    /** Counter-rotate adjacent sync groups. */
+    bool alternateRingDirections = true;
+    /**
+     * Move real float gradients (tests) instead of timing-only
+     * transfers (full-size benchmarks).
+     */
+    bool functionalData = false;
+    /**
+     * Compress gradients to fp16 on the client-proxy wire (half the
+     * push/pull bytes); proxies accumulate at fp32. In functional
+     * mode, payloads are genuinely quantized through binary16.
+     */
+    bool compressGradients = false;
+    /** SGD learning rate used in functional mode. */
+    double learningRate = 0.1;
+    /**
+     * Update rule the proxies apply (functional mode). The optimizer
+     * state lives on the memory devices either way — that is the
+     * offloading that frees GPU memory for larger batches.
+     */
+    dl::OptimizerParams optimizer = {};
+    /** Re-run the profiler every N iterations (0 = only at start). */
+    std::uint32_t reprofileEveryIters = 0;
+    /** Override the profiled shard size S' (0 = use profiler). */
+    std::uint64_t shardBytesOverride = 0;
+    /** Snapshot parameters every N iterations (0 = never). */
+    std::uint32_t checkpointEveryIters = 0;
+    /**
+     * Fault injection: kill a worker right after this iteration
+     * completes (absolute index; UINT32_MAX = never). The engine
+     * restores all parameters from the latest checkpoint, re-pulls
+     * them to every GPU, and replays the lost iterations — the
+     * recovery path of §IV-A.
+     */
+    std::uint32_t failAtIteration = 0xffffffff;
+    /**
+     * Minibatch loading from the disaggregated pool (the abstract's
+     * "access to training data and model parameters"): each worker
+     * fetches its batch from its paired memory device. Prefetched
+     * batches overlap the previous iteration; disable prefetch to
+     * expose the fetch on the critical path.
+     */
+    bool dataLoading = false;
+    bool dataPrefetch = true;
+    /** Memory-device hardware configuration. */
+    memdev::MemoryDeviceParams deviceParams = {};
+};
+
+/**
+ * COARSE end to end, as a Trainer.
+ */
+class CoarseEngine : public dl::Trainer
+{
+  public:
+    CoarseEngine(fabric::Machine &machine, dl::ModelSpec model,
+                 std::uint32_t batchSize, CoarseOptions options = {});
+    ~CoarseEngine() override;
+
+    std::string name() const override { return "COARSE"; }
+
+    dl::TrainingReport run(std::uint32_t iterations,
+                           std::uint32_t warmup = 2) override;
+
+    /** @name Introspection (tests, benches) */
+    ///@{
+    const RoutingTable &routingTableOf(std::size_t workerIdx) const;
+    const DualSyncPlan &plan() const { return plan_; }
+    std::uint64_t shardBytes() const { return partitioner_->shardBytes(); }
+    /** Functional-mode weights of worker @p w, tensor @p t. */
+    const std::vector<float> &weights(std::size_t workerIdx,
+                                      std::size_t tensorIdx) const;
+    ProxySyncService &proxyService() { return *service_; }
+    memdev::MemoryDevice &memoryDevice(std::size_t i);
+    std::uint32_t profileRuns() const { return profileRuns_; }
+    std::uint32_t checkpointsTaken() const { return checkpoints_; }
+    std::uint32_t failuresRecovered() const { return failures_; }
+    /** Iterations re-executed due to failure recovery. */
+    std::uint32_t iterationsReplayed() const { return replayed_; }
+    /** Phase timestamps of the most recently completed iteration. */
+    const IterationTimeline &lastTimeline() const { return timeline_; }
+
+    /** Register the engine's counters under @p group. */
+    void attachStats(sim::StatGroup &group) const;
+    ///@}
+
+  private:
+    struct WorkerState;
+    struct IterationState;
+
+    void buildDevices();
+    void profileAndPlan();
+    void startIteration(std::uint32_t iter);
+    /** The body of an iteration once its input batch is resident. */
+    void runIterationBody(std::uint32_t iter);
+    /** Fetch one minibatch per worker from its paired device. */
+    void fetchBatch(std::function<void()> done);
+    void pushTensor(std::uint32_t iter, std::size_t workerIdx,
+                    std::size_t tensorIdx);
+    void onShardSynced(const ShardKey &key,
+                       const std::vector<float> &reduced);
+    void onWorkerPathDone(std::uint32_t iter);
+    void finishIteration(std::uint32_t iter);
+    /** Restore from the latest checkpoint and replay. */
+    void recoverFromFailure(std::uint32_t failedIter);
+    std::vector<float> makeGradient(std::size_t workerIdx,
+                                    std::size_t tensorIdx,
+                                    std::uint32_t iter) const;
+    void applyUpdate(std::uint32_t iter, std::size_t tensorIdx,
+                     const std::vector<float> &summedGrad);
+
+    fabric::Machine &machine_;
+    dl::ModelSpec model_;
+    std::uint32_t batch_;
+    CoarseOptions options_;
+    dl::GpuSpec gpu_;
+    dl::IterationModel iteration_;
+
+    std::vector<std::unique_ptr<memdev::MemoryDevice>> devices_;
+    std::unique_ptr<cci::AddressSpace> space_;
+    std::unique_ptr<ProxySyncService> service_;
+    std::unique_ptr<coll::Communicator> workerComm_;
+    std::unique_ptr<Profiler> profiler_;
+    std::unique_ptr<TensorPartitioner> partitioner_;
+
+    std::vector<RoutingTable> routing_; // per worker
+    DualSyncPlan plan_;
+    /** Per-tensor server-side optimizers (functional mode). */
+    std::vector<std::unique_ptr<dl::Optimizer>> optimizers_;
+
+    std::unique_ptr<IterationState> iter_;
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+    IterationTimeline timeline_;
+
+    std::uint32_t totalIterations_ = 0;
+    std::uint32_t warmup_ = 0;
+    std::uint32_t profileRuns_ = 0;
+    std::uint32_t checkpoints_ = 0;
+    std::uint32_t failures_ = 0;
+    std::uint32_t replayed_ = 0;
+    /** Iteration the newest checkpoint covers (exclusive). */
+    std::uint32_t lastCheckpointIteration_ = 0;
+    memdev::SnapshotId latestSnapshot_ = 0;
+    /** Optimizer state captured with the latest checkpoint. */
+    std::vector<dl::Optimizer::State> checkpointedOptimizers_;
+
+    // Input-pipeline state (options_.dataLoading).
+    /** Wall anchor of the iteration being started (set before any
+     *  input fetch, so fetch stalls count against the iteration). */
+    sim::Tick iterationAnchor_ = 0;
+    bool batchReady_ = false;
+    std::function<void()> pendingIteration_;
+    sim::Counter batchesFetched_;
+    sim::Counter batchBytesFetched_;
+
+    // Measurement accumulators (post-warmup).
+    double measuredSeconds_ = 0.0;
+    double measuredBlocked_ = 0.0;
+    std::uint32_t measuredIters_ = 0;
+};
+
+} // namespace coarse::core
+
+#endif // COARSE_CORE_ENGINE_HH

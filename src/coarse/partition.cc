@@ -1,0 +1,38 @@
+#include "partition.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::core {
+
+std::vector<Shard>
+TensorPartitioner::partition(std::size_t tensorIndex,
+                             std::uint64_t tensorBytes) const
+{
+    if (tensorBytes == 0)
+        sim::fatal("TensorPartitioner: zero-byte tensor");
+
+    std::vector<Shard> shards;
+    // Shards must cut on element (float) boundaries.
+    const std::uint64_t target = shardBytes_ & ~std::uint64_t(3);
+    if (target == 0 || tensorBytes < 2 * target) {
+        shards.push_back(Shard{tensorIndex, 0, 1, 0, tensorBytes});
+        return shards;
+    }
+
+    const auto count =
+        static_cast<std::uint32_t>(tensorBytes / target);
+    const std::uint64_t remainder = tensorBytes - count * target;
+    shards.reserve(count);
+    std::uint64_t offset = 0;
+    for (std::uint32_t s = 0; s < count; ++s) {
+        // The final shard absorbs the remainder so no shard is ever
+        // below the bandwidth-saturating size.
+        const std::uint64_t bytes =
+            (s == count - 1) ? target + remainder : target;
+        shards.push_back(Shard{tensorIndex, s, count, offset, bytes});
+        offset += bytes;
+    }
+    return shards;
+}
+
+} // namespace coarse::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tensor partitioning (paper §III-E).
+ *
+ * Large tensors are split into equal-sized shards of the profiled
+ * size S' so the push/pull pipeline stays full and the serial bus is
+ * driven in both directions at once. Shards are never smaller than
+ * S' ("equal to or larger than the threshold to maximize bandwidth
+ * utilization"), so a tensor slightly above S' produces one shard.
+ */
+
+#ifndef COARSE_CORE_PARTITION_HH
+#define COARSE_CORE_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace coarse::core {
+
+/** One shard of a partitioned tensor. */
+struct Shard
+{
+    /** Index of the source tensor in the model. */
+    std::size_t tensorIndex = 0;
+    /** Shard ordinal within the tensor. */
+    std::uint32_t shardIndex = 0;
+    /** Shards the tensor was split into. */
+    std::uint32_t shardCount = 1;
+    /** Byte offset of this shard within the tensor. */
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Splits tensors into shards and remembers enough to reassemble.
+ */
+class TensorPartitioner
+{
+  public:
+    /**
+     * @param shardBytes Target shard size S' (0 disables splitting).
+     */
+    explicit TensorPartitioner(std::uint64_t shardBytes)
+        : shardBytes_(shardBytes) {}
+
+    std::uint64_t shardBytes() const { return shardBytes_; }
+    void setShardBytes(std::uint64_t bytes) { shardBytes_ = bytes; }
+
+    /**
+     * Partition a tensor of @p tensorBytes bytes. Every shard is at
+     * least S' bytes (the last absorbs the remainder), so a tensor
+     * below 2*S' stays whole.
+     */
+    std::vector<Shard> partition(std::size_t tensorIndex,
+                                 std::uint64_t tensorBytes) const;
+
+  private:
+    std::uint64_t shardBytes_;
+};
+
+} // namespace coarse::core
+
+#endif // COARSE_CORE_PARTITION_HH

@@ -1,0 +1,269 @@
+#include "profiler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace coarse::core {
+
+Profiler::Profiler(fabric::Topology &topo, ProfilerOptions options)
+    : topo_(topo), options_(options)
+{
+    if (options_.minProbeBytes == 0
+        || options_.maxProbeBytes <= options_.minProbeBytes)
+        sim::fatal("Profiler: bad probe size range");
+}
+
+PathProfile
+Profiler::profilePath(fabric::NodeId client, fabric::NodeId proxy)
+{
+    PathProfile profile;
+    profile.proxy = proxy;
+    profile.latencySeconds =
+        sim::toSeconds(topo_.pathLatency(client, proxy, options_.mask));
+    for (std::uint64_t size = options_.minProbeBytes;
+         size <= options_.maxProbeBytes; size *= 2) {
+        const double bw =
+            topo_.pathBandwidth(client, proxy, size, options_.mask);
+        ProbePoint point;
+        point.bytes = size;
+        point.bytesPerSec = bw;
+        point.seconds =
+            profile.latencySeconds + static_cast<double>(size) / bw;
+        profile.points.push_back(point);
+        profile.peakBytesPerSec =
+            std::max(profile.peakBytesPerSec, bw);
+    }
+    return profile;
+}
+
+double
+Profiler::transferSeconds(const PathProfile &path,
+                          std::uint64_t bytes) const
+{
+    // Interpolate bandwidth between probe points (log-linear in size,
+    // like the underlying curves), clamped at the ends.
+    const auto &pts = path.points;
+    double bw;
+    if (bytes <= pts.front().bytes) {
+        bw = pts.front().bytesPerSec;
+    } else if (bytes >= pts.back().bytes) {
+        bw = pts.back().bytesPerSec;
+    } else {
+        auto hi = std::upper_bound(
+            pts.begin(), pts.end(), bytes,
+            [](std::uint64_t b, const ProbePoint &p) {
+                return b < p.bytes;
+            });
+        auto lo = hi - 1;
+        const double t =
+            (std::log2(static_cast<double>(bytes))
+             - std::log2(static_cast<double>(lo->bytes)))
+            / (std::log2(static_cast<double>(hi->bytes))
+               - std::log2(static_cast<double>(lo->bytes)));
+        bw = lo->bytesPerSec + t * (hi->bytesPerSec - lo->bytesPerSec);
+    }
+    return path.latencySeconds + static_cast<double>(bytes) / bw;
+}
+
+std::uint64_t
+Profiler::crossoverBytes(const PathProfile &lat,
+                         const PathProfile &bw) const
+{
+    // T_lat(S) < T_bw(S) for small S (lower latency) and the reverse
+    // for large S (higher bandwidth); bisect for the crossing.
+    std::uint64_t lo = options_.minProbeBytes;
+    std::uint64_t hi = options_.maxProbeBytes;
+    if (transferSeconds(lat, lo) >= transferSeconds(bw, lo))
+        return 0; // bw path never loses: send everything there
+    if (transferSeconds(lat, hi) <= transferSeconds(bw, hi))
+        return hi + 1; // lat path never loses: route all small... all
+    while (hi - lo > 64) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (transferSeconds(lat, mid) <= transferSeconds(bw, mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+ClientProfile
+Profiler::deriveProfile(fabric::NodeId client,
+                        std::vector<PathProfile> paths,
+                        fabric::NodeId preferred) const
+{
+    ClientProfile result;
+    result.paths = std::move(paths);
+
+    // Best latency / bandwidth. Measurement ties (within 1%) are
+    // common on symmetric fabrics; they resolve to the client's
+    // affinity proxy when it is among the tied set, and otherwise
+    // rotate deterministically by client id, so clients spread across
+    // equivalent proxies instead of piling onto the first one.
+    auto pickBest = [&](auto metric, bool smaller) {
+        double best = metric(result.paths.front());
+        for (const auto &path : result.paths) {
+            const double v = metric(path);
+            if (smaller ? v < best : v > best)
+                best = v;
+        }
+        std::vector<const PathProfile *> tied;
+        for (const auto &path : result.paths) {
+            const double v = metric(path);
+            const bool tie =
+                smaller ? v <= best * 1.01 : v >= best * 0.99;
+            if (tie)
+                tied.push_back(&path);
+        }
+        for (const PathProfile *path : tied) {
+            if (path->proxy == preferred)
+                return path;
+        }
+        return tied[client % tied.size()];
+    };
+
+    const PathProfile *lat = pickBest(
+        [](const PathProfile &p) { return p.latencySeconds; }, true);
+    const PathProfile *bw = pickBest(
+        [](const PathProfile &p) { return p.peakBytesPerSec; }, false);
+
+    result.routing.latProxy = lat->proxy;
+    result.routing.bwProxy = bw->proxy;
+    result.routing.thresholdBytes =
+        lat->proxy == bw->proxy ? 0 : crossoverBytes(*lat, *bw);
+
+    // Shard size S': smallest probe reaching saturationFraction of
+    // the BwProxy path's peak.
+    result.shardBytes = bw->points.back().bytes;
+    for (const auto &point : bw->points) {
+        if (point.bytesPerSec
+            >= options_.saturationFraction * bw->peakBytesPerSec) {
+            result.shardBytes = point.bytes;
+            break;
+        }
+    }
+    return result;
+}
+
+ClientProfile
+Profiler::profileClient(fabric::NodeId client,
+                        const std::vector<fabric::NodeId> &proxies,
+                        fabric::NodeId preferred)
+{
+    if (proxies.empty())
+        sim::fatal("Profiler: no proxies to profile");
+    std::vector<PathProfile> paths;
+    for (fabric::NodeId proxy : proxies)
+        paths.push_back(profilePath(client, proxy));
+    return deriveProfile(client, std::move(paths), preferred);
+}
+
+void
+Profiler::profilePathMeasured(fabric::NodeId client,
+                              fabric::NodeId proxy,
+                              std::function<void(PathProfile)> done)
+{
+    auto profile = std::make_shared<PathProfile>();
+    profile->proxy = proxy;
+    // Latency probe: a minimal control message, timed end to end.
+    auto sizes = std::make_shared<std::vector<std::uint64_t>>();
+    for (std::uint64_t size = options_.minProbeBytes;
+         size <= options_.maxProbeBytes; size *= 2)
+        sizes->push_back(size);
+
+    auto doneShared = std::make_shared<std::function<void(PathProfile)>>(
+        std::move(done));
+
+    // Probe sizes strictly one after another so the probes do not
+    // contend with themselves. Each size sends several back-to-back
+    // transfers and times the batch, amortizing the pipeline skew a
+    // single shot would see (real CUDA probes repeat for the same
+    // reason).
+    static constexpr std::uint32_t kRepeats = 8;
+    auto next = std::make_shared<std::function<void(std::size_t)>>();
+    *next = [this, client, proxy, profile, sizes, doneShared,
+             next](std::size_t index) {
+        if (index == sizes->size()) {
+            (*doneShared)(*profile);
+            return;
+        }
+        const std::uint64_t size = (*sizes)[index];
+        const sim::Tick started = topo_.sim().now();
+        auto outstanding = std::make_shared<std::uint32_t>(kRepeats);
+        for (std::uint32_t r = 0; r < kRepeats; ++r) {
+            fabric::Message msg;
+            msg.src = client;
+            msg.dst = proxy;
+            msg.bytes = size;
+            msg.onDelivered = [this, profile, size, started, index,
+                               next, outstanding] {
+                if (--*outstanding != 0)
+                    return;
+                const double seconds =
+                    sim::toSeconds(topo_.sim().now() - started);
+                ProbePoint point;
+                point.bytes = size;
+                point.seconds = seconds / kRepeats;
+                point.bytesPerSec =
+                    static_cast<double>(size) * kRepeats
+                    / std::max(seconds - profile->latencySeconds,
+                               1e-12);
+                profile->points.push_back(point);
+                profile->peakBytesPerSec = std::max(
+                    profile->peakBytesPerSec, point.bytesPerSec);
+                (*next)(index + 1);
+            };
+            topo_.send(std::move(msg), options_.mask);
+        }
+    };
+
+    // First measure latency with a 64-byte ping, then run the sweep.
+    const sim::Tick pingStart = topo_.sim().now();
+    fabric::Message ping;
+    ping.src = client;
+    ping.dst = proxy;
+    ping.bytes = 64;
+    ping.onDelivered = [this, profile, pingStart, next] {
+        profile->latencySeconds =
+            sim::toSeconds(topo_.sim().now() - pingStart);
+        (*next)(0);
+    };
+    topo_.send(std::move(ping), options_.mask);
+}
+
+void
+Profiler::profileClientMeasured(
+    fabric::NodeId client, std::vector<fabric::NodeId> proxies,
+    fabric::NodeId preferred, std::function<void(ClientProfile)> done)
+{
+    if (proxies.empty())
+        sim::fatal("Profiler: no proxies to profile");
+    auto paths = std::make_shared<std::vector<PathProfile>>();
+    auto proxyList = std::make_shared<std::vector<fabric::NodeId>>(
+        std::move(proxies));
+    auto doneShared =
+        std::make_shared<std::function<void(ClientProfile)>>(
+            std::move(done));
+
+    auto nextProxy =
+        std::make_shared<std::function<void(std::size_t)>>();
+    *nextProxy = [this, client, preferred, paths, proxyList,
+                  doneShared, nextProxy](std::size_t index) {
+        if (index == proxyList->size()) {
+            (*doneShared)(
+                deriveProfile(client, std::move(*paths), preferred));
+            return;
+        }
+        profilePathMeasured(client, (*proxyList)[index],
+                            [paths, nextProxy,
+                             index](PathProfile profile) {
+                                paths->push_back(std::move(profile));
+                                (*nextProxy)(index + 1);
+                            });
+    };
+    (*nextProxy)(0);
+}
+
+} // namespace coarse::core

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Communication profiler (paper §III-E, "Dynamic Partitioning").
+ *
+ * Before training, COARSE measures each client's latency and
+ * bandwidth to every proxy, picks LatProxy and BwProxy, finds the
+ * size S at which their transfer times cross, and finds the smallest
+ * shard size S' that saturates the bandwidth-optimal path. During
+ * training the measurements are refreshed periodically.
+ *
+ * The profiler measures on an idle fabric, mirroring the CUDA
+ * micro-benchmarks the real system runs: it queries the topology's
+ * analytic path latency/bandwidth, which is exactly what those
+ * probes would observe. NVLink is excluded, as the real profiler
+ * disables it to measure the PCIe path (§IV-B).
+ */
+
+#ifndef COARSE_CORE_PROFILER_HH
+#define COARSE_CORE_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/topology.hh"
+#include "routing.hh"
+
+namespace coarse::core {
+
+/** One measured (size, seconds, bandwidth) probe point. */
+struct ProbePoint
+{
+    std::uint64_t bytes = 0;
+    double seconds = 0.0;
+    double bytesPerSec = 0.0;
+};
+
+/** Full profile of one client-proxy path. */
+struct PathProfile
+{
+    fabric::NodeId proxy = fabric::kInvalidNode;
+    double latencySeconds = 0.0;
+    double peakBytesPerSec = 0.0;
+    std::vector<ProbePoint> points;
+};
+
+/** Profiler configuration. */
+struct ProfilerOptions
+{
+    std::uint64_t minProbeBytes = 1 << 10;
+    std::uint64_t maxProbeBytes = 64 << 20;
+    /** Fraction of peak that counts as "full bandwidth" for S'. */
+    double saturationFraction = 0.95;
+    fabric::LinkMask mask = fabric::kNoNvLink;
+};
+
+/** Result of profiling one client. */
+struct ClientProfile
+{
+    RoutingTable routing;
+    /** Partition shard size S' (saturates the BwProxy path). */
+    std::uint64_t shardBytes = 2 << 20;
+    std::vector<PathProfile> paths;
+};
+
+/**
+ * Measures client-to-proxy communication and builds routing tables.
+ */
+class Profiler
+{
+  public:
+    Profiler(fabric::Topology &topo, ProfilerOptions options = {});
+
+    /** Profile one path (used by Fig. 15's bench directly). */
+    PathProfile profilePath(fabric::NodeId client, fabric::NodeId proxy);
+
+    /**
+     * Build the client's routing table + shard size over @p proxies.
+     *
+     * @param preferred Affinity proxy (the client's paired device):
+     *        measurement ties — common on symmetric fabrics — resolve
+     *        to it, so clients spread across proxies instead of all
+     *        piling onto the first one.
+     */
+    ClientProfile
+    profileClient(fabric::NodeId client,
+                  const std::vector<fabric::NodeId> &proxies,
+                  fabric::NodeId preferred = fabric::kInvalidNode);
+
+    /**
+     * Measure one path by actually sending probe transfers through
+     * the live fabric, one size at a time — the analogue of the real
+     * system's CUDA probe kernels. Takes simulated time and observes
+     * whatever contention exists; @p done receives the profile.
+     */
+    void profilePathMeasured(fabric::NodeId client,
+                             fabric::NodeId proxy,
+                             std::function<void(PathProfile)> done);
+
+    /**
+     * Measured variant of profileClient(): probes every proxy
+     * sequentially, then derives the routing table exactly as the
+     * analytic version does.
+     */
+    void
+    profileClientMeasured(fabric::NodeId client,
+                          std::vector<fabric::NodeId> proxies,
+                          fabric::NodeId preferred,
+                          std::function<void(ClientProfile)> done);
+
+    const ProfilerOptions &options() const { return options_; }
+
+  private:
+    /** Transfer time of @p bytes on a path. */
+    double transferSeconds(const PathProfile &path,
+                           std::uint64_t bytes) const;
+
+    /** Find S with T_lat(S) == T_bw(S) by bisection on probe sizes. */
+    std::uint64_t crossoverBytes(const PathProfile &lat,
+                                 const PathProfile &bw) const;
+
+    /** Routing-table derivation shared by both profiling modes. */
+    ClientProfile deriveProfile(fabric::NodeId client,
+                                std::vector<PathProfile> paths,
+                                fabric::NodeId preferred) const;
+
+    fabric::Topology &topo_;
+    ProfilerOptions options_;
+};
+
+} // namespace coarse::core
+
+#endif // COARSE_CORE_PROFILER_HH

@@ -1,0 +1,190 @@
+#include "proxy_sync.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace coarse::core {
+
+namespace {
+
+std::vector<memdev::MemoryDevice *>
+checkDevices(std::vector<memdev::MemoryDevice *> devices)
+{
+    if (devices.empty())
+        sim::fatal("ProxySyncService: need at least one proxy device");
+    return devices;
+}
+
+} // namespace
+
+ProxySyncService::ProxySyncService(
+    fabric::Topology &topo, std::vector<memdev::MemoryDevice *> devices,
+    memdev::SyncScheduleOptions schedule, SchedulingPolicy policy,
+    bool functional, std::uint32_t wireBytesPerElement)
+    : topo_(topo), devices_(checkDevices(std::move(devices))),
+      scheduler_(topo, devices_, schedule), policy_(policy),
+      functional_(functional),
+      wireBytesPerElement_(wireBytesPerElement),
+      arrivalQueues_(devices_.size())
+{
+    if (wireBytesPerElement_ != 2 && wireBytesPerElement_ != 4)
+        sim::fatal("ProxySyncService: wire bytes per element must be "
+                   "2 or 4");
+}
+
+std::size_t
+ProxySyncService::proxyIndexOf(fabric::NodeId node) const
+{
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        if (devices_[i]->node() == node)
+            return i;
+    }
+    sim::fatal("ProxySyncService: node ", node, " is not a proxy");
+}
+
+void
+ProxySyncService::push(fabric::NodeId worker, fabric::NodeId proxyNode,
+                       const ShardKey &key, std::uint64_t bytes,
+                       std::vector<float> data,
+                       std::uint32_t totalContributions)
+{
+    if (bytes == 0)
+        sim::fatal("ProxySyncService: zero-byte push");
+    if (functional_ && data.size() * wireBytesPerElement_ != bytes)
+        sim::fatal("ProxySyncService: payload size mismatch for "
+                   "functional push");
+
+    const std::size_t proxyIdx = proxyIndexOf(proxyNode);
+
+    auto [it, inserted] = pending_.try_emplace(key);
+    ShardState &state = it->second;
+    if (inserted) {
+        state.bytes = bytes;
+        state.expected = totalContributions;
+        state.accum.resize(devices_.size());
+        state.touched.assign(devices_.size(), false);
+    } else if (state.bytes != bytes || state.expected
+               != totalContributions) {
+        sim::fatal("ProxySyncService: inconsistent pushes for one shard");
+    }
+
+    bytesPushed_.inc(bytes);
+    auto payload = std::make_shared<std::vector<float>>(std::move(data));
+
+    fabric::Message msg;
+    msg.src = worker;
+    msg.dst = proxyNode;
+    msg.bytes = bytes;
+    msg.onDelivered = [this, proxyIdx, key, payload] {
+        onShardArrived(proxyIdx, key, std::move(*payload));
+    };
+    topo_.send(std::move(msg), fabric::kNoNvLink);
+}
+
+void
+ProxySyncService::onShardArrived(std::size_t proxyIdx,
+                                 const ShardKey &key,
+                                 std::vector<float> data)
+{
+    auto it = pending_.find(key);
+    if (it == pending_.end())
+        sim::panic("ProxySyncService: arrival for unknown shard");
+    ShardState &state = it->second;
+
+    if (functional_) {
+        auto &accum = state.accum[proxyIdx];
+        if (accum.empty()) {
+            accum = std::move(data);
+        } else {
+            for (std::size_t e = 0; e < accum.size(); ++e)
+                accum[e] += data[e];
+        }
+    }
+    if (!state.touched[proxyIdx]) {
+        state.touched[proxyIdx] = true;
+        arrivalQueues_[proxyIdx].push_back(key);
+    }
+    ++state.arrived;
+    tryLaunch();
+}
+
+bool
+ProxySyncService::proxyReady(std::size_t proxyIdx,
+                             const ShardKey &key) const
+{
+    if (policy_ == SchedulingPolicy::Queued)
+        return true;
+    // FCFS: the proxy only joins a collective for the shard at the
+    // head of its arrival queue. Proxies that never received a
+    // contribution have nothing queued and join freely.
+    const auto &queue = arrivalQueues_[proxyIdx];
+    const ShardState &state = pending_.at(key);
+    if (!state.touched[proxyIdx])
+        return true;
+    return !queue.empty() && queue.front() == key;
+}
+
+void
+ProxySyncService::tryLaunch()
+{
+    for (auto &[key, state] : pending_) {
+        if (state.syncing || state.arrived < state.expected)
+            continue;
+        bool allReady = true;
+        for (std::size_t p = 0; p < devices_.size() && allReady; ++p)
+            allReady = proxyReady(p, key);
+        if (!allReady)
+            continue;
+        launch(key, state);
+    }
+}
+
+void
+ProxySyncService::launch(const ShardKey &key, ShardState &state)
+{
+    state.syncing = true;
+    auto done = [this, key] { onShardSynced(key); };
+    // Proxy-to-proxy accumulation runs at full precision even when
+    // the wire to the clients is compressed.
+    const std::size_t elements = state.bytes / wireBytesPerElement_;
+    if (!functional_) {
+        scheduler_.allReduceTimed(elements * sizeof(float),
+                                  std::move(done));
+        return;
+    }
+    std::vector<std::span<float>> buffers;
+    buffers.reserve(devices_.size());
+    for (auto &accum : state.accum) {
+        accum.resize(elements, 0.0f); // untouched proxies contribute 0
+        buffers.emplace_back(accum);
+    }
+    scheduler_.allReduce(std::move(buffers), std::move(done));
+}
+
+void
+ProxySyncService::onShardSynced(const ShardKey &key)
+{
+    auto it = pending_.find(key);
+    if (it == pending_.end())
+        sim::panic("ProxySyncService: completion for unknown shard");
+
+    // Remove the shard from every arrival queue (FCFS heads advance).
+    for (auto &queue : arrivalQueues_) {
+        auto pos = std::find(queue.begin(), queue.end(), key);
+        if (pos != queue.end())
+            queue.erase(pos);
+    }
+
+    synced_.inc();
+    std::vector<float> reduced;
+    if (functional_ && !it->second.accum.empty())
+        reduced = std::move(it->second.accum.front());
+    pending_.erase(it);
+
+    if (onSynced_)
+        onSynced_(key, reduced);
+    tryLaunch();
+}
+
+} // namespace coarse::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The proxy-side synchronization service (paper §III-D, §III-F).
+ *
+ * Workers push gradient shards to proxies running on the memory
+ * devices; once a shard has collected every worker's contribution,
+ * the proxies allreduce it over the CCI interconnect using the sync
+ * cores. Two scheduling policies are provided:
+ *
+ *  - Queued (the COARSE design): each proxy keeps one queue per
+ *    client and drains all queues concurrently, so a shard runs as
+ *    soon as its contributions are complete. Deadlock-free.
+ *  - Fcfs (the strawman of Fig. 10): each proxy synchronizes its
+ *    arrivals strictly in order. Cross-ordered pushes from multiple
+ *    clients then deadlock, because a collective needs every proxy
+ *    at the head of its queue on the same shard.
+ */
+
+#ifndef COARSE_CORE_PROXY_SYNC_HH
+#define COARSE_CORE_PROXY_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fabric/topology.hh"
+#include "memdev/sync_group.hh"
+#include "sim/stats.hh"
+
+namespace coarse::core {
+
+/** Identifies one shard-synchronization job. */
+struct ShardKey
+{
+    std::uint32_t iteration = 0;
+    std::uint32_t tensor = 0;
+    std::uint32_t shard = 0;
+
+    auto operator<=>(const ShardKey &) const = default;
+};
+
+/** Proxy scheduling policy. */
+enum class SchedulingPolicy
+{
+    Queued, //!< Per-client queues drained concurrently (COARSE).
+    Fcfs,   //!< Strict arrival order (deadlocks; Fig. 10 strawman).
+};
+
+/**
+ * Runs the proxy fleet of one COARSE deployment.
+ */
+class ProxySyncService
+{
+  public:
+    /** Fired once per shard when its reduction completes everywhere.
+     *  @p reduced holds the summed data in functional mode (empty
+     *  otherwise). */
+    using SyncedFn =
+        std::function<void(const ShardKey &, const std::vector<float> &)>;
+
+    /**
+     * @param topo Fabric shared with the rest of the system.
+     * @param devices One memory device per proxy, in rank order.
+     * @param schedule Sync-core group configuration.
+     * @param policy Queued (COARSE) or Fcfs (strawman).
+     * @param functional Move real float payloads when true.
+     * @param wireBytesPerElement Bytes each gradient element occupies
+     *        on the client-proxy wire (4 = fp32, 2 = compressed
+     *        fp16). Proxy-to-proxy accumulation always runs at fp32.
+     */
+    ProxySyncService(fabric::Topology &topo,
+                     std::vector<memdev::MemoryDevice *> devices,
+                     memdev::SyncScheduleOptions schedule,
+                     SchedulingPolicy policy, bool functional,
+                     std::uint32_t wireBytesPerElement = 4);
+
+    void setOnSynced(SyncedFn fn) { onSynced_ = std::move(fn); }
+
+    /**
+     * Push one shard from @p worker to @p proxyNode.
+     *
+     * @param totalContributions Worker pushes this shard will receive
+     *        across all proxies; the reduction launches when the
+     *        last one lands.
+     * @param data Gradient payload (functional mode only; pass {}).
+     */
+    void push(fabric::NodeId worker, fabric::NodeId proxyNode,
+              const ShardKey &key, std::uint64_t bytes,
+              std::vector<float> data,
+              std::uint32_t totalContributions);
+
+    /** Shards pushed but not yet fully synchronized. */
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /** True when nothing is in flight (deadlock probe). */
+    bool idle() const { return pending_.empty(); }
+
+    SchedulingPolicy policy() const { return policy_; }
+    memdev::SyncGroupScheduler &scheduler() { return scheduler_; }
+
+    /** @name Stats */
+    ///@{
+    const sim::Counter &shardsSynced() const { return synced_; }
+    const sim::Counter &bytesPushed() const { return bytesPushed_; }
+    ///@}
+
+  private:
+    struct ShardState
+    {
+        std::uint64_t bytes = 0;
+        std::uint32_t expected = 0;
+        std::uint32_t arrived = 0;
+        bool syncing = false;
+        /** Per-proxy accumulation buffers (functional mode). */
+        std::vector<std::vector<float>> accum;
+        /** Which proxies received at least one contribution. */
+        std::vector<bool> touched;
+    };
+
+    std::size_t proxyIndexOf(fabric::NodeId node) const;
+    void onShardArrived(std::size_t proxyIdx, const ShardKey &key,
+                        std::vector<float> data);
+    void tryLaunch();
+    bool proxyReady(std::size_t proxyIdx, const ShardKey &key) const;
+    void launch(const ShardKey &key, ShardState &state);
+    void onShardSynced(const ShardKey &key);
+
+    fabric::Topology &topo_;
+    std::vector<memdev::MemoryDevice *> devices_;
+    memdev::SyncGroupScheduler scheduler_;
+    SchedulingPolicy policy_;
+    bool functional_;
+    std::uint32_t wireBytesPerElement_;
+    SyncedFn onSynced_;
+
+    std::map<ShardKey, ShardState> pending_;
+    /** Per-proxy arrival-ordered queues (FCFS policy uses heads). */
+    std::vector<std::deque<ShardKey>> arrivalQueues_;
+
+    sim::Counter synced_;
+    sim::Counter bytesPushed_;
+};
+
+} // namespace coarse::core
+
+#endif // COARSE_CORE_PROXY_SYNC_HH

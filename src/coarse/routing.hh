@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-client tensor routing table (paper §III-E).
+ *
+ * Three entries: a size threshold, a latency-optimal proxy for small
+ * tensors, and a bandwidth-optimal proxy for large tensors. On
+ * machines with "anti-local" bandwidth the two differ, and routing
+ * large tensors to a remote proxy wins.
+ */
+
+#ifndef COARSE_CORE_ROUTING_HH
+#define COARSE_CORE_ROUTING_HH
+
+#include <cstdint>
+
+#include "fabric/message.hh"
+
+namespace coarse::core {
+
+/** The routing table the profiler builds for one client. */
+struct RoutingTable
+{
+    /** Proxy with the lowest measured latency (usually local). */
+    fabric::NodeId latProxy = fabric::kInvalidNode;
+    /** Proxy with the highest measured large-transfer bandwidth. */
+    fabric::NodeId bwProxy = fabric::kInvalidNode;
+    /**
+     * Requests of at least this many bytes go to bwProxy, smaller
+     * ones to latProxy. Zero sends everything to bwProxy.
+     */
+    std::uint64_t thresholdBytes = 0;
+
+    /** Destination proxy for a request of @p bytes. */
+    fabric::NodeId
+    route(std::uint64_t bytes) const
+    {
+        return bytes >= thresholdBytes ? bwProxy : latProxy;
+    }
+};
+
+} // namespace coarse::core
+
+#endif // COARSE_CORE_ROUTING_HH

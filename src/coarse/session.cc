@@ -1,0 +1,243 @@
+#include "session.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace coarse::core {
+
+/** Per-tensor synchronization state. */
+struct CoarseSession::TensorState
+{
+    std::vector<float> master;
+    std::unique_ptr<dl::Optimizer> optimizer;
+    std::uint32_t round = 0;
+    /** Which clients contributed to the in-flight round. */
+    std::vector<bool> pushed;
+    std::uint32_t pushCount = 0;
+    /** Assembled summed gradient of the in-flight round. */
+    std::vector<float> assembly;
+    std::uint32_t shardsLeft = 0;
+    std::vector<std::function<void()>> onSynced;
+};
+
+CoarseSession::CoarseSession(fabric::Machine &machine,
+                             dl::ModelSpec model, SessionOptions options)
+    : machine_(machine), model_(std::move(model)), options_(options)
+{
+    const auto &nodes = machine_.memDevices();
+    if (nodes.empty())
+        sim::fatal("CoarseSession: machine has no memory devices");
+
+    std::vector<memdev::MemoryDevice *> raw;
+    for (fabric::NodeId node : nodes) {
+        devices_.push_back(std::make_unique<memdev::MemoryDevice>(
+            node, options_.deviceParams));
+        raw.push_back(devices_.back().get());
+    }
+
+    memdev::SyncScheduleOptions schedule;
+    schedule.groups = std::min<std::size_t>(
+        options_.syncGroups, options_.deviceParams.syncCoreCount);
+    service_ = std::make_unique<ProxySyncService>(
+        machine_.topology(), std::move(raw), schedule,
+        SchedulingPolicy::Queued, /*functional=*/true);
+    service_->setOnSynced([this](const ShardKey &key,
+                                 const std::vector<float> &reduced) {
+        onShardSynced(key, reduced);
+    });
+
+    profiler_ = std::make_unique<Profiler>(machine_.topology());
+    std::uint64_t shardBytes = 2 << 20;
+    for (std::size_t w = 0; w < machine_.workers().size(); ++w) {
+        const fabric::NodeId worker = machine_.workers()[w];
+        if (options_.tensorRouting) {
+            const auto profile = profiler_->profileClient(
+                worker, nodes, machine_.pairedMemDevice(worker));
+            routing_.push_back(profile.routing);
+            shardBytes = profile.shardBytes;
+        } else {
+            RoutingTable table;
+            table.latProxy = machine_.pairedMemDevice(worker);
+            table.bwProxy = table.latProxy;
+            routing_.push_back(table);
+        }
+        clients_.push_back(
+            std::unique_ptr<Client>(new Client(*this, w)));
+    }
+    partitioner_ = std::make_unique<TensorPartitioner>(
+        options_.tensorPartitioning ? shardBytes : 0);
+
+    // Initialize the storage with the model's weights.
+    for (std::size_t t = 0; t < model_.tensors.size(); ++t) {
+        auto state = std::make_unique<TensorState>();
+        state->master.resize(model_.tensors[t].elements);
+        for (std::size_t e = 0; e < state->master.size(); ++e) {
+            state->master[e] = 1.0f + 0.001f * static_cast<float>(t)
+                + 1e-6f * static_cast<float>(e % 997);
+        }
+        state->optimizer = std::make_unique<dl::Optimizer>(
+            options_.optimizer, state->master.size());
+        state->pushed.assign(clients_.size(), false);
+        tensors_.push_back(std::move(state));
+        for (auto &device : devices_)
+            device->store().put(t, tensors_.back()->master);
+    }
+}
+
+CoarseSession::~CoarseSession() = default;
+
+CoarseSession::Client &
+CoarseSession::client(std::size_t workerIdx)
+{
+    return *clients_.at(workerIdx);
+}
+
+const std::vector<float> &
+CoarseSession::weights(std::size_t tensorIdx) const
+{
+    return tensors_.at(tensorIdx)->master;
+}
+
+std::uint32_t
+CoarseSession::roundsCompleted(std::size_t tensorIdx) const
+{
+    return tensors_.at(tensorIdx)->round;
+}
+
+memdev::SnapshotId
+CoarseSession::checkpoint()
+{
+    memdev::SnapshotId id = 0;
+    for (auto &device : devices_)
+        id = device->store().snapshot();
+    return id;
+}
+
+void
+CoarseSession::Client::push(std::size_t tensorIdx,
+                            std::vector<float> gradient,
+                            std::function<void()> onSynced)
+{
+    session_->doPush(index_, tensorIdx, std::move(gradient),
+                     std::move(onSynced));
+}
+
+void
+CoarseSession::Client::pull(
+    std::size_t tensorIdx,
+    std::function<void(const std::vector<float> &)> onData)
+{
+    session_->doPull(index_, tensorIdx, std::move(onData));
+}
+
+const RoutingTable &
+CoarseSession::Client::routing() const
+{
+    return session_->routing_.at(index_);
+}
+
+void
+CoarseSession::doPush(std::size_t workerIdx, std::size_t tensorIdx,
+                      std::vector<float> gradient,
+                      std::function<void()> onSynced)
+{
+    if (tensorIdx >= tensors_.size())
+        sim::fatal("CoarseSession: unknown tensor ", tensorIdx);
+    TensorState &state = *tensors_[tensorIdx];
+    if (gradient.size() != state.master.size()) {
+        sim::fatal("CoarseSession: gradient for tensor ", tensorIdx,
+                   " has ", gradient.size(), " elements, expected ",
+                   state.master.size());
+    }
+    if (state.pushed[workerIdx]) {
+        sim::fatal("CoarseSession: client ", workerIdx,
+                   " pushed tensor ", tensorIdx,
+                   " twice in one round (pull or await sync first)");
+    }
+    state.pushed[workerIdx] = true;
+    ++state.pushCount;
+    if (onSynced)
+        state.onSynced.push_back(std::move(onSynced));
+
+    const std::uint64_t tensorBytes =
+        state.master.size() * sizeof(float);
+    const fabric::NodeId proxy =
+        routing_[workerIdx].route(tensorBytes);
+    const auto shards =
+        partitioner_->partition(tensorIdx, tensorBytes);
+    if (state.pushCount == 1) {
+        state.shardsLeft = static_cast<std::uint32_t>(shards.size());
+        state.assembly.assign(state.master.size(), 0.0f);
+    }
+
+    for (const Shard &shard : shards) {
+        const std::size_t begin = shard.offset / sizeof(float);
+        const std::size_t len = shard.bytes / sizeof(float);
+        std::vector<float> payload(gradient.begin() + begin,
+                                   gradient.begin() + begin + len);
+        service_->push(
+            machine_.workers()[workerIdx], proxy,
+            ShardKey{state.round,
+                     static_cast<std::uint32_t>(tensorIdx),
+                     shard.shardIndex},
+            shard.bytes, std::move(payload),
+            static_cast<std::uint32_t>(clients_.size()));
+    }
+}
+
+void
+CoarseSession::onShardSynced(const ShardKey &key,
+                             const std::vector<float> &reduced)
+{
+    TensorState &state = *tensors_.at(key.tensor);
+    const std::uint64_t tensorBytes =
+        state.master.size() * sizeof(float);
+    const auto shards =
+        partitioner_->partition(key.tensor, tensorBytes);
+    const Shard &shard = shards.at(key.shard);
+    std::copy(reduced.begin(), reduced.end(),
+              state.assembly.begin()
+                  + static_cast<std::ptrdiff_t>(shard.offset
+                                                / sizeof(float)));
+    if (--state.shardsLeft != 0)
+        return;
+
+    // Round complete: average, apply the optimizer, publish.
+    const float scale = 1.0f / static_cast<float>(clients_.size());
+    for (auto &value : state.assembly)
+        value *= scale;
+    state.optimizer->apply(state.master, state.assembly);
+    for (auto &device : devices_)
+        device->store().put(key.tensor, state.master);
+
+    ++state.round;
+    state.pushed.assign(clients_.size(), false);
+    state.pushCount = 0;
+    auto callbacks = std::move(state.onSynced);
+    state.onSynced.clear();
+    for (auto &callback : callbacks)
+        callback();
+}
+
+void
+CoarseSession::doPull(
+    std::size_t workerIdx, std::size_t tensorIdx,
+    std::function<void(const std::vector<float> &)> onData)
+{
+    if (tensorIdx >= tensors_.size())
+        sim::fatal("CoarseSession: unknown tensor ", tensorIdx);
+    const std::uint64_t bytes =
+        tensors_[tensorIdx]->master.size() * sizeof(float);
+    fabric::Message msg;
+    msg.src = routing_[workerIdx].route(bytes);
+    msg.dst = machine_.workers()[workerIdx];
+    msg.bytes = bytes;
+    msg.onDelivered = [this, tensorIdx,
+                       onData = std::move(onData)]() mutable {
+        onData(tensors_[tensorIdx]->master);
+    };
+    machine_.topology().send(std::move(msg), fabric::kNoNvLink);
+}
+
+} // namespace coarse::core

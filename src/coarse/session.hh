@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The framework-facing push/pull interface (paper §III, §IV-B).
+ *
+ * COARSE integrates with training frameworks through a conventional
+ * parameter-server API: each worker holds a ParameterClient with
+ * push(tensor, gradient) and pull(tensor) calls, while routing,
+ * partitioning, proxy synchronization, and the server-side optimizer
+ * run behind the scenes. The CoarseEngine drives this machinery from
+ * a simulated training loop; a CoarseSession exposes it directly, the
+ * way the paper's TensorFlow distribution strategy does ("typically
+ * requires 2 lines of code change").
+ */
+
+#ifndef COARSE_CORE_SESSION_HH
+#define COARSE_CORE_SESSION_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dl/model.hh"
+#include "dl/optimizer.hh"
+#include "fabric/machine.hh"
+#include "memdev/memory_device.hh"
+#include "partition.hh"
+#include "profiler.hh"
+#include "proxy_sync.hh"
+#include "routing.hh"
+
+namespace coarse::core {
+
+/** Session configuration. */
+struct SessionOptions
+{
+    bool tensorRouting = true;
+    bool tensorPartitioning = true;
+    dl::OptimizerParams optimizer = {};
+    std::size_t syncGroups = 2;
+    memdev::MemoryDeviceParams deviceParams = {};
+};
+
+/**
+ * A live COARSE deployment on a machine: storage initialized with a
+ * model's weights, proxies running, one client per worker.
+ */
+class CoarseSession
+{
+  public:
+    /**
+     * Per-worker handle. push() contributes this worker's gradient
+     * for a tensor; once every worker has pushed the same round, the
+     * proxies synchronize, the server-side optimizer updates the
+     * master copy, and pending pull() callbacks resolve with the
+     * fresh weights (after the simulated transfer back to the GPU).
+     */
+    class Client
+    {
+      public:
+        /** Contribute a gradient; @p onSynced fires when this
+         *  tensor's round has been applied at the storage. */
+        void push(std::size_t tensorIdx, std::vector<float> gradient,
+                  std::function<void()> onSynced = nullptr);
+
+        /** Fetch the current weights of a tensor into this worker;
+         *  the callback receives the data at delivery time. */
+        void
+        pull(std::size_t tensorIdx,
+             std::function<void(const std::vector<float> &)> onData);
+
+        /** This client's routing table (introspection). */
+        const RoutingTable &routing() const;
+
+        std::size_t index() const { return index_; }
+
+      private:
+        friend class CoarseSession;
+        Client(CoarseSession &session, std::size_t index)
+            : session_(&session), index_(index) {}
+
+        CoarseSession *session_;
+        std::size_t index_;
+    };
+
+    CoarseSession(fabric::Machine &machine, dl::ModelSpec model,
+                  SessionOptions options = {});
+    ~CoarseSession();
+
+    std::size_t clientCount() const { return clients_.size(); }
+    Client &client(std::size_t workerIdx);
+
+    /** Current master weights of a tensor (storage-side view). */
+    const std::vector<float> &weights(std::size_t tensorIdx) const;
+
+    /** Completed synchronization rounds of a tensor. */
+    std::uint32_t roundsCompleted(std::size_t tensorIdx) const;
+
+    /** Snapshot all parameters (returns the checkpoint id). */
+    memdev::SnapshotId checkpoint();
+
+    ProxySyncService &proxyService() { return *service_; }
+
+  private:
+    struct TensorState;
+
+    void doPush(std::size_t workerIdx, std::size_t tensorIdx,
+                std::vector<float> gradient,
+                std::function<void()> onSynced);
+    void doPull(std::size_t workerIdx, std::size_t tensorIdx,
+                std::function<void(const std::vector<float> &)> onData);
+    void onShardSynced(const ShardKey &key,
+                       const std::vector<float> &reduced);
+
+    fabric::Machine &machine_;
+    dl::ModelSpec model_;
+    SessionOptions options_;
+
+    std::vector<std::unique_ptr<memdev::MemoryDevice>> devices_;
+    std::unique_ptr<ProxySyncService> service_;
+    std::unique_ptr<Profiler> profiler_;
+    std::unique_ptr<TensorPartitioner> partitioner_;
+    std::vector<RoutingTable> routing_;
+    std::vector<std::unique_ptr<Client>> clients_;
+
+    std::vector<std::unique_ptr<TensorState>> tensors_;
+};
+
+} // namespace coarse::core
+
+#endif // COARSE_CORE_SESSION_HH

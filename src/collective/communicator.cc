@@ -1,0 +1,501 @@
+#include "communicator.hh"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace coarse::coll {
+
+Communicator::Communicator(fabric::Topology &topo,
+                           std::vector<fabric::NodeId> ranks)
+    : topo_(topo), ranks_(std::move(ranks))
+{
+    if (ranks_.empty())
+        sim::fatal("Communicator: need at least one rank");
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+        for (std::size_t j = i + 1; j < ranks_.size(); ++j) {
+            if (ranks_[i] == ranks_[j])
+                sim::fatal("Communicator: duplicate rank node ",
+                           ranks_[i]);
+        }
+    }
+}
+
+namespace {
+
+/** Element range of segment @p s when @p n elements split @p p ways. */
+std::pair<std::size_t, std::size_t>
+segmentRange(std::size_t n, std::size_t p, std::size_t s)
+{
+    const std::size_t base = n / p;
+    const std::size_t extra = n % p;
+    const std::size_t begin = s * base + std::min(s, extra);
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    return {begin, begin + len};
+}
+
+/** Shared state of one ring-allreduce instance. */
+struct RingState
+{
+    std::vector<std::span<float>> buffers; //!< per-rank slice views
+    std::size_t p = 0;
+    std::size_t finished = 0;
+    std::function<void()> done;
+};
+
+} // namespace
+
+void
+Communicator::runRing(std::vector<std::span<float>> buffers,
+                      const RingOptions &options, std::size_t ringIndex,
+                      std::size_t ringCount, bool reversed,
+                      std::function<void()> done)
+{
+    (void)ringCount;
+    const std::size_t p = ranks_.size();
+    auto state = std::make_shared<RingState>();
+    state->buffers = std::move(buffers);
+    state->p = p;
+    state->done = std::move(done);
+
+    const std::size_t n = state->buffers.front().size();
+    const std::size_t totalRounds = 2 * (p - 1);
+
+    // Rank i's successor on this ring (odd rings run backwards so
+    // every physical link carries traffic in both directions).
+    auto next = [p, reversed](std::size_t i) {
+        return reversed ? (i + p - 1) % p : (i + 1) % p;
+    };
+
+    // sendRound(i, k): rank i transmits its round-k segment. The
+    // schedule is the classic reduce-scatter + allgather ring: at
+    // round k rank i sends segment (i -+ k) mod p, the receiver
+    // accumulates during the first p-1 rounds and copies afterwards.
+    auto sendRound = std::make_shared<
+        std::function<void(std::size_t, std::size_t)>>();
+    *sendRound = [this, state, next, reversed, p, n, totalRounds,
+                  options, ringIndex, sendRound](std::size_t i,
+                                                 std::size_t k) {
+        const std::size_t seg =
+            reversed ? (i + k) % p : (i + p - k % p) % p;
+        const auto [begin, end] = segmentRange(n, p, seg);
+        const std::size_t j = next(i);
+        const std::uint64_t bytes = (end - begin) * sizeof(float);
+
+        // Snapshot the payload at send time.
+        auto payload = std::make_shared<std::vector<float>>(
+            state->buffers[i].begin() + begin,
+            state->buffers[i].begin() + end);
+        bytesMoved_.inc(bytes);
+
+        fabric::Message msg;
+        msg.src = ranks_[i];
+        msg.dst = ranks_[j];
+        msg.bytes = std::max<std::uint64_t>(bytes, 1);
+        msg.tag = (std::uint64_t(ringIndex) << 32) | k;
+        msg.onDelivered = [this, state, payload, begin, end, j, k,
+                           totalRounds, options, sendRound] {
+            const bool reducePhase = k < state->p - 1;
+            auto &dst = state->buffers[j];
+            if (reducePhase) {
+                for (std::size_t e = begin; e < end; ++e)
+                    dst[e] += (*payload)[e - begin];
+            } else {
+                for (std::size_t e = begin; e < end; ++e)
+                    dst[e] = (*payload)[e - begin];
+            }
+            auto proceed = [state, j, k, totalRounds, sendRound] {
+                if (k + 1 < totalRounds) {
+                    (*sendRound)(j, k + 1);
+                } else if (++state->finished == state->p) {
+                    state->done();
+                }
+            };
+            if (reducePhase && options.reduceBytesPerSec > 0) {
+                const double sec = static_cast<double>((end - begin)
+                                                       * sizeof(float))
+                    / options.reduceBytesPerSec;
+                topo_.sim().events().scheduleIn(sim::fromSeconds(sec),
+                                                proceed);
+            } else {
+                proceed();
+            }
+        };
+        topo_.send(std::move(msg), options.mask);
+    };
+
+    for (std::size_t i = 0; i < p; ++i)
+        (*sendRound)(i, 0);
+}
+
+void
+Communicator::allReduce(std::vector<std::span<float>> buffers,
+                        const RingOptions &options,
+                        std::function<void()> done)
+{
+    const std::size_t p = ranks_.size();
+    if (buffers.size() != p)
+        sim::fatal("allReduce: got ", buffers.size(), " buffers for ", p,
+                   " ranks");
+    const std::size_t n = buffers.front().size();
+    for (const auto &b : buffers) {
+        if (b.size() != n)
+            sim::fatal("allReduce: buffers must have equal length");
+    }
+
+    if (p == 1 || n == 0) {
+        topo_.sim().events().scheduleIn(0, std::move(done));
+        return;
+    }
+
+    const std::size_t rings = std::max<std::size_t>(
+        1, std::min<std::size_t>(options.rings, n / p ? n / p : 1));
+    auto remaining = std::make_shared<std::size_t>(rings);
+    auto whenRingDone = [remaining, done = std::move(done)]() mutable {
+        if (--*remaining == 0)
+            done();
+    };
+
+    for (std::size_t r = 0; r < rings; ++r) {
+        const auto [begin, end] = segmentRange(n, rings, r);
+        std::vector<std::span<float>> slice;
+        slice.reserve(p);
+        for (auto &b : buffers)
+            slice.push_back(b.subspan(begin, end - begin));
+        const bool reversed = options.alternateDirections && (r % 2 == 1);
+        runRing(std::move(slice), options, r, rings, reversed,
+                whenRingDone);
+    }
+}
+
+void
+Communicator::runTimedRing(std::uint64_t sliceBytes,
+                           const RingOptions &options,
+                           std::size_t ringIndex, bool reversed,
+                           std::function<void()> done)
+{
+    const std::size_t p = ranks_.size();
+    const std::uint64_t segBytes =
+        std::max<std::uint64_t>(1, sliceBytes / p);
+    const std::size_t totalRounds = 2 * (p - 1);
+    auto finished = std::make_shared<std::size_t>(0);
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+
+    auto next = [p, reversed](std::size_t i) {
+        return reversed ? (i + p - 1) % p : (i + 1) % p;
+    };
+
+    auto sendRound = std::make_shared<
+        std::function<void(std::size_t, std::size_t)>>();
+    *sendRound = [this, p, next, segBytes, totalRounds, options,
+                  ringIndex, finished, doneShared,
+                  sendRound](std::size_t i, std::size_t k) {
+        const std::size_t j = next(i);
+        bytesMoved_.inc(segBytes);
+        fabric::Message msg;
+        msg.src = ranks_[i];
+        msg.dst = ranks_[j];
+        msg.bytes = segBytes;
+        msg.tag = (std::uint64_t(ringIndex) << 32) | k;
+        msg.onDelivered = [this, p, j, k, segBytes, totalRounds, options,
+                           finished, doneShared, sendRound] {
+            auto proceed = [p, j, k, totalRounds, finished, doneShared,
+                            sendRound] {
+                if (k + 1 < totalRounds) {
+                    (*sendRound)(j, k + 1);
+                } else if (++*finished == p) {
+                    (*doneShared)();
+                }
+            };
+            const bool reducePhase = k < p - 1;
+            if (reducePhase && options.reduceBytesPerSec > 0) {
+                const double sec = static_cast<double>(segBytes)
+                    / options.reduceBytesPerSec;
+                topo_.sim().events().scheduleIn(sim::fromSeconds(sec),
+                                                proceed);
+            } else {
+                proceed();
+            }
+        };
+        topo_.send(std::move(msg), options.mask);
+    };
+
+    for (std::size_t i = 0; i < p; ++i)
+        (*sendRound)(i, 0);
+}
+
+void
+Communicator::allReduceTimed(std::uint64_t bytes,
+                             const RingOptions &options,
+                             std::function<void()> done)
+{
+    const std::size_t p = ranks_.size();
+    if (p == 1 || bytes == 0) {
+        topo_.sim().events().scheduleIn(0, std::move(done));
+        return;
+    }
+    const std::size_t rings = std::max<std::size_t>(1, options.rings);
+    auto remaining = std::make_shared<std::size_t>(rings);
+    auto whenRingDone = [remaining, done = std::move(done)]() mutable {
+        if (--*remaining == 0)
+            done();
+    };
+    for (std::size_t r = 0; r < rings; ++r) {
+        const std::uint64_t slice =
+            bytes / rings + (r < bytes % rings ? 1 : 0);
+        const bool reversed = options.alternateDirections && (r % 2 == 1);
+        runTimedRing(std::max<std::uint64_t>(1, slice), options, r,
+                     reversed, whenRingDone);
+    }
+}
+
+void
+Communicator::broadcast(std::size_t root,
+                        std::vector<std::span<float>> buffers,
+                        const RingOptions &options,
+                        std::function<void()> done)
+{
+    const std::size_t p = ranks_.size();
+    if (root >= p || buffers.size() != p)
+        sim::fatal("broadcast: bad root or buffer count");
+    if (p == 1) {
+        topo_.sim().events().scheduleIn(0, std::move(done));
+        return;
+    }
+
+    auto held = std::make_shared<std::vector<std::span<float>>>(
+        std::move(buffers));
+    auto remaining = std::make_shared<std::size_t>(p - 1);
+    auto finish = [remaining, done = std::move(done)]() mutable {
+        if (--*remaining == 0)
+            done();
+    };
+    auto real = [p, root](std::size_t v) { return (v + root) % p; };
+
+    // Binomial tree over virtual ranks v = (rank - root) mod p: node
+    // v forwards to v + 2^k for strides below its own arrival stride.
+    auto sendSubtree =
+        std::make_shared<std::function<void(std::size_t)>>();
+    *sendSubtree = [this, p, real, options, finish, sendSubtree,
+                    held](std::size_t v) {
+        std::size_t limit = p;
+        if (v != 0)
+            limit = v & (~v + 1); // lowest set bit of v
+        for (std::size_t stride = 1; stride < limit && v + stride < p;
+             stride <<= 1) {
+            const std::size_t child = v + stride;
+            const std::size_t from = real(v);
+            const std::size_t to = real(child);
+            auto &bufs = *held;
+            const std::uint64_t bytes = bufs[to].size() * sizeof(float);
+            auto payload = std::make_shared<std::vector<float>>(
+                bufs[from].begin(), bufs[from].end());
+            bytesMoved_.inc(bytes);
+            fabric::Message msg;
+            msg.src = ranks_[from];
+            msg.dst = ranks_[to];
+            msg.bytes = std::max<std::uint64_t>(bytes, 1);
+            msg.onDelivered = [payload, to, child, finish, sendSubtree,
+                               held]() mutable {
+                std::copy(payload->begin(), payload->end(),
+                          (*held)[to].begin());
+                (*sendSubtree)(child);
+                finish();
+            };
+            topo_.send(std::move(msg), options.mask);
+        }
+    };
+    (*sendSubtree)(0);
+}
+
+void
+Communicator::reduce(std::size_t root,
+                     std::vector<std::span<float>> buffers,
+                     const RingOptions &options,
+                     std::function<void()> done)
+{
+    const std::size_t p = ranks_.size();
+    if (root >= p || buffers.size() != p)
+        sim::fatal("reduce: bad root or buffer count");
+    if (p == 1) {
+        topo_.sim().events().scheduleIn(0, std::move(done));
+        return;
+    }
+
+    auto held = std::make_shared<std::vector<std::span<float>>>(
+        std::move(buffers));
+    auto remaining = std::make_shared<std::size_t>(p - 1);
+    auto finish = [remaining, done = std::move(done)]() mutable {
+        if (--*remaining == 0)
+            done();
+    };
+
+    for (std::size_t i = 0; i < p; ++i) {
+        if (i == root)
+            continue;
+        auto &bufs = *held;
+        const std::uint64_t bytes = bufs[i].size() * sizeof(float);
+        auto payload = std::make_shared<std::vector<float>>(
+            bufs[i].begin(), bufs[i].end());
+        bytesMoved_.inc(bytes);
+        fabric::Message msg;
+        msg.src = ranks_[i];
+        msg.dst = ranks_[root];
+        msg.bytes = std::max<std::uint64_t>(bytes, 1);
+        msg.onDelivered = [this, payload, root, held, finish,
+                           options]() mutable {
+            auto apply = [payload, root, held, finish]() mutable {
+                auto &dst = (*held)[root];
+                for (std::size_t e = 0; e < dst.size(); ++e)
+                    dst[e] += (*payload)[e];
+                finish();
+            };
+            if (options.reduceBytesPerSec > 0) {
+                const double sec =
+                    static_cast<double>(payload->size() * sizeof(float))
+                    / options.reduceBytesPerSec;
+                topo_.sim().events().scheduleIn(sim::fromSeconds(sec),
+                                                apply);
+            } else {
+                apply();
+            }
+        };
+        topo_.send(std::move(msg), options.mask);
+    }
+}
+
+void
+Communicator::allGather(std::vector<std::span<const float>> segments,
+                        std::vector<std::span<float>> gathered,
+                        const RingOptions &options,
+                        std::function<void()> done)
+{
+    const std::size_t p = ranks_.size();
+    if (segments.size() != p || gathered.size() != p)
+        sim::fatal("allGather: need one segment and one output per rank");
+
+    std::size_t total = 0;
+    std::vector<std::size_t> offsets(p);
+    for (std::size_t i = 0; i < p; ++i) {
+        offsets[i] = total;
+        total += segments[i].size();
+    }
+    for (const auto &g : gathered) {
+        if (g.size() != total)
+            sim::fatal("allGather: output spans must cover all segments");
+    }
+
+    for (std::size_t i = 0; i < p; ++i) {
+        std::copy(segments[i].begin(), segments[i].end(),
+                  gathered[i].begin()
+                      + static_cast<std::ptrdiff_t>(offsets[i]));
+    }
+    if (p == 1) {
+        topo_.sim().events().scheduleIn(0, std::move(done));
+        return;
+    }
+
+    auto held = std::make_shared<std::vector<std::span<float>>>(
+        std::move(gathered));
+    auto remaining = std::make_shared<std::size_t>(p * (p - 1));
+    auto finish = [remaining, done = std::move(done)]() mutable {
+        if (--*remaining == 0)
+            done();
+    };
+    for (std::size_t i = 0; i < p; ++i) {
+        auto payload = std::make_shared<std::vector<float>>(
+            segments[i].begin(), segments[i].end());
+        for (std::size_t j = 0; j < p; ++j) {
+            if (j == i)
+                continue;
+            const std::uint64_t bytes = payload->size() * sizeof(float);
+            bytesMoved_.inc(bytes);
+            fabric::Message msg;
+            msg.src = ranks_[i];
+            msg.dst = ranks_[j];
+            msg.bytes = std::max<std::uint64_t>(bytes, 1);
+            msg.onDelivered = [payload, j, off = offsets[i], held,
+                               finish]() mutable {
+                std::copy(payload->begin(), payload->end(),
+                          (*held)[j].begin()
+                              + static_cast<std::ptrdiff_t>(off));
+                finish();
+            };
+            topo_.send(std::move(msg), options.mask);
+        }
+    }
+}
+
+void
+Communicator::barrier(const RingOptions &options,
+                      std::function<void()> done)
+{
+    const std::size_t p = ranks_.size();
+    if (p == 1) {
+        topo_.sim().events().scheduleIn(0, std::move(done));
+        return;
+    }
+    // Two passes around a control-message ring.
+    auto hop = std::make_shared<std::function<void(std::size_t)>>();
+    auto total = std::make_shared<std::size_t>(0);
+    *hop = [this, p, options, hop, total,
+            done = std::move(done)](std::size_t i) mutable {
+        if (*total == 2 * p) {
+            done();
+            return;
+        }
+        ++*total;
+        fabric::Message msg;
+        msg.src = ranks_[i];
+        msg.dst = ranks_[(i + 1) % p];
+        msg.bytes = 64;
+        msg.onDelivered = [hop, i, p] { (*hop)((i + 1) % p); };
+        topo_.send(std::move(msg), options.mask);
+    };
+    (*hop)(0);
+}
+
+double
+Communicator::estimateAllReduceSeconds(std::uint64_t bytes,
+                                       const RingOptions &options)
+{
+    const std::size_t p = ranks_.size();
+    if (p <= 1 || bytes == 0)
+        return 0.0;
+
+    const std::size_t rings = std::max<std::size_t>(1, options.rings);
+    // Rings sharing a link direction split its bandwidth.
+    const std::size_t perDirection =
+        options.alternateDirections ? (rings + 1) / 2 : rings;
+
+    const std::uint64_t sliceBytes = std::max<std::uint64_t>(
+        1, bytes / rings);
+    const std::uint64_t segBytes =
+        std::max<std::uint64_t>(1, sliceBytes / p);
+
+    double bmin = std::numeric_limits<double>::infinity();
+    sim::Tick lmax = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+        const auto a = ranks_[i];
+        const auto b = ranks_[(i + 1) % p];
+        bmin = std::min(
+            bmin, topo_.pathBandwidth(a, b, segBytes, options.mask));
+        lmax = std::max(lmax, topo_.pathLatency(a, b, options.mask));
+    }
+
+    // Reduction only happens during the p-1 reduce-scatter rounds —
+    // half of the 2(p-1) total — so it contributes half per step.
+    const double perStep =
+        static_cast<double>(segBytes * perDirection) / bmin
+        + sim::toSeconds(lmax)
+        + (options.reduceBytesPerSec > 0
+               ? 0.5 * static_cast<double>(segBytes)
+                   / options.reduceBytesPerSec
+               : 0.0);
+    return 2.0 * static_cast<double>(p - 1) * perStep;
+}
+
+} // namespace coarse::coll

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MPI-like collective communication over the simulated fabric.
+ *
+ * Collectives are *functional*: they really move and reduce float
+ * data, so tests can check numerical results, while the fabric
+ * accounts for time. The ring allreduce follows the classic
+ * reduce-scatter + allgather schedule whose cost is
+ * 2(p-1)/p * n bytes per rank — the formula the paper uses in its
+ * dual-synchronization planner (§III-F).
+ */
+
+#ifndef COARSE_COLL_COMMUNICATOR_HH
+#define COARSE_COLL_COMMUNICATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fabric/topology.hh"
+#include "sim/stats.hh"
+
+namespace coarse::coll {
+
+/** Options controlling ring construction and timing. */
+struct RingOptions
+{
+    /** Link kinds the rings may traverse. */
+    fabric::LinkMask mask = fabric::kAllLinks;
+    /** Per-rank reduction throughput (bytes/s of summed data). */
+    double reduceBytesPerSec = 50e9;
+    /**
+     * Number of parallel rings. Data splits evenly across rings;
+     * adjacent rings run in opposite directions so every link is
+     * used bidirectionally (paper Fig. 11b).
+     */
+    std::size_t rings = 1;
+    /** Alternate ring directions (disable to study the ablation). */
+    bool alternateDirections = true;
+};
+
+/**
+ * An ordered set of fabric endpoints that perform collectives
+ * together.
+ */
+class Communicator
+{
+  public:
+    Communicator(fabric::Topology &topo,
+                 std::vector<fabric::NodeId> ranks);
+
+    std::size_t size() const { return ranks_.size(); }
+    fabric::NodeId rank(std::size_t i) const { return ranks_.at(i); }
+    const std::vector<fabric::NodeId> &ranks() const { return ranks_; }
+    fabric::Topology &topology() { return topo_; }
+
+    /**
+     * Ring allreduce (sum) across per-rank buffers of equal length.
+     * @p buffers[i] is rank i's data, updated in place to the sum.
+     * @p done fires when every rank holds the result.
+     */
+    void allReduce(std::vector<std::span<float>> buffers,
+                   const RingOptions &options, std::function<void()> done);
+
+    /** Broadcast rank @p root's buffer to all ranks (binomial tree). */
+    void broadcast(std::size_t root,
+                   std::vector<std::span<float>> buffers,
+                   const RingOptions &options, std::function<void()> done);
+
+    /** Reduce (sum) every rank's buffer into rank @p root's buffer. */
+    void reduce(std::size_t root, std::vector<std::span<float>> buffers,
+                const RingOptions &options, std::function<void()> done);
+
+    /**
+     * All-gather: rank i's segment buffers[i] is distributed so that
+     * every rank's @p gathered span (size = sum of segments) holds
+     * the concatenation.
+     */
+    void allGather(std::vector<std::span<const float>> segments,
+                   std::vector<std::span<float>> gathered,
+                   const RingOptions &options, std::function<void()> done);
+
+    /**
+     * Timing-only ring allreduce of @p bytes per rank: identical
+     * schedule and fabric traffic to allReduce(), but no payloads are
+     * allocated. Used for full-size model runs where materializing
+     * gigabytes of floats would be wasteful.
+     */
+    void allReduceTimed(std::uint64_t bytes, const RingOptions &options,
+                        std::function<void()> done);
+
+    /** Barrier: control-message ring; @p done when all have passed. */
+    void barrier(const RingOptions &options, std::function<void()> done);
+
+    /**
+     * Idle-fabric estimate of one allreduce of @p bytes: the
+     * 2(p-1)/p volume over the slowest ring hop. Used by planners.
+     */
+    double estimateAllReduceSeconds(std::uint64_t bytes,
+                                    const RingOptions &options);
+
+    const sim::Counter &bytesMoved() const { return bytesMoved_; }
+
+  private:
+    void runRing(std::vector<std::span<float>> buffers,
+                 const RingOptions &options, std::size_t ringIndex,
+                 std::size_t ringCount, bool reversed,
+                 std::function<void()> done);
+
+    void runTimedRing(std::uint64_t sliceBytes, const RingOptions &options,
+                      std::size_t ringIndex, bool reversed,
+                      std::function<void()> done);
+
+    fabric::Topology &topo_;
+    std::vector<fabric::NodeId> ranks_;
+    sim::Counter bytesMoved_;
+};
+
+} // namespace coarse::coll
+
+#endif // COARSE_COLL_COMMUNICATOR_HH

@@ -1,0 +1,171 @@
+#include "hierarchical.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace coarse::coll {
+
+HierarchicalAllReduce::HierarchicalAllReduce(
+    fabric::Topology &topo,
+    std::vector<std::vector<fabric::NodeId>> groups)
+    : topo_(topo), groups_(std::move(groups))
+{
+    if (groups_.empty())
+        sim::fatal("HierarchicalAllReduce: need at least one group");
+    std::vector<fabric::NodeId> leaders;
+    for (const auto &group : groups_) {
+        if (group.empty())
+            sim::fatal("HierarchicalAllReduce: empty group");
+        totalRanks_ += group.size();
+        leaders.push_back(group.front());
+        groupComms_.push_back(
+            std::make_unique<Communicator>(topo_, group));
+    }
+    leaderComm_ = std::make_unique<Communicator>(topo_, leaders);
+}
+
+void
+HierarchicalAllReduce::allReduce(std::vector<std::span<float>> buffers,
+                                 const HierarchicalOptions &options,
+                                 std::function<void()> done)
+{
+    if (buffers.size() != totalRanks_)
+        sim::fatal("HierarchicalAllReduce: got ", buffers.size(),
+                   " buffers for ", totalRanks_, " ranks");
+
+    // Slice the flat buffer list back into groups.
+    auto held = std::make_shared<std::vector<std::span<float>>>(
+        std::move(buffers));
+    auto groupSlices = std::make_shared<
+        std::vector<std::vector<std::span<float>>>>();
+    std::size_t offset = 0;
+    for (const auto &group : groups_) {
+        groupSlices->emplace_back(held->begin() + offset,
+                                  held->begin() + offset
+                                      + group.size());
+        offset += group.size();
+    }
+
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto optionsShared =
+        std::make_shared<HierarchicalOptions>(options);
+
+    // Phase 3: broadcast the result from each leader.
+    auto phase3 = [this, held, groupSlices, doneShared,
+                   optionsShared] {
+        auto remaining = std::make_shared<std::size_t>(groups_.size());
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            groupComms_[g]->broadcast(
+                0, (*groupSlices)[g], optionsShared->intra,
+                [remaining, doneShared] {
+                    if (--*remaining == 0)
+                        (*doneShared)();
+                });
+        }
+    };
+
+    // Phase 2: allreduce across the leaders.
+    auto phase2 = [this, groupSlices, optionsShared, phase3] {
+        std::vector<std::span<float>> leaderBuffers;
+        leaderBuffers.reserve(groups_.size());
+        for (auto &slice : *groupSlices)
+            leaderBuffers.push_back(slice.front());
+        leaderComm_->allReduce(std::move(leaderBuffers),
+                               optionsShared->inter, phase3);
+    };
+
+    // Phase 1: reduce each group into its leader.
+    auto remaining = std::make_shared<std::size_t>(groups_.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        groupComms_[g]->reduce(0, (*groupSlices)[g],
+                               optionsShared->intra,
+                               [remaining, phase2] {
+                                   if (--*remaining == 0)
+                                       phase2();
+                               });
+    }
+}
+
+void
+HierarchicalAllReduce::allReduceTimed(std::uint64_t bytes,
+                                      const HierarchicalOptions &options,
+                                      std::function<void()> done)
+{
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+    auto optionsShared =
+        std::make_shared<HierarchicalOptions>(options);
+
+    auto phase3 = [this, bytes, optionsShared, doneShared] {
+        auto remaining = std::make_shared<std::size_t>(0);
+        for (const auto &group : groups_)
+            *remaining += group.size() - 1;
+        if (*remaining == 0) {
+            (*doneShared)();
+            return;
+        }
+        for (const auto &group : groups_) {
+            for (std::size_t m = 1; m < group.size(); ++m) {
+                fabric::Message msg;
+                msg.src = group.front();
+                msg.dst = group[m];
+                msg.bytes = bytes;
+                msg.onDelivered = [remaining, doneShared] {
+                    if (--*remaining == 0)
+                        (*doneShared)();
+                };
+                topo_.send(std::move(msg), optionsShared->intra.mask);
+            }
+        }
+    };
+
+    auto phase2 = [this, bytes, optionsShared, phase3] {
+        leaderComm_->allReduceTimed(bytes, optionsShared->inter,
+                                    phase3);
+    };
+
+    // Phase 1: members stream their gradients to the leader.
+    auto remaining = std::make_shared<std::size_t>(0);
+    for (const auto &group : groups_)
+        *remaining += group.size() - 1;
+    if (*remaining == 0) {
+        phase2();
+        return;
+    }
+    for (const auto &group : groups_) {
+        for (std::size_t m = 1; m < group.size(); ++m) {
+            fabric::Message msg;
+            msg.src = group[m];
+            msg.dst = group.front();
+            msg.bytes = bytes;
+            msg.onDelivered = [remaining, phase2] {
+                if (--*remaining == 0)
+                    phase2();
+            };
+            topo_.send(std::move(msg), optionsShared->intra.mask);
+        }
+    }
+}
+
+double
+HierarchicalAllReduce::estimateSeconds(std::uint64_t bytes,
+                                       const HierarchicalOptions &options)
+{
+    // Phase 1/3: the slowest member-to-leader path in any group.
+    double memberSec = 0.0;
+    for (const auto &group : groups_) {
+        for (std::size_t m = 1; m < group.size(); ++m) {
+            const double bw = topo_.pathBandwidth(
+                group[m], group.front(), bytes, options.intra.mask);
+            memberSec = std::max(
+                memberSec, static_cast<double>(bytes) / bw);
+        }
+    }
+    const double leaders =
+        leaderComm_->estimateAllReduceSeconds(bytes, options.inter);
+    return 2.0 * memberSec + leaders;
+}
+
+} // namespace coarse::coll

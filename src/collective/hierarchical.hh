@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hierarchical allreduce for multi-node systems.
+ *
+ * Flat rings across a cluster push every byte through the slow
+ * inter-node network 2(p-1)/p times. The hierarchical schedule
+ * reduces within each server node first (fast intra-node fabric),
+ * ring-allreduces only the node leaders across the network, then
+ * broadcasts the result back inside each node — the standard
+ * three-phase schedule NCCL and MPI implementations use for
+ * multi-node topologies.
+ */
+
+#ifndef COARSE_COLL_HIERARCHICAL_HH
+#define COARSE_COLL_HIERARCHICAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "communicator.hh"
+
+namespace coarse::coll {
+
+/** Options for the three phases. */
+struct HierarchicalOptions
+{
+    /** Ring/link options within one server node. */
+    RingOptions intra;
+    /** Ring/link options across node leaders. */
+    RingOptions inter;
+};
+
+/**
+ * A fixed grouping of ranks (one group per server node) with the
+ * three-phase allreduce schedule over it.
+ */
+class HierarchicalAllReduce
+{
+  public:
+    /**
+     * @param groups Non-empty rank groups; the first rank of each
+     *        group acts as its leader.
+     */
+    HierarchicalAllReduce(fabric::Topology &topo,
+                          std::vector<std::vector<fabric::NodeId>> groups);
+
+    std::size_t groupCount() const { return groups_.size(); }
+    std::size_t totalRanks() const { return totalRanks_; }
+
+    /**
+     * Functional allreduce. @p buffers follow group order: first all
+     * of group 0's ranks, then group 1's, and so on.
+     */
+    void allReduce(std::vector<std::span<float>> buffers,
+                   const HierarchicalOptions &options,
+                   std::function<void()> done);
+
+    /** Timing-only variant (same traffic, no payloads). */
+    void allReduceTimed(std::uint64_t bytes,
+                        const HierarchicalOptions &options,
+                        std::function<void()> done);
+
+    /** Planner estimate for @p bytes. */
+    double estimateSeconds(std::uint64_t bytes,
+                           const HierarchicalOptions &options);
+
+  private:
+    fabric::Topology &topo_;
+    std::vector<std::vector<fabric::NodeId>> groups_;
+    std::vector<std::unique_ptr<Communicator>> groupComms_;
+    std::unique_ptr<Communicator> leaderComm_;
+    std::size_t totalRanks_ = 0;
+};
+
+} // namespace coarse::coll
+
+#endif // COARSE_COLL_HIERARCHICAL_HH

@@ -1,0 +1,110 @@
+#include "ring_builder.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace coarse::coll {
+
+double
+ringBottleneck(fabric::Topology &topo,
+               const std::vector<fabric::NodeId> &order,
+               const RingBuildOptions &options)
+{
+    if (order.size() < 2)
+        return std::numeric_limits<double>::infinity();
+
+    // Congestion-aware: when several logical hops route over the
+    // same physical link they share its bandwidth, so first count
+    // per-link usage across the whole ring.
+    std::map<fabric::LinkId, double> usage;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        for (fabric::LinkId lid :
+             topo.route(order[i], order[(i + 1) % order.size()],
+                        options.mask))
+            usage[lid] += 1.0;
+    }
+
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const auto a = order[i];
+        const auto b = order[(i + 1) % order.size()];
+        const double pathBw = topo.pathBandwidth(
+            a, b, options.referenceBytes, options.mask);
+        double maxShare = 1.0;
+        for (fabric::LinkId lid : topo.route(a, b, options.mask))
+            maxShare = std::max(maxShare, usage[lid]);
+        bottleneck = std::min(bottleneck, pathBw / maxShare);
+    }
+    return bottleneck;
+}
+
+std::vector<fabric::NodeId>
+buildRing(fabric::Topology &topo, std::vector<fabric::NodeId> ranks,
+          const RingBuildOptions &options)
+{
+    if (ranks.size() < 3)
+        return ranks;
+
+    // Greedy chain: always extend with the best-connected remaining
+    // rank (ties resolve to the earliest remaining, deterministic).
+    std::vector<fabric::NodeId> order;
+    std::vector<fabric::NodeId> remaining = ranks;
+    order.push_back(remaining.front());
+    remaining.erase(remaining.begin());
+    while (!remaining.empty()) {
+        const fabric::NodeId at = order.back();
+        std::size_t best = 0;
+        double bestScore = -1.0;
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+            // Prefer high bandwidth over few physical hops: chaining
+            // to a distant peer burns links the rest of the ring
+            // will need.
+            const double bw = topo.pathBandwidth(
+                at, remaining[i], options.referenceBytes, options.mask);
+            const double hops = static_cast<double>(
+                topo.route(at, remaining[i], options.mask).size());
+            const double score = bw / std::max(1.0, hops);
+            if (score > bestScore * 1.0000001) {
+                bestScore = score;
+                best = i;
+            }
+        }
+        order.push_back(remaining[best]);
+        remaining.erase(remaining.begin()
+                        + static_cast<std::ptrdiff_t>(best));
+    }
+
+    // 2-opt: reverse segments while the wrap-around bottleneck
+    // improves.
+    for (std::uint32_t pass = 0; pass < options.maxPasses; ++pass) {
+        bool improved = false;
+        for (std::size_t i = 1; i + 1 < order.size(); ++i) {
+            for (std::size_t j = i + 1; j < order.size(); ++j) {
+                const double before = ringBottleneck(topo, order,
+                                                     options);
+                std::reverse(order.begin()
+                                 + static_cast<std::ptrdiff_t>(i),
+                             order.begin()
+                                 + static_cast<std::ptrdiff_t>(j + 1));
+                const double after = ringBottleneck(topo, order,
+                                                    options);
+                if (after > before * 1.0000001) {
+                    improved = true;
+                } else {
+                    std::reverse(
+                        order.begin() + static_cast<std::ptrdiff_t>(i),
+                        order.begin()
+                            + static_cast<std::ptrdiff_t>(j + 1));
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return order;
+}
+
+} // namespace coarse::coll

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ring-order optimization, in the spirit of NCCL's topology search.
+ *
+ * A ring allreduce is gated by its slowest adjacent-pair hop, so the
+ * *order* of the ranks matters: on a machine whose memory devices
+ * form a physical CCI ring, a communicator constructed in shuffled
+ * order would route every logical hop across multiple physical links.
+ * buildRing() greedily chains ranks by path bandwidth and then
+ * improves the order with 2-opt moves until the bottleneck stops
+ * improving.
+ */
+
+#ifndef COARSE_COLL_RING_BUILDER_HH
+#define COARSE_COLL_RING_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/topology.hh"
+
+namespace coarse::coll {
+
+/** Options for the ring search. */
+struct RingBuildOptions
+{
+    /** Transfer size used for bandwidth lookups. */
+    std::uint64_t referenceBytes = 4 << 20;
+    fabric::LinkMask mask = fabric::kAllLinks;
+    /** Maximum 2-opt improvement passes. */
+    std::uint32_t maxPasses = 8;
+};
+
+/**
+ * Bottleneck bandwidth of a ring in the given order: the minimum
+ * adjacent-pair (including wrap-around) path bandwidth.
+ */
+double ringBottleneck(fabric::Topology &topo,
+                      const std::vector<fabric::NodeId> &order,
+                      const RingBuildOptions &options = {});
+
+/**
+ * Reorder @p ranks to maximize the ring bottleneck. Deterministic;
+ * returns a rotation-normalized order starting at the input's first
+ * rank.
+ */
+std::vector<fabric::NodeId>
+buildRing(fabric::Topology &topo, std::vector<fabric::NodeId> ranks,
+          const RingBuildOptions &options = {});
+
+} // namespace coarse::coll
+
+#endif // COARSE_COLL_RING_BUILDER_HH

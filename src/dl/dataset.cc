@@ -1,0 +1,50 @@
+#include "dataset.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::dl {
+
+Dataset
+imagenet()
+{
+    return Dataset{"imagenet", 1281167, 90};
+}
+
+Dataset
+squad()
+{
+    return Dataset{"squad_v1.1", 87599, 2};
+}
+
+Dataset
+datasetFor(const std::string &modelName)
+{
+    if (modelName == "resnet50" || modelName == "vgg16")
+        return imagenet();
+    if (modelName == "bert_base" || modelName == "bert_large")
+        return squad();
+    if (modelName == "gpt2_medium") {
+        // WebText-scale token budget expressed as "samples".
+        return Dataset{"webtext", 8000000, 1};
+    }
+    sim::fatal("datasetFor: no dataset mapping for model '", modelName,
+               "'");
+}
+
+double
+epochSeconds(const TrainingReport &report, const Dataset &dataset)
+{
+    if (report.throughputSamplesPerSec <= 0.0)
+        sim::fatal("epochSeconds: report has no throughput");
+    return static_cast<double>(dataset.samples)
+        / report.throughputSamplesPerSec;
+}
+
+double
+timeToTrainSeconds(const TrainingReport &report, const Dataset &dataset)
+{
+    return epochSeconds(report, dataset)
+        * static_cast<double>(dataset.typicalEpochs);
+}
+
+} // namespace coarse::dl

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dataset descriptors for the paper's workloads, used to convert
+ * per-iteration throughput into epoch / time-to-train figures.
+ */
+
+#ifndef COARSE_DL_DATASET_HH
+#define COARSE_DL_DATASET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trainer.hh"
+
+namespace coarse::dl {
+
+/** A training dataset (size only — contents are out of scope). */
+struct Dataset
+{
+    std::string name;
+    /** Training examples per epoch. */
+    std::uint64_t samples = 0;
+    /** Typical epochs to convergence for the paper's workloads. */
+    std::uint32_t typicalEpochs = 1;
+};
+
+/** ImageNet-1k classification training split. */
+Dataset imagenet();
+
+/** SQuAD v1.1 fine-tuning training split. */
+Dataset squad();
+
+/** Dataset the paper pairs with @p modelName. */
+Dataset datasetFor(const std::string &modelName);
+
+/** Seconds per epoch at a report's measured throughput. */
+double epochSeconds(const TrainingReport &report,
+                    const Dataset &dataset);
+
+/** Seconds to the dataset's typical convergence point. */
+double timeToTrainSeconds(const TrainingReport &report,
+                          const Dataset &dataset);
+
+} // namespace coarse::dl
+
+#endif // COARSE_DL_DATASET_HH

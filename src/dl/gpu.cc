@@ -1,0 +1,34 @@
+#include "gpu.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::dl {
+
+GpuSpec
+gpuSpec(const std::string &name)
+{
+    GpuSpec spec;
+    spec.name = name;
+    if (name == "T4") {
+        spec.fp32Tflops = 8.1;
+        spec.memBytes = std::uint64_t(16) << 30;
+        spec.memBytesPerSec = 300e9;
+        return spec;
+    }
+    if (name == "P100") {
+        spec.fp32Tflops = 9.3;
+        spec.memBytes = std::uint64_t(16) << 30;
+        spec.memBytesPerSec = 720e9;
+        return spec;
+    }
+    if (name == "V100") {
+        spec.fp32Tflops = 15.7;
+        spec.memBytes = std::uint64_t(16) << 30;
+        spec.memBytesPerSec = 900e9;
+        return spec;
+    }
+    sim::fatal("gpuSpec: unknown GPU '", name,
+               "' (expected T4, P100, or V100)");
+}
+
+} // namespace coarse::dl

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Worker GPU compute model.
+ */
+
+#ifndef COARSE_DL_GPU_HH
+#define COARSE_DL_GPU_HH
+
+#include <cstdint>
+#include <string>
+
+namespace coarse::dl {
+
+/** Static GPU characteristics (public vendor specs). */
+struct GpuSpec
+{
+    std::string name;
+    /** Peak FP32 throughput. */
+    double fp32Tflops = 0.0;
+    /** On-device memory capacity. */
+    std::uint64_t memBytes = 0;
+    /** On-device memory bandwidth. */
+    double memBytesPerSec = 0.0;
+    /** Fraction of peak FLOPs training kernels sustain at large batch. */
+    double computeEfficiency = 0.45;
+    /**
+     * Small batches under-fill the SMs; sustained throughput scales
+     * as batch/(batch + batchHalfSaturation). This is why doubling
+     * the per-GPU batch (Fig. 16e) buys more than constant-comm
+     * amortization.
+     */
+    double batchHalfSaturation = 1.0;
+
+    /**
+     * Reduction throughput when the GPU itself sums gradients
+     * (AllReduce baseline): memory-bandwidth bound at about a third
+     * of the device bandwidth (two reads + one write per element).
+     */
+    double
+    reduceBytesPerSec() const
+    {
+        return memBytesPerSec / 3.0;
+    }
+
+    /** Sustained training FLOPs at batch size @p batch. */
+    double
+    effectiveFlops(std::uint32_t batch) const
+    {
+        const double fill = static_cast<double>(batch)
+            / (static_cast<double>(batch) + batchHalfSaturation);
+        return fp32Tflops * 1e12 * computeEfficiency * fill;
+    }
+};
+
+/** Look up a GPU by model name ("T4", "P100", "V100"). */
+GpuSpec gpuSpec(const std::string &name);
+
+} // namespace coarse::dl
+
+#endif // COARSE_DL_GPU_HH

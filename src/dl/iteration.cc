@@ -1,0 +1,34 @@
+#include "iteration.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::dl {
+
+IterationModel::IterationModel(const ModelSpec &model, const GpuSpec &gpu,
+                               std::uint32_t batchSize)
+    : model_(&model), gpu_(&gpu), batch_(batchSize)
+{
+    if (batchSize == 0)
+        sim::fatal("IterationModel: batch size must be positive");
+    const double flops =
+        model.flopsPerSampleFwd * static_cast<double>(batchSize);
+    fwd_ = flops / gpu.effectiveFlops(batchSize);
+    bwd_ = fwd_ * model.backwardRatio;
+}
+
+double
+IterationModel::gradReadySeconds(std::size_t tensorIdx) const
+{
+    if (tensorIdx >= model_->tensors.size())
+        sim::fatal("IterationModel: tensor index out of range");
+    // Fraction of the backward sweep completed once this tensor's
+    // gradient exists: everything from the output side down to and
+    // including this tensor. Work is apportioned by parameter bytes.
+    const double before = tensorIdx == 0
+        ? 0.0
+        : model_->prefixBytesFraction(tensorIdx - 1);
+    const double suffix = 1.0 - before;
+    return bwd_ * suffix;
+}
+
+} // namespace coarse::dl

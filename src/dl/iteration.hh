@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Timing model of one data-parallel training iteration on one worker.
+ *
+ * The forward pass runs start to finish; the backward pass produces
+ * gradient tensors in reverse layer order, each becoming ready when
+ * the backward sweep has covered the layers behind it. Communication
+ * layers subscribe to those ready times to overlap synchronization
+ * with computation, as real frameworks do.
+ */
+
+#ifndef COARSE_DL_ITERATION_HH
+#define COARSE_DL_ITERATION_HH
+
+#include <cstdint>
+
+#include "gpu.hh"
+#include "model.hh"
+
+namespace coarse::dl {
+
+/**
+ * Per-iteration timing for (model, GPU, batch).
+ */
+class IterationModel
+{
+  public:
+    IterationModel(const ModelSpec &model, const GpuSpec &gpu,
+                   std::uint32_t batchSize);
+
+    const ModelSpec &model() const { return *model_; }
+    const GpuSpec &gpu() const { return *gpu_; }
+    std::uint32_t batchSize() const { return batch_; }
+
+    /** Forward-pass wall time. */
+    double forwardSeconds() const { return fwd_; }
+
+    /** Backward-pass wall time. */
+    double backwardSeconds() const { return bwd_; }
+
+    /**
+     * Offset from the start of the backward pass at which tensor
+     * @p tensorIdx's gradient is complete. Output-side tensors (high
+     * indices) come first; the input-side tensor finishes last.
+     */
+    double gradReadySeconds(std::size_t tensorIdx) const;
+
+  private:
+    const ModelSpec *model_;
+    const GpuSpec *gpu_;
+    std::uint32_t batch_;
+    double fwd_;
+    double bwd_;
+};
+
+} // namespace coarse::dl
+
+#endif // COARSE_DL_ITERATION_HH

@@ -1,0 +1,74 @@
+#include "model.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::dl {
+
+std::uint64_t
+ModelSpec::parameterCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : tensors)
+        total += t.elements;
+    return total;
+}
+
+std::uint64_t
+ModelSpec::parameterBytes() const
+{
+    return parameterCount() * 4;
+}
+
+double
+ModelSpec::prefixBytesFraction(std::size_t i) const
+{
+    if (i >= tensors.size())
+        sim::fatal("ModelSpec: tensor index ", i, " out of range");
+    const double total = static_cast<double>(parameterBytes());
+    if (total == 0.0)
+        return 0.0;
+    std::uint64_t prefix = 0;
+    for (std::size_t k = 0; k <= i; ++k)
+        prefix += tensors[k].bytes();
+    return static_cast<double>(prefix) / total;
+}
+
+std::uint64_t
+gpuMemoryNeeded(const ModelSpec &model, std::uint32_t batchSize,
+                const TrainingStateModel &state)
+{
+    const double perParam = state.weightBytesPerParam
+        + state.gradBytesPerParam + state.optimizerBytesPerParam;
+    const double stateBytes =
+        perParam * static_cast<double>(model.parameterCount());
+    return static_cast<std::uint64_t>(stateBytes)
+        + std::uint64_t(batchSize) * model.activationBytesPerSample
+        + model.workspaceBytes;
+}
+
+std::uint32_t
+maxBatchSize(const ModelSpec &model, std::uint64_t gpuMemBytes,
+             const TrainingStateModel &state)
+{
+    std::uint32_t batch = 0;
+    while (batch < 65536
+           && gpuMemoryNeeded(model, batch + 1, state) <= gpuMemBytes)
+        ++batch;
+    return batch;
+}
+
+TrainingStateModel
+residentStateModel()
+{
+    return TrainingStateModel{4.0, 4.0, 8.0};
+}
+
+TrainingStateModel
+offloadedStateModel()
+{
+    // Weights and gradients stay on the GPU; the optimizer state and
+    // master copies live in the disaggregated memory pool.
+    return TrainingStateModel{4.0, 4.0, 0.0};
+}
+
+} // namespace coarse::dl

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DL model descriptions: parameter tensors in layer order plus the
+ * aggregate compute and memory characteristics a communication study
+ * needs. No numerics are simulated — training math is modelled by
+ * tensor sizes, FLOP counts, and activation footprints.
+ */
+
+#ifndef COARSE_DL_MODEL_HH
+#define COARSE_DL_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coarse::dl {
+
+/** One parameter tensor (weights of one layer component). */
+struct TensorSpec
+{
+    std::string name;
+    std::uint64_t elements = 0;
+
+    std::uint64_t bytes() const { return elements * 4; }
+};
+
+/** A whole model, tensors ordered input-side first. */
+struct ModelSpec
+{
+    std::string name;
+    std::vector<TensorSpec> tensors;
+    /** Forward-pass FLOPs for one sample. */
+    double flopsPerSampleFwd = 0.0;
+    /** Backward/forward FLOP ratio (classically ~2). */
+    double backwardRatio = 2.0;
+    /** Activation memory per sample held during training. */
+    std::uint64_t activationBytesPerSample = 0;
+    /** Bytes of input data per training sample (minibatch loading). */
+    std::uint64_t sampleBytes = 0;
+    /** Fixed per-GPU workspace (cuDNN buffers, fragmentation, ...). */
+    std::uint64_t workspaceBytes = std::uint64_t(3) << 30;
+
+    std::uint64_t parameterCount() const;
+    std::uint64_t parameterBytes() const;
+
+    /** Cumulative fraction of parameter bytes in tensors [0, i]. */
+    double prefixBytesFraction(std::size_t i) const;
+};
+
+/** Precision/placement of the training state on the worker GPU. */
+struct TrainingStateModel
+{
+    /** Bytes per parameter kept on the GPU for the weights. */
+    double weightBytesPerParam = 4.0;
+    /** Bytes per parameter for gradients. */
+    double gradBytesPerParam = 4.0;
+    /**
+     * Bytes per parameter for optimizer state (Adam: m and v).
+     * COARSE offloads this (and the master copy) to the CCI memory
+     * device, which is what unlocks larger batch sizes (Fig. 16e).
+     */
+    double optimizerBytesPerParam = 8.0;
+};
+
+/** GPU memory needed to train @p model at @p batchSize. */
+std::uint64_t gpuMemoryNeeded(const ModelSpec &model,
+                              std::uint32_t batchSize,
+                              const TrainingStateModel &state);
+
+/** Largest batch that fits in @p gpuMemBytes (0 if none fits). */
+std::uint32_t maxBatchSize(const ModelSpec &model,
+                           std::uint64_t gpuMemBytes,
+                           const TrainingStateModel &state);
+
+/** State model when all training state lives on the GPU (baselines). */
+TrainingStateModel residentStateModel();
+
+/** State model with optimizer state offloaded to CCI memory (COARSE). */
+TrainingStateModel offloadedStateModel();
+
+} // namespace coarse::dl
+
+#endif // COARSE_DL_MODEL_HH

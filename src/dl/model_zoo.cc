@@ -1,0 +1,223 @@
+#include "model_zoo.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::dl {
+
+namespace {
+
+void
+addTensor(ModelSpec &model, std::string name, std::uint64_t elements)
+{
+    model.tensors.push_back(TensorSpec{std::move(name), elements});
+}
+
+/** One ResNet bottleneck block: 1x1 -> 3x3 -> 1x1 (+BN each). */
+void
+addBottleneck(ModelSpec &model, const std::string &prefix,
+              std::uint64_t in, std::uint64_t mid, std::uint64_t out,
+              bool downsample)
+{
+    addTensor(model, prefix + ".conv1", in * mid);
+    addTensor(model, prefix + ".bn1", 2 * mid);
+    addTensor(model, prefix + ".conv2", 9 * mid * mid);
+    addTensor(model, prefix + ".bn2", 2 * mid);
+    addTensor(model, prefix + ".conv3", mid * out);
+    addTensor(model, prefix + ".bn3", 2 * out);
+    if (downsample) {
+        addTensor(model, prefix + ".downsample.conv", in * out);
+        addTensor(model, prefix + ".downsample.bn", 2 * out);
+    }
+}
+
+/** One transformer encoder layer of hidden size H. */
+void
+addEncoderLayer(ModelSpec &model, const std::string &prefix,
+                std::uint64_t h)
+{
+    addTensor(model, prefix + ".attn.qkv.weight", 3 * h * h);
+    addTensor(model, prefix + ".attn.qkv.bias", 3 * h);
+    addTensor(model, prefix + ".attn.out.weight", h * h);
+    addTensor(model, prefix + ".attn.out.bias", h);
+    addTensor(model, prefix + ".attn.layernorm", 2 * h);
+    addTensor(model, prefix + ".ffn.in.weight", 4 * h * h);
+    addTensor(model, prefix + ".ffn.in.bias", 4 * h);
+    addTensor(model, prefix + ".ffn.out.weight", 4 * h * h);
+    addTensor(model, prefix + ".ffn.out.bias", h);
+    addTensor(model, prefix + ".ffn.layernorm", 2 * h);
+}
+
+ModelSpec
+makeBert(const std::string &name, std::uint64_t h, std::uint64_t layers,
+         std::uint64_t seq, double activationGiB)
+{
+    ModelSpec model;
+    model.name = name;
+
+    const std::uint64_t vocab = 30522;
+    addTensor(model, "embeddings.word", vocab * h);
+    addTensor(model, "embeddings.position", 512 * h);
+    addTensor(model, "embeddings.token_type", 2 * h);
+    addTensor(model, "embeddings.layernorm", 2 * h);
+
+    for (std::uint64_t l = 0; l < layers; ++l)
+        addEncoderLayer(model, "encoder.layer" + std::to_string(l), h);
+
+    addTensor(model, "pooler.weight", h * h);
+    addTensor(model, "pooler.bias", h);
+    addTensor(model, "qa_head.weight", 2 * h);
+    addTensor(model, "qa_head.bias", 2);
+
+    // Transformer forward FLOPs ~ 2 * params * tokens.
+    model.flopsPerSampleFwd = 2.0
+        * static_cast<double>(model.parameterCount())
+        * static_cast<double>(seq);
+    model.activationBytesPerSample =
+        static_cast<std::uint64_t>(activationGiB * (std::uint64_t(1) << 30));
+    model.sampleBytes = seq * 8; // token ids + masks
+    return model;
+}
+
+} // namespace
+
+ModelSpec
+makeResNet50()
+{
+    ModelSpec model;
+    model.name = "resnet50";
+
+    addTensor(model, "conv1", 7 * 7 * 3 * 64);
+    addTensor(model, "bn1", 2 * 64);
+
+    const std::uint64_t blocks[4] = {3, 4, 6, 3};
+    const std::uint64_t mids[4] = {64, 128, 256, 512};
+    std::uint64_t in = 64;
+    for (int stage = 0; stage < 4; ++stage) {
+        const std::uint64_t mid = mids[stage];
+        const std::uint64_t out = mid * 4;
+        for (std::uint64_t b = 0; b < blocks[stage]; ++b) {
+            const std::string prefix = "layer" + std::to_string(stage + 1)
+                + ".block" + std::to_string(b);
+            addBottleneck(model, prefix, in, mid, out, b == 0);
+            in = out;
+        }
+    }
+
+    addTensor(model, "fc.weight", 2048 * 1000);
+    addTensor(model, "fc.bias", 1000);
+
+    model.flopsPerSampleFwd = 4.1e9; // 224x224 single-crop
+    model.activationBytesPerSample = std::uint64_t(140) << 20;
+    model.sampleBytes = 224 * 224 * 3; // decoded uint8 image
+    return model;
+}
+
+ModelSpec
+makeBertBase()
+{
+    return makeBert("bert_base", 768, 12, 384, 0.7);
+}
+
+ModelSpec
+makeBertLarge()
+{
+    return makeBert("bert_large", 1024, 24, 512, 2.5);
+}
+
+ModelSpec
+makeVgg16()
+{
+    ModelSpec model;
+    model.name = "vgg16";
+
+    const std::uint64_t convs[13][2] = {
+        {3, 64},   {64, 64},   {64, 128},  {128, 128}, {128, 256},
+        {256, 256}, {256, 256}, {256, 512}, {512, 512}, {512, 512},
+        {512, 512}, {512, 512}, {512, 512}};
+    for (int c = 0; c < 13; ++c) {
+        addTensor(model, "conv" + std::to_string(c) + ".weight",
+                  9 * convs[c][0] * convs[c][1]);
+        addTensor(model, "conv" + std::to_string(c) + ".bias",
+                  convs[c][1]);
+    }
+    addTensor(model, "fc1.weight", std::uint64_t(25088) * 4096);
+    addTensor(model, "fc1.bias", 4096);
+    addTensor(model, "fc2.weight", std::uint64_t(4096) * 4096);
+    addTensor(model, "fc2.bias", 4096);
+    addTensor(model, "fc3.weight", std::uint64_t(4096) * 1000);
+    addTensor(model, "fc3.bias", 1000);
+
+    model.flopsPerSampleFwd = 15.5e9;
+    model.activationBytesPerSample = std::uint64_t(110) << 20;
+    model.sampleBytes = 224 * 224 * 3;
+    return model;
+}
+
+ModelSpec
+makeTransformerLm(std::uint64_t hidden, std::uint64_t layers,
+                  std::uint64_t seq, std::uint64_t vocab)
+{
+    ModelSpec model;
+    model.name = "transformer_lm_h" + std::to_string(hidden) + "_l"
+        + std::to_string(layers);
+
+    addTensor(model, "wte", vocab * hidden); // tied with the LM head
+    addTensor(model, "wpe", seq * hidden);
+    for (std::uint64_t l = 0; l < layers; ++l)
+        addEncoderLayer(model, "decoder.layer" + std::to_string(l),
+                        hidden);
+    addTensor(model, "final_layernorm", 2 * hidden);
+
+    model.flopsPerSampleFwd = 2.0
+        * static_cast<double>(model.parameterCount())
+        * static_cast<double>(seq);
+    // Decoder activations scale with layers * seq * hidden; ~16
+    // floats of state per activation element during training.
+    model.activationBytesPerSample =
+        layers * seq * hidden * 16 * sizeof(float);
+    return model;
+}
+
+ModelSpec
+makeGpt2Medium()
+{
+    ModelSpec model = makeTransformerLm(1024, 24, 1024);
+    model.name = "gpt2_medium";
+    return model;
+}
+
+ModelSpec
+makeSynthetic(std::string name,
+              std::vector<std::uint64_t> tensorElements,
+              double flopsPerSampleFwd,
+              std::uint64_t activationBytesPerSample)
+{
+    ModelSpec model;
+    model.name = std::move(name);
+    for (std::size_t i = 0; i < tensorElements.size(); ++i) {
+        addTensor(model, model.name + ".t" + std::to_string(i),
+                  tensorElements[i]);
+    }
+    model.flopsPerSampleFwd = flopsPerSampleFwd;
+    model.activationBytesPerSample = activationBytesPerSample;
+    model.workspaceBytes = 0;
+    return model;
+}
+
+ModelSpec
+makeModel(const std::string &name)
+{
+    if (name == "resnet50")
+        return makeResNet50();
+    if (name == "bert_base")
+        return makeBertBase();
+    if (name == "bert_large")
+        return makeBertLarge();
+    if (name == "vgg16")
+        return makeVgg16();
+    if (name == "gpt2_medium")
+        return makeGpt2Medium();
+    sim::fatal("makeModel: unknown model '", name, "'");
+}
+
+} // namespace coarse::dl

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Built-in model descriptions for the paper's workloads (ResNet-50 on
+ * ImageNet, BERT fine-tuning on SQuAD) plus helpers for synthetic
+ * models used in tests and microbenchmarks.
+ */
+
+#ifndef COARSE_DL_MODEL_ZOO_HH
+#define COARSE_DL_MODEL_ZOO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model.hh"
+
+namespace coarse::dl {
+
+/** ResNet-50 v1 (ImageNet, 224x224): ~25.6 M parameters. */
+ModelSpec makeResNet50();
+
+/** BERT-Base (SQuAD fine-tune, seq 384): ~110 M parameters. */
+ModelSpec makeBertBase();
+
+/** BERT-Large (SQuAD fine-tune, seq 512): ~335 M parameters. */
+ModelSpec makeBertLarge();
+
+/** VGG-16 (ImageNet): ~138 M parameters, fc-heavy. */
+ModelSpec makeVgg16();
+
+/**
+ * A decoder-only transformer language model with tied embeddings.
+ * "gpt2_medium" in the zoo is makeTransformerLm(1024, 24, 1024).
+ */
+ModelSpec makeTransformerLm(std::uint64_t hidden, std::uint64_t layers,
+                            std::uint64_t seq,
+                            std::uint64_t vocab = 50257);
+
+/** GPT-2 Medium (~353 M parameters, seq 1024). */
+ModelSpec makeGpt2Medium();
+
+/**
+ * A synthetic model with the given per-tensor element counts.
+ * Deterministic; useful for property tests and ablations.
+ */
+ModelSpec makeSynthetic(std::string name,
+                        std::vector<std::uint64_t> tensorElements,
+                        double flopsPerSampleFwd = 1e9,
+                        std::uint64_t activationBytesPerSample = 1 << 20);
+
+/** Look up a model by name ("resnet50", "bert_base", "bert_large",
+ *  "vgg16"). */
+ModelSpec makeModel(const std::string &name);
+
+} // namespace coarse::dl
+
+#endif // COARSE_DL_MODEL_ZOO_HH

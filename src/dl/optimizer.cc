@@ -1,0 +1,140 @@
+#include "optimizer.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace coarse::dl {
+
+const char *
+optimizerName(OptimizerKind kind)
+{
+    switch (kind) {
+      case OptimizerKind::Sgd:
+        return "sgd";
+      case OptimizerKind::Momentum:
+        return "momentum";
+      case OptimizerKind::Adam:
+        return "adam";
+    }
+    return "?";
+}
+
+std::uint64_t
+optimizerStateBytesPerParam(OptimizerKind kind)
+{
+    switch (kind) {
+      case OptimizerKind::Sgd:
+        return 0;
+      case OptimizerKind::Momentum:
+        return 4;
+      case OptimizerKind::Adam:
+        return 8;
+    }
+    return 0;
+}
+
+TrainingStateModel
+residentStateModel(OptimizerKind kind)
+{
+    TrainingStateModel model;
+    model.weightBytesPerParam = 4.0;
+    model.gradBytesPerParam = 4.0;
+    model.optimizerBytesPerParam =
+        static_cast<double>(optimizerStateBytesPerParam(kind));
+    return model;
+}
+
+TrainingStateModel
+offloadedStateModel(OptimizerKind kind)
+{
+    (void)kind; // state lives on the memory devices regardless
+    TrainingStateModel model;
+    model.weightBytesPerParam = 4.0;
+    model.gradBytesPerParam = 4.0;
+    model.optimizerBytesPerParam = 0.0;
+    return model;
+}
+
+Optimizer::Optimizer(OptimizerParams params, std::size_t elements)
+    : params_(params), elements_(elements)
+{
+    if (elements == 0)
+        sim::fatal("Optimizer: zero elements");
+    switch (params_.kind) {
+      case OptimizerKind::Sgd:
+        break;
+      case OptimizerKind::Momentum:
+        slot1_.assign(elements, 0.0f);
+        break;
+      case OptimizerKind::Adam:
+        slot1_.assign(elements, 0.0f);
+        slot2_.assign(elements, 0.0f);
+        break;
+    }
+}
+
+Optimizer::State
+Optimizer::saveState() const
+{
+    return State{step_, slot1_, slot2_};
+}
+
+void
+Optimizer::restoreState(const State &state)
+{
+    if (state.slot1.size() != slot1_.size()
+        || state.slot2.size() != slot2_.size())
+        sim::fatal("Optimizer: restoring mismatched state");
+    step_ = state.step;
+    slot1_ = state.slot1;
+    slot2_ = state.slot2;
+}
+
+void
+Optimizer::apply(std::span<float> weights,
+                 std::span<const float> gradient)
+{
+    if (weights.size() != elements_ || gradient.size() != elements_)
+        sim::fatal("Optimizer: span size mismatch");
+    ++step_;
+    const auto lr = static_cast<float>(params_.learningRate);
+
+    switch (params_.kind) {
+      case OptimizerKind::Sgd:
+        for (std::size_t e = 0; e < elements_; ++e)
+            weights[e] -= lr * gradient[e];
+        return;
+
+      case OptimizerKind::Momentum: {
+        const auto mu = static_cast<float>(params_.momentum);
+        for (std::size_t e = 0; e < elements_; ++e) {
+            slot1_[e] = mu * slot1_[e] + gradient[e];
+            weights[e] -= lr * slot1_[e];
+        }
+        return;
+      }
+
+      case OptimizerKind::Adam: {
+        const auto b1 = static_cast<float>(params_.beta1);
+        const auto b2 = static_cast<float>(params_.beta2);
+        const auto eps = static_cast<float>(params_.epsilon);
+        const auto t = static_cast<double>(step_);
+        const auto correct1 =
+            static_cast<float>(1.0 - std::pow(params_.beta1, t));
+        const auto correct2 =
+            static_cast<float>(1.0 - std::pow(params_.beta2, t));
+        for (std::size_t e = 0; e < elements_; ++e) {
+            const float g = gradient[e];
+            slot1_[e] = b1 * slot1_[e] + (1.0f - b1) * g;
+            slot2_[e] = b2 * slot2_[e] + (1.0f - b2) * g * g;
+            const float mhat = slot1_[e] / correct1;
+            const float vhat = slot2_[e] / correct2;
+            weights[e] -= lr * mhat / (std::sqrt(vhat) + eps);
+        }
+        return;
+      }
+    }
+}
+
+} // namespace coarse::dl

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Optimizer models: the update rule the parameter server applies and
+ * the per-parameter state it must store. COARSE offloads this state
+ * (plus the master copy) to the CCI memory pool, which is what frees
+ * GPU memory for larger batches (paper Fig. 16e).
+ */
+
+#ifndef COARSE_DL_OPTIMIZER_HH
+#define COARSE_DL_OPTIMIZER_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model.hh"
+
+namespace coarse::dl {
+
+/** Supported update rules. */
+enum class OptimizerKind
+{
+    Sgd,      //!< w -= lr * g; no state.
+    Momentum, //!< v = mu*v + g; w -= lr*v; one state slot.
+    Adam,     //!< bias-corrected first/second moments; two slots.
+};
+
+const char *optimizerName(OptimizerKind kind);
+
+/** Hyper-parameters (defaults are the common ones). */
+struct OptimizerParams
+{
+    OptimizerKind kind = OptimizerKind::Sgd;
+    double learningRate = 0.1;
+    double momentum = 0.9;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+};
+
+/** Bytes of optimizer state per parameter. */
+std::uint64_t optimizerStateBytesPerParam(OptimizerKind kind);
+
+/**
+ * Training-state placement for a given optimizer: resident keeps
+ * everything on the GPU; offloaded moves the optimizer state (and
+ * master weights) to the memory devices.
+ */
+TrainingStateModel residentStateModel(OptimizerKind kind);
+TrainingStateModel offloadedStateModel(OptimizerKind kind);
+
+/**
+ * One tensor's optimizer instance: owns the state slots and applies
+ * updates in place.
+ */
+class Optimizer
+{
+  public:
+    Optimizer(OptimizerParams params, std::size_t elements);
+
+    const OptimizerParams &params() const { return params_; }
+    std::uint64_t step() const { return step_; }
+
+    /**
+     * Apply one update: @p weights -= f(@p gradient) per the rule.
+     * Spans must match the element count given at construction.
+     */
+    void apply(std::span<float> weights, std::span<const float> gradient);
+
+    /** Snapshot of the optimizer state (for checkpointing). */
+    struct State
+    {
+        std::uint64_t step = 0;
+        std::vector<float> slot1;
+        std::vector<float> slot2;
+    };
+
+    State saveState() const;
+    void restoreState(const State &state);
+
+  private:
+    OptimizerParams params_;
+    std::size_t elements_;
+    std::uint64_t step_ = 0;
+    std::vector<float> slot1_; //!< momentum / Adam m
+    std::vector<float> slot2_; //!< Adam v
+};
+
+} // namespace coarse::dl
+
+#endif // COARSE_DL_OPTIMIZER_HH

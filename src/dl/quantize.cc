@@ -1,0 +1,87 @@
+#include "quantize.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace coarse::dl {
+
+std::uint16_t
+floatToHalf(float value)
+{
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+    const std::uint32_t sign = (bits >> 16) & 0x8000u;
+    const std::int32_t exponent =
+        static_cast<std::int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+    std::uint32_t mantissa = bits & 0x007fffffu;
+
+    if (exponent >= 0x1f) {
+        // Overflow to infinity; NaN keeps a mantissa bit.
+        const bool nan = ((bits >> 23) & 0xffu) == 0xffu
+            && mantissa != 0;
+        return static_cast<std::uint16_t>(sign | 0x7c00u
+                                          | (nan ? 0x200u : 0u));
+    }
+    if (exponent <= 0) {
+        if (exponent < -10)
+            return static_cast<std::uint16_t>(sign); // underflow to 0
+        // Subnormal: shift the implicit bit into the mantissa.
+        mantissa |= 0x00800000u;
+        const std::uint32_t shift =
+            static_cast<std::uint32_t>(14 - exponent);
+        std::uint32_t half = mantissa >> shift;
+        // Round to nearest even.
+        const std::uint32_t rest = mantissa & ((1u << shift) - 1u);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rest > halfway || (rest == halfway && (half & 1u)))
+            ++half;
+        return static_cast<std::uint16_t>(sign | half);
+    }
+
+    std::uint32_t half =
+        static_cast<std::uint32_t>(exponent) << 10 | mantissa >> 13;
+    // Round to nearest even on the truncated 13 bits.
+    const std::uint32_t rest = mantissa & 0x1fffu;
+    if (rest > 0x1000u || (rest == 0x1000u && (half & 1u)))
+        ++half; // may carry into the exponent, which is correct
+    return static_cast<std::uint16_t>(sign | half);
+}
+
+float
+halfToFloat(std::uint16_t bits)
+{
+    const std::uint32_t sign = (std::uint32_t(bits) & 0x8000u) << 16;
+    const std::uint32_t exponent = (bits >> 10) & 0x1fu;
+    std::uint32_t mantissa = bits & 0x3ffu;
+
+    std::uint32_t out;
+    if (exponent == 0) {
+        if (mantissa == 0) {
+            out = sign; // signed zero
+        } else {
+            // Subnormal: renormalize.
+            std::int32_t e = -1;
+            do {
+                ++e;
+                mantissa <<= 1;
+            } while ((mantissa & 0x400u) == 0);
+            mantissa &= 0x3ffu;
+            out = sign
+                | static_cast<std::uint32_t>(127 - 15 - e) << 23
+                | mantissa << 13;
+        }
+    } else if (exponent == 0x1f) {
+        out = sign | 0x7f800000u | mantissa << 13; // inf / NaN
+    } else {
+        out = sign | (exponent - 15 + 127) << 23 | mantissa << 13;
+    }
+    return std::bit_cast<float>(out);
+}
+
+void
+quantizeFp16(std::span<float> data)
+{
+    for (float &value : data)
+        value = halfToFloat(floatToHalf(value));
+}
+
+} // namespace coarse::dl

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * FP16 gradient quantization for compressed transport.
+ *
+ * A standard extension to parameter-server designs: gradients cross
+ * the serial bus as IEEE half-precision (half the bytes), while
+ * accumulation on the memory devices stays in full precision. The
+ * round-trip here is bit-accurate to IEEE 754 binary16 with
+ * round-to-nearest-even, so functional tests can bound the loss.
+ */
+
+#ifndef COARSE_DL_QUANTIZE_HH
+#define COARSE_DL_QUANTIZE_HH
+
+#include <cstdint>
+#include <span>
+
+namespace coarse::dl {
+
+/** Convert one float to IEEE binary16 bits (round-to-nearest-even). */
+std::uint16_t floatToHalf(float value);
+
+/** Convert IEEE binary16 bits back to float. */
+float halfToFloat(std::uint16_t bits);
+
+/**
+ * Quantize @p data through binary16 in place: every element becomes
+ * exactly the value the receiver would reconstruct.
+ */
+void quantizeFp16(std::span<float> data);
+
+/** Worst-case relative error of binary16 for normal values. */
+constexpr double kFp16RelativeError = 1.0 / 1024.0;
+
+} // namespace coarse::dl
+
+#endif // COARSE_DL_QUANTIZE_HH

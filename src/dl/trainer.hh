@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Common interface for training-communication schemes (COARSE and the
+ * baselines), plus the report they all produce.
+ */
+
+#ifndef COARSE_DL_TRAINER_HH
+#define COARSE_DL_TRAINER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace coarse::dl {
+
+/** Aggregate result of a simulated training run. */
+struct TrainingReport
+{
+    std::string scheme;
+    std::string model;
+    std::string machine;
+    std::uint32_t workers = 0;
+    std::uint32_t batchSize = 0;
+    std::uint32_t iterations = 0;
+
+    /** Steady-state average time per iteration (seconds). */
+    double iterationSeconds = 0.0;
+    /** Per-iteration compute time (forward + backward). */
+    double computeSeconds = 0.0;
+    /**
+     * Per-iteration time the GPUs sit idle waiting on parameter
+     * synchronization (the paper's "blocked communication time").
+     */
+    double blockedCommSeconds = 0.0;
+    /** computeSeconds / iterationSeconds. */
+    double gpuUtilization = 0.0;
+    /** Samples per second across all workers. */
+    double throughputSamplesPerSec = 0.0;
+    /** Total bytes moved on the fabric during the measured window. */
+    std::uint64_t fabricBytes = 0;
+    /** True when synchronization wedged (FCFS deadlock demo). */
+    bool deadlocked = false;
+};
+
+/** A training-communication scheme driving the simulated cluster. */
+class Trainer
+{
+  public:
+    virtual ~Trainer() = default;
+
+    /** Scheme name ("DENSE", "AllReduce", "COARSE", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Simulate @p iterations training iterations (after @p warmup
+     * unmeasured ones) and report steady-state metrics.
+     */
+    virtual TrainingReport run(std::uint32_t iterations,
+                               std::uint32_t warmup = 2) = 0;
+};
+
+} // namespace coarse::dl
+
+#endif // COARSE_DL_TRAINER_HH

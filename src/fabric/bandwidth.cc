@@ -1,0 +1,114 @@
+#include "bandwidth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace coarse::fabric {
+
+BandwidthCurve::BandwidthCurve(
+    std::vector<std::pair<std::uint64_t, Bandwidth>> points)
+    : points_(std::move(points))
+{
+    if (points_.empty())
+        sim::fatal("BandwidthCurve: need at least one control point");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        if (points_[i].second <= 0.0)
+            sim::fatal("BandwidthCurve: non-positive bandwidth at point ",
+                       i);
+        if (points_[i].first == 0)
+            sim::fatal("BandwidthCurve: zero-size control point");
+        if (i > 0 && points_[i].first <= points_[i - 1].first)
+            sim::fatal("BandwidthCurve: control points must be strictly "
+                       "increasing in size");
+    }
+}
+
+BandwidthCurve
+BandwidthCurve::flat(Bandwidth bw)
+{
+    return BandwidthCurve({{1, bw}});
+}
+
+BandwidthCurve
+BandwidthCurve::ramp(Bandwidth peak, std::uint64_t rampStart,
+                     std::uint64_t saturationSize, double minFraction)
+{
+    if (saturationSize <= rampStart)
+        sim::fatal("BandwidthCurve::ramp: saturationSize must exceed "
+                   "rampStart");
+    std::vector<std::pair<std::uint64_t, Bandwidth>> points;
+    points.emplace_back(rampStart, peak * minFraction);
+    // Intermediate points every doubling keep the log-linear ramp
+    // smooth for queries between the endpoints.
+    for (std::uint64_t size = rampStart * 2; size < saturationSize;
+         size *= 2) {
+        const double t = std::log2(static_cast<double>(size) / rampStart)
+            / std::log2(static_cast<double>(saturationSize) / rampStart);
+        points.emplace_back(size, peak * (minFraction
+                                          + t * (1.0 - minFraction)));
+    }
+    points.emplace_back(saturationSize, peak);
+    return BandwidthCurve(std::move(points));
+}
+
+BandwidthCurve
+BandwidthCurve::fromPoints(
+    std::vector<std::pair<std::uint64_t, Bandwidth>> points)
+{
+    return BandwidthCurve(std::move(points));
+}
+
+Bandwidth
+BandwidthCurve::at(std::uint64_t size) const
+{
+    if (size == 0)
+        size = 1;
+    if (size <= points_.front().first)
+        return points_.front().second;
+    if (size >= points_.back().first)
+        return points_.back().second;
+    auto hi = std::upper_bound(
+        points_.begin(), points_.end(), size,
+        [](std::uint64_t s, const auto &p) { return s < p.first; });
+    auto lo = hi - 1;
+    const double x0 = std::log2(static_cast<double>(lo->first));
+    const double x1 = std::log2(static_cast<double>(hi->first));
+    const double x = std::log2(static_cast<double>(size));
+    const double t = (x - x0) / (x1 - x0);
+    return lo->second + t * (hi->second - lo->second);
+}
+
+Bandwidth
+BandwidthCurve::peak() const
+{
+    Bandwidth best = 0.0;
+    for (const auto &[size, bw] : points_)
+        best = std::max(best, bw);
+    return best;
+}
+
+std::uint64_t
+BandwidthCurve::saturationSize(double fraction) const
+{
+    const Bandwidth target = peak() * fraction;
+    for (const auto &[size, bw] : points_) {
+        if (bw >= target)
+            return size;
+    }
+    return points_.back().first;
+}
+
+BandwidthCurve
+BandwidthCurve::scaled(double factor) const
+{
+    if (factor <= 0.0)
+        sim::fatal("BandwidthCurve::scaled: factor must be positive");
+    auto points = points_;
+    for (auto &[size, bw] : points)
+        bw *= factor;
+    return BandwidthCurve(std::move(points));
+}
+
+} // namespace coarse::fabric

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Size-dependent effective-bandwidth curves.
+ *
+ * Serial-bus transfers do not reach peak bandwidth at small access
+ * sizes: per-transaction protocol overhead dominates until the access
+ * is large enough (the paper's Fig. 13/14 measure exactly this on the
+ * FPGA CCI prototype, with DMA saturating at 2 MB). A BandwidthCurve
+ * maps transfer size to effective bandwidth via piecewise-linear
+ * interpolation in log2(size).
+ */
+
+#ifndef COARSE_FABRIC_BANDWIDTH_HH
+#define COARSE_FABRIC_BANDWIDTH_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace coarse::fabric {
+
+/** Bytes per second. */
+using Bandwidth = double;
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * kKiB;
+constexpr double kGiB = 1024.0 * kMiB;
+
+/** Convert GB/s (decimal, as vendors quote) to bytes/second. */
+constexpr Bandwidth
+gbps(double gigabytesPerSecond)
+{
+    return gigabytesPerSecond * 1e9;
+}
+
+/**
+ * Effective bandwidth as a function of transfer size.
+ *
+ * Curves are defined by (size, bandwidth) control points; queries
+ * clamp below the first and above the last point and interpolate
+ * linearly in log2(size) between points.
+ */
+class BandwidthCurve
+{
+  public:
+    /** A flat curve: the same bandwidth at every size. */
+    static BandwidthCurve flat(Bandwidth bw);
+
+    /**
+     * A saturating ramp: @p minFraction of peak at @p rampStart bytes,
+     * rising to full @p peak at @p saturationSize bytes and flat after.
+     */
+    static BandwidthCurve ramp(Bandwidth peak, std::uint64_t rampStart,
+                               std::uint64_t saturationSize,
+                               double minFraction);
+
+    /** Build from explicit (size, bandwidth) points, sorted by size. */
+    static BandwidthCurve
+    fromPoints(std::vector<std::pair<std::uint64_t, Bandwidth>> points);
+
+    /** Effective bandwidth for a transfer of @p size bytes. */
+    Bandwidth at(std::uint64_t size) const;
+
+    /** Peak bandwidth anywhere on the curve. */
+    Bandwidth peak() const;
+
+    /**
+     * Smallest control-point size whose bandwidth reaches
+     * @p fraction of peak; returns the largest point size if none do.
+     */
+    std::uint64_t saturationSize(double fraction = 0.95) const;
+
+    /** Return a copy with every bandwidth multiplied by @p factor. */
+    BandwidthCurve scaled(double factor) const;
+
+    const std::vector<std::pair<std::uint64_t, Bandwidth>> &
+    points() const
+    {
+        return points_;
+    }
+
+  private:
+    explicit BandwidthCurve(
+        std::vector<std::pair<std::uint64_t, Bandwidth>> points);
+
+    std::vector<std::pair<std::uint64_t, Bandwidth>> points_;
+};
+
+} // namespace coarse::fabric
+
+#endif // COARSE_FABRIC_BANDWIDTH_HH

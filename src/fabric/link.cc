@@ -1,0 +1,113 @@
+#include "link.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace coarse::fabric {
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::HostCpu:
+        return "HostCpu";
+      case NodeKind::PcieSwitch:
+        return "PcieSwitch";
+      case NodeKind::Gpu:
+        return "Gpu";
+      case NodeKind::MemoryDevice:
+        return "MemoryDevice";
+      case NodeKind::Nic:
+        return "Nic";
+    }
+    return "?";
+}
+
+const char *
+linkKindName(LinkKind kind)
+{
+    switch (kind) {
+      case LinkKind::SerialBus:
+        return "SerialBus";
+      case LinkKind::Cci:
+        return "Cci";
+      case LinkKind::NvLink:
+        return "NvLink";
+      case LinkKind::Network:
+        return "Network";
+    }
+    return "?";
+}
+
+sim::Tick
+LinkDirection::transmit(sim::Tick now, std::uint64_t bytes,
+                        std::uint64_t flowBytes,
+                        const BandwidthCurve &curve, double efficiency,
+                        double rateCap)
+{
+    if (efficiency <= 0.0 || efficiency > 1.0)
+        sim::panic("LinkDirection: efficiency out of (0, 1]: ", efficiency);
+    const std::uint64_t lookup = flowBytes == 0 ? bytes : flowBytes;
+    Bandwidth rate = curve.at(lookup) * efficiency;
+    if (rateCap > 0.0)
+        rate = std::min(rate, rateCap);
+    const double seconds = static_cast<double>(bytes) / rate;
+    const auto serialization =
+        std::max<sim::Tick>(1, sim::fromSeconds(seconds));
+    const sim::Tick start = std::max(now, busyUntil_);
+    busyUntil_ = start + serialization;
+    bytesCarried_ += bytes;
+    busyTime_ += serialization;
+    return busyUntil_;
+}
+
+Link::Link(LinkId id, NodeId a, NodeId b, LinkParams params)
+    : id_(id), a_(a), b_(b), params_(std::move(params))
+{
+    if (a == b)
+        sim::fatal("Link ", id, ": self-loop on node ", a);
+}
+
+NodeId
+Link::peerOf(NodeId from) const
+{
+    if (from == a_)
+        return b_;
+    if (from == b_)
+        return a_;
+    sim::panic("Link ", id_, ": node ", from, " is not an endpoint");
+}
+
+LinkDirection &
+Link::directionFrom(NodeId from)
+{
+    if (from == a_)
+        return aToB_;
+    if (from == b_)
+        return bToA_;
+    sim::panic("Link ", id_, ": node ", from, " is not an endpoint");
+}
+
+const LinkDirection &
+Link::directionFrom(NodeId from) const
+{
+    return const_cast<Link *>(this)->directionFrom(from);
+}
+
+std::uint64_t
+Link::totalBytes() const
+{
+    return aToB_.bytesCarried() + bToA_.bytesCarried();
+}
+
+double
+Link::utilization(sim::Tick now) const
+{
+    if (now == 0)
+        return 0.0;
+    const sim::Tick busier = std::max(aToB_.busyTime(), bToA_.busyTime());
+    return static_cast<double>(busier) / static_cast<double>(now);
+}
+
+} // namespace coarse::fabric

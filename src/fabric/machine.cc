@@ -1,0 +1,501 @@
+#include "machine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace coarse::fabric {
+
+Machine::Machine(sim::Simulation &sim, std::string name,
+                 std::string gpuModel, bool p2pSupported)
+    : topo_(std::make_unique<Topology>(sim)), name_(std::move(name)),
+      gpuModel_(std::move(gpuModel)), p2p_(p2pSupported)
+{
+}
+
+void
+Machine::addWorker(NodeId id, std::uint32_t serverNode)
+{
+    workers_.push_back(id);
+    serverNodeOf_.emplace_back(id, serverNode);
+    serverNodes_ = std::max(serverNodes_, serverNode + 1);
+}
+
+void
+Machine::addMemDevice(NodeId id, std::uint32_t serverNode)
+{
+    memDevices_.push_back(id);
+    serverNodeOf_.emplace_back(id, serverNode);
+    serverNodes_ = std::max(serverNodes_, serverNode + 1);
+}
+
+void
+Machine::addHostCpu(NodeId id, std::uint32_t serverNode)
+{
+    cpus_.push_back(id);
+    serverNodeOf_.emplace_back(id, serverNode);
+    serverNodes_ = std::max(serverNodes_, serverNode + 1);
+}
+
+void
+Machine::addNic(NodeId id, std::uint32_t serverNode)
+{
+    nics_.push_back(id);
+    serverNodeOf_.emplace_back(id, serverNode);
+    serverNodes_ = std::max(serverNodes_, serverNode + 1);
+}
+
+void
+Machine::pair(NodeId worker, NodeId memDevice)
+{
+    pairs_.emplace_back(worker, memDevice);
+}
+
+NodeId
+Machine::pairedMemDevice(NodeId worker) const
+{
+    for (const auto &[w, m] : pairs_) {
+        if (w == worker)
+            return m;
+    }
+    sim::fatal("Machine ", name_, ": worker ", worker,
+               " has no paired memory device");
+}
+
+std::uint32_t
+Machine::serverNodeOf(NodeId node) const
+{
+    for (const auto &[n, s] : serverNodeOf_) {
+        if (n == node)
+            return s;
+    }
+    return 0;
+}
+
+namespace {
+
+/** Parameters describing one preset's intra-node fabric. */
+struct FabricParams
+{
+    /** Per-direction serial-bus peak (bytes/s). */
+    Bandwidth busPeak = gbps(13.0);
+    /** Fraction of peak at a 4 KiB access. */
+    double busMinFraction = 0.12;
+    /** Per-hop serial-bus latency. */
+    sim::Tick busLatency = sim::fromNanoseconds(600);
+    /** Dedicated CCI link peak between memory devices (0 = none). */
+    Bandwidth cciPeak = gbps(12.0);
+    sim::Tick cciLatency = sim::fromNanoseconds(400);
+    /** NVLink per-direction peak (used when options.nvlink). */
+    Bandwidth nvlinkPeak = gbps(22.0);
+    sim::Tick nvlinkLatency = sim::fromNanoseconds(700);
+    /** Network peak between NICs. */
+    Bandwidth netPeak = gbps(12.5);
+    sim::Tick netLatency = sim::fromMicroseconds(2.5);
+    /** PCIe switches per server node (0 = devices hang off the CPU). */
+    std::uint32_t switches = 0;
+    /**
+     * Bandwidth multiplier on switch-to-CPU uplinks. Fan-out switch
+     * complexes often have wider uplinks than device ports, which is
+     * part of why remote paths can outrun local ones on the AWS
+     * instance.
+     */
+    double uplinkMultiplier = 1.0;
+    /** Worker GPUs per server node. */
+    std::uint32_t workersPerNode = 4;
+    /** Pair efficiency for same-switch endpoint pairs. */
+    double localEfficiency = 1.0;
+    /** Pair efficiency for cross-switch endpoint pairs. */
+    double remoteEfficiency = 1.0;
+    /** Extra efficiency applied to all P2P pairs (no-P2P bounce). */
+    double p2pEfficiency = 1.0;
+    /**
+     * Additional penalty on pairs involving a memory device. On
+     * machines without GPU P2P, a CCI device cannot be reached by
+     * GPU-direct DMA at all, so those transfers pay a second bounce.
+     */
+    double memDevPenalty = 1.0;
+    /** NVLink mesh is a ring with one missing segment (DGX-style). */
+    bool brokenNvlinkRing = true;
+};
+
+BandwidthCurve
+busCurve(const FabricParams &fp)
+{
+    // Saturates at 2 MiB, matching the paper's Fig. 14 DMA profile.
+    return BandwidthCurve::ramp(fp.busPeak, 4 * 1024, 2 * 1024 * 1024,
+                                fp.busMinFraction);
+}
+
+/**
+ * Build one preset. The same skeleton serves all three machines; the
+ * FabricParams select the structure and the bandwidth character.
+ */
+std::unique_ptr<Machine>
+buildMachine(sim::Simulation &sim, const std::string &name,
+             const std::string &gpuModel, bool p2p,
+             const FabricParams &fp, const MachineOptions &options)
+{
+    if (options.workersPerMemDevice == 0)
+        sim::fatal("Machine ", name, ": workersPerMemDevice must be >= 1");
+    if (fp.workersPerNode % options.workersPerMemDevice != 0) {
+        sim::fatal("Machine ", name, ": ", fp.workersPerNode,
+                   " workers not divisible by sharing ratio ",
+                   options.workersPerMemDevice);
+    }
+
+    auto machine = std::make_unique<Machine>(sim, name, gpuModel, p2p);
+    Topology &topo = machine->topology();
+
+    const std::uint32_t memDevsPerNode =
+        fp.workersPerNode / options.workersPerMemDevice;
+
+    const LinkParams bus{busCurve(fp), fp.busLatency,
+                         LinkKind::SerialBus};
+    // Machines without a dedicated CCI interconnect (fp.cciPeak == 0)
+    // synchronize proxies over the serial-bus path instead.
+    const LinkParams cci{
+        BandwidthCurve::ramp(fp.cciPeak > 0.0 ? fp.cciPeak : gbps(1.0),
+                             4 * 1024, 2 * 1024 * 1024,
+                             fp.busMinFraction),
+        fp.cciLatency, LinkKind::Cci};
+    const LinkParams nvl{BandwidthCurve::ramp(fp.nvlinkPeak, 4 * 1024,
+                                              1024 * 1024, 0.25),
+                         fp.nvlinkLatency, LinkKind::NvLink};
+    const LinkParams net{
+        BandwidthCurve::ramp(fp.netPeak, 16 * 1024, 4 * 1024 * 1024,
+                             0.05),
+        fp.netLatency, LinkKind::Network};
+
+    std::vector<NodeId> allNics;
+    for (std::uint32_t sn = 0; sn < options.nodes; ++sn) {
+        const std::string prefix =
+            options.nodes == 1 ? "" : "n" + std::to_string(sn) + ".";
+
+        const NodeId cpu = topo.addNode(NodeKind::HostCpu,
+                                        prefix + "cpu");
+        machine->addHostCpu(cpu, sn);
+
+        // Attachment points: switches when present, else the CPU.
+        std::vector<NodeId> attach;
+        if (fp.switches == 0) {
+            attach.assign(fp.workersPerNode, cpu);
+        } else {
+            LinkParams uplink = bus;
+            uplink.bandwidth =
+                uplink.bandwidth.scaled(fp.uplinkMultiplier);
+            for (std::uint32_t s = 0; s < fp.switches; ++s) {
+                const NodeId sw = topo.addNode(
+                    NodeKind::PcieSwitch,
+                    prefix + "sw" + std::to_string(s));
+                topo.addLink(cpu, sw, uplink);
+                attach.push_back(sw);
+            }
+        }
+
+        auto attachPoint = [&](std::uint32_t i) {
+            return fp.switches == 0
+                ? cpu
+                : attach[i * fp.switches / fp.workersPerNode];
+        };
+
+        std::vector<NodeId> workers;
+        for (std::uint32_t w = 0; w < fp.workersPerNode; ++w) {
+            const NodeId gpu = topo.addNode(
+                NodeKind::Gpu, prefix + "gpu" + std::to_string(w));
+            topo.addLink(gpu, attachPoint(w), bus);
+            machine->addWorker(gpu, sn);
+            workers.push_back(gpu);
+        }
+
+        std::vector<NodeId> memDevs;
+        for (std::uint32_t m = 0; m < memDevsPerNode; ++m) {
+            // Place each memory device under the switch of the first
+            // worker it serves, mirroring the paper's deployment
+            // (Fig. 4: one device per switch, full local bandwidth).
+            const std::uint32_t firstWorker =
+                m * options.workersPerMemDevice;
+            const NodeId dev = topo.addNode(
+                NodeKind::MemoryDevice,
+                prefix + "mem" + std::to_string(m));
+            topo.addLink(dev, attachPoint(firstWorker), bus);
+            machine->addMemDevice(dev, sn);
+            memDevs.push_back(dev);
+            for (std::uint32_t k = 0; k < options.workersPerMemDevice;
+                 ++k) {
+                machine->pair(workers[firstWorker + k], dev);
+            }
+        }
+
+        // Dedicated CCI interconnect among memory devices (ring).
+        if (fp.cciPeak > 0.0 && memDevs.size() >= 2) {
+            for (std::size_t m = 0; m < memDevs.size(); ++m) {
+                const std::size_t next = (m + 1) % memDevs.size();
+                if (memDevs.size() == 2 && m == 1)
+                    break; // avoid a duplicate link on a 2-ring
+                topo.addLink(memDevs[m], memDevs[next], cci);
+            }
+        }
+
+        // NVLink ring among workers, with one segment missing: NCCL
+        // rings then cross PCIe somewhere, which is the "lowest
+        // device-to-device bandwidth" bottleneck the paper cites.
+        if (options.nvlink && workers.size() >= 2) {
+            const std::size_t segments = workers.size() == 2
+                ? 1
+                : workers.size() - (fp.brokenNvlinkRing ? 1 : 0);
+            for (std::size_t w = 0; w < segments; ++w) {
+                topo.addLink(workers[w],
+                             workers[(w + 1) % workers.size()], nvl);
+            }
+        }
+
+        // Pair efficiencies: locality (or anti-locality) and the
+        // no-P2P bounce penalty, over all device pairs. A device's
+        // attach point is the peer on its first (serial-bus) link.
+        auto attachNodeOf = [&topo](NodeId dev) {
+            return topo.link(topo.linksAt(dev).front()).peerOf(dev);
+        };
+        std::vector<NodeId> devices = workers;
+        devices.insert(devices.end(), memDevs.begin(), memDevs.end());
+        for (std::size_t i = 0; i < devices.size(); ++i) {
+            for (std::size_t j = i + 1; j < devices.size(); ++j) {
+                const bool local = fp.switches == 0
+                    || attachNodeOf(devices[i])
+                        == attachNodeOf(devices[j]);
+                double eff = local ? fp.localEfficiency
+                                   : fp.remoteEfficiency;
+                eff *= fp.p2pEfficiency;
+                const bool touchesMemDev = i >= workers.size()
+                    || j >= workers.size();
+                if (touchesMemDev)
+                    eff *= fp.memDevPenalty;
+                if (eff < 1.0)
+                    topo.setPairEfficiency(devices[i], devices[j], eff);
+            }
+        }
+
+        if (options.nodes > 1) {
+            const NodeId nic = topo.addNode(NodeKind::Nic,
+                                            prefix + "nic");
+            topo.addLink(cpu, nic, bus);
+            machine->addNic(nic, sn);
+            allNics.push_back(nic);
+        }
+    }
+
+    // Inter-node network: full mesh between NICs (a switch fabric).
+    for (std::size_t i = 0; i < allNics.size(); ++i) {
+        for (std::size_t j = i + 1; j < allNics.size(); ++j)
+            topo.addLink(allNics[i], allNics[j], net);
+    }
+
+    return machine;
+}
+
+} // namespace
+
+std::unique_ptr<Machine>
+makeAwsT4(sim::Simulation &sim, MachineOptions options)
+{
+    // 8x T4 on host PCIe, no GPU P2P: every peer transfer bounces
+    // through host memory, halving effective peer bandwidth.
+    FabricParams fp;
+    fp.busPeak = gbps(8.0);
+    fp.busMinFraction = 0.10;
+    fp.switches = 0;
+    fp.workersPerNode = 4;
+    fp.cciPeak = 0.0; // proxies sync over the host path too
+    fp.p2pEfficiency = 0.55;
+    fp.memDevPenalty = 0.7; // CCI devices unreachable by GPU-direct DMA
+    options.nvlink = false;
+    return buildMachine(sim, "aws_t4", "T4", /*p2p=*/false, fp, options);
+}
+
+std::unique_ptr<Machine>
+makeSdscP100(sim::Simulation &sim, MachineOptions options)
+{
+    // 4x P100 under two PCIe switches; conventional locality: local
+    // pairs reach full 13 GB/s, cross-root pairs about 72% of it
+    // (Fig. 8b).
+    FabricParams fp;
+    fp.busPeak = gbps(13.0);
+    fp.busMinFraction = 0.12;
+    fp.switches = 2;
+    fp.workersPerNode = 2;
+    fp.localEfficiency = 1.0;
+    fp.remoteEfficiency = 0.72;
+    options.nvlink = false;
+    return buildMachine(sim, "sdsc_p100", "P100", /*p2p=*/true, fp,
+                        options);
+}
+
+std::unique_ptr<Machine>
+makeAwsV100(sim::Simulation &sim, MachineOptions options)
+{
+    // 8x V100 under four PCIe switches with NVLink. The PCIe fabric
+    // shows anti-locality (Fig. 8a): same-switch pairs reach only
+    // ~65% of the bandwidth remote pairs do.
+    FabricParams fp;
+    fp.busPeak = gbps(13.0);
+    fp.busMinFraction = 0.12;
+    fp.switches = 4;
+    fp.workersPerNode = 4;
+    fp.localEfficiency = 0.65;
+    fp.remoteEfficiency = 1.0;
+    fp.uplinkMultiplier = 2.0;
+    options.nvlink = true;
+    return buildMachine(sim, "aws_v100", "V100", /*p2p=*/true, fp,
+                        options);
+}
+
+std::unique_ptr<Machine>
+makeAwsV100Partitioned(sim::Simulation &sim,
+                       const std::vector<GpuRole> &roles)
+{
+    if (roles.size() < 2)
+        sim::fatal("makeAwsV100Partitioned: need at least two GPUs");
+    std::size_t workers = 0;
+    for (GpuRole role : roles)
+        workers += role == GpuRole::Worker ? 1 : 0;
+    if (workers == 0 || workers == roles.size()) {
+        sim::fatal("makeAwsV100Partitioned: the partition table needs "
+                   "at least one Worker and one MemoryDevice");
+    }
+
+    auto machine =
+        std::make_unique<Machine>(sim, "aws_v100_partitioned", "V100",
+                                  /*p2pSupported=*/true);
+    Topology &topo = machine->topology();
+
+    // Same fabric character as the aws_v100 preset: 2 GPU slots per
+    // switch, fat uplinks, anti-local PCIe pairs, CCI ring.
+    FabricParams fp;
+    fp.busPeak = gbps(13.0);
+    fp.busMinFraction = 0.12;
+    fp.localEfficiency = 0.65;
+    fp.remoteEfficiency = 1.0;
+    fp.uplinkMultiplier = 2.0;
+
+    const LinkParams bus{busCurve(fp), fp.busLatency,
+                         LinkKind::SerialBus};
+    LinkParams uplink = bus;
+    uplink.bandwidth = uplink.bandwidth.scaled(fp.uplinkMultiplier);
+    const LinkParams cci{
+        BandwidthCurve::ramp(fp.cciPeak, 4 * 1024, 2 * 1024 * 1024,
+                             fp.busMinFraction),
+        fp.cciLatency, LinkKind::Cci};
+    const LinkParams nvl{BandwidthCurve::ramp(fp.nvlinkPeak, 4 * 1024,
+                                              1024 * 1024, 0.25),
+                         fp.nvlinkLatency, LinkKind::NvLink};
+
+    const NodeId cpu = topo.addNode(NodeKind::HostCpu, "cpu");
+    machine->addHostCpu(cpu, 0);
+
+    const std::size_t switches = (roles.size() + 1) / 2;
+    std::vector<NodeId> attach;
+    for (std::size_t s = 0; s < switches; ++s) {
+        const NodeId sw = topo.addNode(NodeKind::PcieSwitch,
+                                       "sw" + std::to_string(s));
+        topo.addLink(cpu, sw, uplink);
+        attach.push_back(sw);
+    }
+
+    std::vector<NodeId> workerNodes;
+    std::vector<NodeId> memNodes;
+    std::vector<std::size_t> memSwitch;
+    std::vector<std::size_t> workerSwitch;
+    for (std::size_t g = 0; g < roles.size(); ++g) {
+        const std::size_t sw = g / 2;
+        if (roles[g] == GpuRole::Worker) {
+            const NodeId gpu = topo.addNode(
+                NodeKind::Gpu,
+                "gpu" + std::to_string(workerNodes.size()));
+            topo.addLink(gpu, attach[sw], bus);
+            machine->addWorker(gpu, 0);
+            workerNodes.push_back(gpu);
+            workerSwitch.push_back(sw);
+        } else {
+            const NodeId dev = topo.addNode(
+                NodeKind::MemoryDevice,
+                "mem" + std::to_string(memNodes.size()));
+            topo.addLink(dev, attach[sw], bus);
+            machine->addMemDevice(dev, 0);
+            memNodes.push_back(dev);
+            memSwitch.push_back(sw);
+        }
+    }
+
+    // Pair each worker with a same-switch device when present, else
+    // the nearest device by switch distance (deterministic).
+    for (std::size_t w = 0; w < workerNodes.size(); ++w) {
+        std::size_t best = 0;
+        std::size_t bestDist = SIZE_MAX;
+        for (std::size_t m = 0; m < memNodes.size(); ++m) {
+            const std::size_t dist =
+                workerSwitch[w] > memSwitch[m]
+                    ? workerSwitch[w] - memSwitch[m]
+                    : memSwitch[m] - workerSwitch[w];
+            if (dist < bestDist) {
+                bestDist = dist;
+                best = m;
+            }
+        }
+        machine->pair(workerNodes[w], memNodes[best]);
+    }
+
+    // CCI ring among memory devices; NVLink ring (one segment short)
+    // among the workers.
+    if (memNodes.size() >= 2) {
+        for (std::size_t m = 0; m < memNodes.size(); ++m) {
+            if (memNodes.size() == 2 && m == 1)
+                break;
+            topo.addLink(memNodes[m],
+                         memNodes[(m + 1) % memNodes.size()], cci);
+        }
+    }
+    if (workerNodes.size() >= 2) {
+        const std::size_t segments = workerNodes.size() == 2
+            ? 1
+            : workerNodes.size() - 1;
+        for (std::size_t w = 0; w < segments; ++w) {
+            topo.addLink(workerNodes[w],
+                         workerNodes[(w + 1) % workerNodes.size()],
+                         nvl);
+        }
+    }
+
+    // Anti-local pair efficiencies over all GPU slots.
+    std::vector<NodeId> devices = workerNodes;
+    devices.insert(devices.end(), memNodes.begin(), memNodes.end());
+    auto attachNodeOf = [&topo](NodeId dev) {
+        return topo.link(topo.linksAt(dev).front()).peerOf(dev);
+    };
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        for (std::size_t j = i + 1; j < devices.size(); ++j) {
+            const bool local =
+                attachNodeOf(devices[i]) == attachNodeOf(devices[j]);
+            const double eff = local ? fp.localEfficiency
+                                     : fp.remoteEfficiency;
+            if (eff < 1.0)
+                topo.setPairEfficiency(devices[i], devices[j], eff);
+        }
+    }
+    return machine;
+}
+
+std::unique_ptr<Machine>
+makeMachine(const std::string &name, sim::Simulation &sim,
+            MachineOptions options)
+{
+    if (name == "aws_t4")
+        return makeAwsT4(sim, options);
+    if (name == "sdsc_p100")
+        return makeSdscP100(sim, options);
+    if (name == "aws_v100")
+        return makeAwsV100(sim, options);
+    sim::fatal("makeMachine: unknown machine '", name,
+               "' (expected aws_t4, sdsc_p100, or aws_v100)");
+}
+
+} // namespace coarse::fabric

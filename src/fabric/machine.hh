@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Evaluation machines (the paper's Table I), built as topologies with
+ * role annotations: worker GPUs, CCI memory devices, host CPUs, NICs.
+ */
+
+#ifndef COARSE_FABRIC_MACHINE_HH
+#define COARSE_FABRIC_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology.hh"
+
+namespace coarse::fabric {
+
+/** Options shared by all machine presets. */
+struct MachineOptions
+{
+    /** Worker GPUs per memory device (1 = paired, 2 = shared). */
+    std::uint32_t workersPerMemDevice = 1;
+    /** Number of server nodes (>=2 adds NICs and a network). */
+    std::uint32_t nodes = 1;
+    /** Whether the GPUs have an NVLink mesh (V100 machines). */
+    bool nvlink = false;
+};
+
+/**
+ * A built evaluation machine: topology plus the role of every node.
+ */
+class Machine
+{
+  public:
+    Machine(sim::Simulation &sim, std::string name, std::string gpuModel,
+            bool p2pSupported);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    Topology &topology() { return *topo_; }
+    const Topology &topology() const { return *topo_; }
+
+    const std::string &name() const { return name_; }
+    /** GPU model string understood by coarse::dl::gpuSpec(). */
+    const std::string &gpuModel() const { return gpuModel_; }
+    /** False on machines where GPUs cannot do peer-to-peer DMA. */
+    bool p2pSupported() const { return p2p_; }
+
+    const std::vector<NodeId> &workers() const { return workers_; }
+    const std::vector<NodeId> &memDevices() const { return memDevices_; }
+    const std::vector<NodeId> &hostCpus() const { return cpus_; }
+    const std::vector<NodeId> &nics() const { return nics_; }
+
+    /** Memory device serving @p worker (its local proxy's home). */
+    NodeId pairedMemDevice(NodeId worker) const;
+
+    /** Server-node index hosting @p node (0 on single-node machines). */
+    std::uint32_t serverNodeOf(NodeId node) const;
+
+    /** Number of server nodes. */
+    std::uint32_t serverNodeCount() const { return serverNodes_; }
+
+    /** @name Builder interface (used by the presets) */
+    ///@{
+    void addWorker(NodeId id, std::uint32_t serverNode);
+    void addMemDevice(NodeId id, std::uint32_t serverNode);
+    void addHostCpu(NodeId id, std::uint32_t serverNode);
+    void addNic(NodeId id, std::uint32_t serverNode);
+    void pair(NodeId worker, NodeId memDevice);
+    ///@}
+
+  private:
+    std::unique_ptr<Topology> topo_;
+    std::string name_;
+    std::string gpuModel_;
+    bool p2p_;
+    std::uint32_t serverNodes_ = 1;
+    std::vector<NodeId> workers_;
+    std::vector<NodeId> memDevices_;
+    std::vector<NodeId> cpus_;
+    std::vector<NodeId> nics_;
+    std::vector<std::pair<NodeId, NodeId>> pairs_;
+    std::vector<std::pair<NodeId, std::uint32_t>> serverNodeOf_;
+};
+
+/**
+ * @name Table I presets
+ *
+ * Bandwidth figures follow the paper's measurements: PCIe Gen3 x16
+ * sustains ~13 GB/s per direction (26 GB/s bidirectional), NVLink
+ * ~25 GB/s per link direction, and the inter-node network is a
+ * 100 Gb/s fabric. The AWS V100 instance exhibits "anti-locality"
+ * (remote PCIe pairs faster than local ones, Fig. 8a); the SDSC P100
+ * instance is conventional (local > remote, Fig. 8b); the AWS T4
+ * instance has no GPU P2P support at all, so every peer transfer
+ * bounces through host memory.
+ */
+///@{
+std::unique_ptr<Machine> makeAwsT4(sim::Simulation &sim,
+                                   MachineOptions options = {});
+std::unique_ptr<Machine> makeSdscP100(sim::Simulation &sim,
+                                      MachineOptions options = {});
+std::unique_ptr<Machine> makeAwsV100(sim::Simulation &sim,
+                                     MachineOptions options = {});
+
+/** Look up a preset by name ("aws_t4", "sdsc_p100", "aws_v100"). */
+std::unique_ptr<Machine> makeMachine(const std::string &name,
+                                     sim::Simulation &sim,
+                                     MachineOptions options = {});
+///@}
+
+/** Role of one physical GPU in a partition table (paper §IV-B). */
+enum class GpuRole
+{
+    Worker,       //!< Trains the model.
+    MemoryDevice, //!< Emulates a CCI memory device.
+};
+
+/**
+ * Build an AWS-V100-style instance from a user-defined GPU partition
+ * table, the way the real prototype accepts one (§IV-B: "COARSE
+ * accepts a user-defined GPU partition table that describes which
+ * GPU acts as a worker and which acts as a memory device").
+ *
+ * @param roles One entry per physical GPU (2 GPUs per PCIe switch);
+ *        must contain at least one Worker and one MemoryDevice.
+ *        Each worker is paired with its same-switch memory device
+ *        when one exists, else with the nearest one.
+ */
+std::unique_ptr<Machine>
+makeAwsV100Partitioned(sim::Simulation &sim,
+                       const std::vector<GpuRole> &roles);
+
+} // namespace coarse::fabric
+
+#endif // COARSE_FABRIC_MACHINE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fabric node identifiers and the message abstraction.
+ */
+
+#ifndef COARSE_FABRIC_MESSAGE_HH
+#define COARSE_FABRIC_MESSAGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace coarse::fabric {
+
+/** Dense node index within one Topology. */
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** Role of a node in the machine. */
+enum class NodeKind
+{
+    HostCpu,      //!< Root complex / host processor.
+    PcieSwitch,   //!< Serial-bus switch.
+    Gpu,          //!< Worker accelerator.
+    MemoryDevice, //!< CCI-attached disaggregated memory device.
+    Nic,          //!< Network interface (multi-node systems).
+};
+
+const char *nodeKindName(NodeKind kind);
+
+/**
+ * A transfer request between two endpoints.
+ *
+ * Payloads are not carried here — functional data movement happens in
+ * the layers above; the fabric only accounts for time. @c onDelivered
+ * fires once, when the final byte arrives at @c dst.
+ */
+struct Message
+{
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint64_t bytes = 0;
+    /** Opaque tag for tracing/debugging. */
+    std::uint64_t tag = 0;
+    /** Invoked at delivery time (may be empty). */
+    std::function<void()> onDelivered;
+    /**
+     * Size used for effective-bandwidth lookup. Zero means "use
+     * @c bytes". Transports that pipeline a large logical transfer as
+     * several messages set this to the logical size so each piece
+     * moves at the large-transfer rate.
+     */
+    std::uint64_t flowBytes = 0;
+    /**
+     * Upper bound on the transfer rate in bytes/second (0 = none).
+     * Protocol-limited paths (e.g. CCI load/store, which never
+     * saturates the bus) use this to impose their own ceiling on top
+     * of the links' curves.
+     */
+    double rateCap = 0.0;
+};
+
+} // namespace coarse::fabric
+
+#endif // COARSE_FABRIC_MESSAGE_HH

@@ -1,0 +1,286 @@
+#include "topology.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace coarse::fabric {
+
+Topology::Topology(sim::Simulation &sim) : sim_(sim) {}
+
+NodeId
+Topology::addNode(NodeKind kind, std::string name)
+{
+    const auto id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(NodeInfo{kind, std::move(name), {}, nullptr});
+    return id;
+}
+
+LinkId
+Topology::addLink(NodeId a, NodeId b, LinkParams params)
+{
+    if (a >= nodes_.size() || b >= nodes_.size())
+        sim::fatal("Topology::addLink: unknown node");
+    const auto id = static_cast<LinkId>(links_.size());
+    links_.push_back(std::make_unique<Link>(id, a, b, std::move(params)));
+    nodes_[a].links.push_back(id);
+    nodes_[b].links.push_back(id);
+    routeCache_.clear();
+    return id;
+}
+
+void
+Topology::setPairEfficiency(NodeId a, NodeId b, double factor)
+{
+    if (factor <= 0.0 || factor > 1.0)
+        sim::fatal("Topology::setPairEfficiency: factor must be in (0,1]");
+    pairEfficiency_[std::minmax(a, b)] = factor;
+}
+
+double
+Topology::pairEfficiency(NodeId a, NodeId b) const
+{
+    auto it = pairEfficiency_.find(std::minmax(a, b));
+    return it == pairEfficiency_.end() ? 1.0 : it->second;
+}
+
+NodeKind
+Topology::nodeKind(NodeId node) const
+{
+    return nodes_.at(node).kind;
+}
+
+const std::string &
+Topology::nodeName(NodeId node) const
+{
+    return nodes_.at(node).name;
+}
+
+Link &
+Topology::link(LinkId id)
+{
+    return *links_.at(id);
+}
+
+const Link &
+Topology::link(LinkId id) const
+{
+    return *links_.at(id);
+}
+
+const std::vector<LinkId> &
+Topology::linksAt(NodeId node) const
+{
+    return nodes_.at(node).links;
+}
+
+const std::vector<LinkId> &
+Topology::route(NodeId src, NodeId dst, LinkMask mask)
+{
+    const RouteKey key{src, dst, mask};
+    auto it = routeCache_.find(key);
+    if (it == routeCache_.end())
+        it = routeCache_.emplace(key, computeRoute(src, dst, mask)).first;
+    return it->second;
+}
+
+std::vector<LinkId>
+Topology::computeRoute(NodeId src, NodeId dst, LinkMask mask) const
+{
+    if (src >= nodes_.size() || dst >= nodes_.size())
+        sim::fatal("Topology::route: unknown node");
+    if (src == dst)
+        return {};
+
+    // BFS by hop count. For equal hop counts we keep the path whose
+    // bottleneck peak bandwidth is higher; remaining ties resolve by
+    // visiting links in id order, which is deterministic.
+    struct Best
+    {
+        std::uint32_t hops = std::numeric_limits<std::uint32_t>::max();
+        double bottleneck = 0.0;
+        LinkId via = 0;
+        NodeId prev = kInvalidNode;
+    };
+
+    std::vector<Best> best(nodes_.size());
+    best[src].hops = 0;
+    best[src].bottleneck = std::numeric_limits<double>::infinity();
+
+    std::deque<NodeId> frontier{src};
+    while (!frontier.empty()) {
+        const NodeId at = frontier.front();
+        frontier.pop_front();
+        for (LinkId lid : nodes_[at].links) {
+            const Link &l = *links_[lid];
+            if ((mask & linkBit(l.kind())) == 0)
+                continue;
+            const NodeId peer = l.peerOf(at);
+            const double bottleneck =
+                std::min(best[at].bottleneck, l.bandwidth().peak());
+            const std::uint32_t hops = best[at].hops + 1;
+            Best &cand = best[peer];
+            if (hops < cand.hops
+                || (hops == cand.hops && bottleneck > cand.bottleneck)) {
+                const bool first = cand.hops
+                    == std::numeric_limits<std::uint32_t>::max();
+                cand.hops = hops;
+                cand.bottleneck = bottleneck;
+                cand.via = lid;
+                cand.prev = at;
+                if (first)
+                    frontier.push_back(peer);
+            }
+        }
+    }
+
+    if (best[dst].prev == kInvalidNode && best[dst].hops != 0) {
+        sim::fatal("Topology::route: no path from ", nodes_[src].name,
+                   " to ", nodes_[dst].name, " with mask ", mask);
+    }
+
+    std::vector<LinkId> path;
+    for (NodeId at = dst; at != src; at = best[at].prev)
+        path.push_back(best[at].via);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+sim::Tick
+Topology::pathLatency(NodeId src, NodeId dst, LinkMask mask)
+{
+    sim::Tick total = 0;
+    for (LinkId lid : route(src, dst, mask))
+        total += links_[lid]->latency();
+    return total;
+}
+
+Bandwidth
+Topology::pathBandwidth(NodeId src, NodeId dst, std::uint64_t size,
+                        LinkMask mask)
+{
+    const auto &path = route(src, dst, mask);
+    if (path.empty())
+        return std::numeric_limits<double>::infinity();
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (LinkId lid : path)
+        bottleneck = std::min(bottleneck, links_[lid]->bandwidth().at(size));
+    return bottleneck * pairEfficiency(src, dst);
+}
+
+void
+Topology::attachStats(sim::StatGroup &group) const
+{
+    for (const auto &link : links_) {
+        const std::string name = nodes_[link->endpointA()].name + "__"
+            + nodes_[link->endpointB()].name;
+        sim::StatGroup &sub = group.subgroup(name);
+        const Link *raw = link.get();
+        sub.addFormula("bytes", [raw] {
+            return static_cast<double>(raw->totalBytes());
+        });
+        sub.addFormula("utilization", [raw, this] {
+            return raw->utilization(sim_.now());
+        });
+    }
+}
+
+void
+Topology::setReceiver(NodeId node,
+                      std::function<void(const Message &)> receiver)
+{
+    nodes_.at(node).receiver = std::move(receiver);
+}
+
+void
+Topology::setChunkBytes(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        sim::fatal("Topology::setChunkBytes: chunk size must be positive");
+    chunkBytes_ = bytes;
+}
+
+void
+Topology::send(Message msg, LinkMask mask)
+{
+    if (msg.src >= nodes_.size() || msg.dst >= nodes_.size())
+        sim::fatal("Topology::send: unknown endpoint");
+
+    static const sim::Logger logger("fabric");
+    logger.trace("send ", nodes_[msg.src].name, " -> ",
+                 nodes_[msg.dst].name, " bytes=", msg.bytes,
+                 " tag=", msg.tag, " t=", sim_.now());
+
+    auto transfer = std::make_shared<Transfer>();
+    transfer->msg = std::move(msg);
+    transfer->path = route(transfer->msg.src, transfer->msg.dst, mask);
+    transfer->totalBytes = transfer->msg.bytes;
+    transfer->efficiency =
+        pairEfficiency(transfer->msg.src, transfer->msg.dst);
+    if (transfer->msg.flowBytes == 0)
+        transfer->msg.flowBytes = transfer->msg.bytes;
+
+    if (transfer->msg.src == transfer->msg.dst
+        || transfer->totalBytes == 0) {
+        // Local or zero-byte control message: latency only.
+        const sim::Tick latency = transfer->path.empty()
+            ? 0
+            : pathLatency(transfer->msg.src, transfer->msg.dst, mask);
+        sim_.events().scheduleIn(latency, [this, transfer] {
+            deliver(transfer, 0);
+        });
+        return;
+    }
+
+    // Launch every packet at the first hop now; FIFO link pipes
+    // serialize them, and each packet advances independently so large
+    // transfers pipeline across hops.
+    std::uint64_t remaining = transfer->totalBytes;
+    while (remaining > 0) {
+        const std::uint64_t piece = std::min(remaining, chunkBytes_);
+        forwardPacket(transfer, 0, transfer->msg.src, piece);
+        remaining -= piece;
+    }
+}
+
+void
+Topology::forwardPacket(const std::shared_ptr<Transfer> &transfer,
+                        std::size_t hop, NodeId at, std::uint64_t bytes)
+{
+    if (hop == transfer->path.size()) {
+        deliver(transfer, bytes);
+        return;
+    }
+    Link &l = *links_[transfer->path[hop]];
+    LinkDirection &pipe = l.directionFrom(at);
+    const double efficiency =
+        l.kind() == LinkKind::SerialBus ? transfer->efficiency : 1.0;
+    const sim::Tick sent =
+        pipe.transmit(sim_.now(), bytes, transfer->msg.flowBytes,
+                      l.bandwidth(), efficiency, transfer->msg.rateCap);
+    const sim::Tick arrival = sent + l.latency();
+    const NodeId next = l.peerOf(at);
+    sim_.events().schedule(arrival,
+                           [this, transfer, hop, next, bytes] {
+                               forwardPacket(transfer, hop + 1, next,
+                                             bytes);
+                           });
+}
+
+void
+Topology::deliver(const std::shared_ptr<Transfer> &transfer,
+                  std::uint64_t bytes)
+{
+    transfer->bytesDelivered += bytes;
+    if (transfer->bytesDelivered < transfer->totalBytes)
+        return;
+    const auto &receiver = nodes_[transfer->msg.dst].receiver;
+    if (receiver)
+        receiver(transfer->msg);
+    if (transfer->msg.onDelivered)
+        transfer->msg.onDelivered();
+}
+
+} // namespace coarse::fabric

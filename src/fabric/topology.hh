@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Interconnect topology: nodes, links, routing, and message transport.
+ */
+
+#ifndef COARSE_FABRIC_TOPOLOGY_HH
+#define COARSE_FABRIC_TOPOLOGY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "link.hh"
+#include "message.hh"
+#include "sim/simulation.hh"
+
+namespace coarse::fabric {
+
+/** Bitmask of link kinds a transfer may traverse. */
+using LinkMask = std::uint32_t;
+
+constexpr LinkMask
+linkBit(LinkKind kind)
+{
+    return LinkMask(1) << static_cast<std::uint32_t>(kind);
+}
+
+constexpr LinkMask kSerialBusOnly = linkBit(LinkKind::SerialBus);
+constexpr LinkMask kAllLinks =
+    linkBit(LinkKind::SerialBus) | linkBit(LinkKind::Cci)
+    | linkBit(LinkKind::NvLink) | linkBit(LinkKind::Network);
+/** Everything except NVLink: what the COARSE profiler measures. */
+constexpr LinkMask kNoNvLink = kAllLinks & ~linkBit(LinkKind::NvLink);
+/** CCI fabric plus serial bus (proxy-to-proxy synchronization path). */
+constexpr LinkMask kCciPath =
+    linkBit(LinkKind::Cci) | linkBit(LinkKind::SerialBus)
+    | linkBit(LinkKind::Network);
+
+/**
+ * The machine's interconnect graph plus a chunked, event-driven
+ * message transport over it.
+ *
+ * Transfers are split into packets (default 512 KiB); each packet is
+ * forwarded hop by hop, reserving each link direction FIFO at the
+ * effective bandwidth for the *logical* transfer size. Opposite
+ * directions of a link are independent, so the transport exhibits the
+ * full-duplex behaviour the paper's partitioning scheme exploits.
+ */
+class Topology
+{
+  public:
+    explicit Topology(sim::Simulation &sim);
+
+    Topology(const Topology &) = delete;
+    Topology &operator=(const Topology &) = delete;
+
+    /** @name Construction */
+    ///@{
+    NodeId addNode(NodeKind kind, std::string name);
+    LinkId addLink(NodeId a, NodeId b, LinkParams params);
+
+    /**
+     * Scale the effective bandwidth of all serial-bus hops for
+     * transfers between endpoints @p a and @p b. This encodes the
+     * measured per-pair non-uniformity (Fig. 8), including the AWS
+     * "anti-locality" where remote pairs outrun local ones.
+     */
+    void setPairEfficiency(NodeId a, NodeId b, double factor);
+    ///@}
+
+    /** @name Introspection */
+    ///@{
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t linkCount() const { return links_.size(); }
+    NodeKind nodeKind(NodeId node) const;
+    const std::string &nodeName(NodeId node) const;
+    Link &link(LinkId id);
+    const Link &link(LinkId id) const;
+    double pairEfficiency(NodeId a, NodeId b) const;
+
+    /** Links incident to @p node. */
+    const std::vector<LinkId> &linksAt(NodeId node) const;
+
+    /**
+     * Hop path from @p src to @p dst using only links in @p mask.
+     * Fewest hops wins; ties break on higher bottleneck peak
+     * bandwidth, then on link ids (deterministic).
+     * @return Link ids in traversal order; empty if src == dst.
+     */
+    const std::vector<LinkId> &route(NodeId src, NodeId dst,
+                                     LinkMask mask = kAllLinks);
+
+    /** Sum of link latencies along the route (an idle-system RTT/2). */
+    sim::Tick pathLatency(NodeId src, NodeId dst,
+                          LinkMask mask = kAllLinks);
+
+    /**
+     * Idle-system effective bandwidth for a @p size byte transfer:
+     * the bottleneck hop's curve value times the pair efficiency.
+     */
+    Bandwidth pathBandwidth(NodeId src, NodeId dst, std::uint64_t size,
+                            LinkMask mask = kAllLinks);
+    ///@}
+
+    /** @name Transport */
+    ///@{
+    /**
+     * Start an asynchronous transfer. Completion fires
+     * @c msg.onDelivered and any receiver registered at @c msg.dst.
+     * A zero-byte message still experiences path latency (it models a
+     * control message of negligible size).
+     */
+    void send(Message msg, LinkMask mask = kAllLinks);
+
+    /** Register a delivery handler for messages arriving at @p node. */
+    void setReceiver(NodeId node,
+                     std::function<void(const Message &)> receiver);
+
+    /** Packet granularity used to pipeline large transfers. */
+    void setChunkBytes(std::uint64_t bytes);
+    std::uint64_t chunkBytes() const { return chunkBytes_; }
+    ///@}
+
+    sim::Simulation &sim() { return sim_; }
+
+    /**
+     * Register per-link statistics (bytes carried, utilization of
+     * the busier direction) under @p group, one subgroup per link
+     * named "<a>__<b>". Values are read live at dump time.
+     */
+    void attachStats(sim::StatGroup &group) const;
+
+  private:
+    struct NodeInfo
+    {
+        NodeKind kind;
+        std::string name;
+        std::vector<LinkId> links;
+        std::function<void(const Message &)> receiver;
+    };
+
+    struct RouteKey
+    {
+        NodeId src;
+        NodeId dst;
+        LinkMask mask;
+
+        bool
+        operator<(const RouteKey &o) const
+        {
+            if (src != o.src)
+                return src < o.src;
+            if (dst != o.dst)
+                return dst < o.dst;
+            return mask < o.mask;
+        }
+    };
+
+    struct Transfer
+    {
+        Message msg;
+        std::vector<LinkId> path;
+        std::uint64_t bytesDelivered = 0;
+        std::uint64_t totalBytes = 0;
+        double efficiency = 1.0;
+    };
+
+    std::vector<LinkId> computeRoute(NodeId src, NodeId dst,
+                                     LinkMask mask) const;
+
+    /** Advance one packet from hop @p hop; schedules the next hop. */
+    void forwardPacket(const std::shared_ptr<Transfer> &transfer,
+                       std::size_t hop, NodeId at, std::uint64_t bytes);
+
+    void deliver(const std::shared_ptr<Transfer> &transfer,
+                 std::uint64_t bytes);
+
+    sim::Simulation &sim_;
+    std::vector<NodeInfo> nodes_;
+    std::vector<std::unique_ptr<Link>> links_;
+    std::map<RouteKey, std::vector<LinkId>> routeCache_;
+    std::map<std::pair<NodeId, NodeId>, double> pairEfficiency_;
+    std::uint64_t chunkBytes_ = 512 * 1024;
+};
+
+} // namespace coarse::fabric
+
+#endif // COARSE_FABRIC_TOPOLOGY_HH

@@ -1,0 +1,101 @@
+#include "traffic.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace coarse::fabric {
+
+const char *
+trafficPatternName(TrafficPattern pattern)
+{
+    switch (pattern) {
+      case TrafficPattern::UniformRandom:
+        return "uniform-random";
+      case TrafficPattern::Hotspot:
+        return "hotspot";
+      case TrafficPattern::Transpose:
+        return "transpose";
+      case TrafficPattern::NearestNeighbor:
+        return "nearest-neighbor";
+    }
+    return "?";
+}
+
+TrafficResult
+runTraffic(Topology &topo, const std::vector<NodeId> &endpoints,
+           const TrafficParams &params)
+{
+    if (endpoints.size() < 2)
+        sim::fatal("runTraffic: need at least two endpoints");
+    if (params.messageBytes == 0 || params.messagesPerEndpoint == 0)
+        sim::fatal("runTraffic: empty load");
+    if (params.hotspot >= endpoints.size())
+        sim::fatal("runTraffic: hotspot index out of range");
+
+    sim::Random rng(params.seed);
+    auto &sim = topo.sim();
+    const sim::Tick startTick = sim.now();
+
+    auto result = std::make_shared<TrafficResult>();
+    auto latencySum = std::make_shared<double>(0.0);
+
+    const std::size_t n = endpoints.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint32_t m = 0; m < params.messagesPerEndpoint;
+             ++m) {
+            std::size_t dst = i;
+            switch (params.pattern) {
+              case TrafficPattern::UniformRandom:
+                while (dst == i)
+                    dst = rng.uniformInt(0, n - 1);
+                break;
+              case TrafficPattern::Hotspot:
+                dst = params.hotspot;
+                if (dst == i)
+                    dst = (i + 1) % n;
+                break;
+              case TrafficPattern::Transpose:
+                dst = n - 1 - i;
+                if (dst == i)
+                    dst = (i + 1) % n;
+                break;
+              case TrafficPattern::NearestNeighbor:
+                dst = (i + 1) % n;
+                break;
+            }
+
+            Message msg;
+            msg.src = endpoints[i];
+            msg.dst = endpoints[dst];
+            msg.bytes = params.messageBytes;
+            msg.tag = (std::uint64_t(i) << 32) | m;
+            const sim::Tick injected = sim.now();
+            msg.onDelivered = [result, latencySum, injected, &topo] {
+                const double latency = sim::toSeconds(
+                    topo.sim().now() - injected);
+                *latencySum += latency;
+                result->maxLatencySeconds =
+                    std::max(result->maxLatencySeconds, latency);
+                ++result->messages;
+            };
+            topo.send(std::move(msg), params.mask);
+            result->bytes += params.messageBytes;
+        }
+    }
+
+    sim.run();
+
+    result->seconds = sim::toSeconds(sim.now() - startTick);
+    result->aggregateBytesPerSec = result->seconds > 0
+        ? static_cast<double>(result->bytes) / result->seconds
+        : 0.0;
+    result->meanLatencySeconds = result->messages > 0
+        ? *latencySum / static_cast<double>(result->messages)
+        : 0.0;
+    return *result;
+}
+
+} // namespace coarse::fabric

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic traffic patterns for fabric characterization — the
+ * interconnect-simulator staple (uniform random, hotspot, transpose,
+ * nearest neighbour) applied to the machine topologies. Used by the
+ * microbenchmarks and by tests that probe contention behaviour
+ * independent of the DL stack.
+ */
+
+#ifndef COARSE_FABRIC_TRAFFIC_HH
+#define COARSE_FABRIC_TRAFFIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topology.hh"
+
+namespace coarse::fabric {
+
+/** Destination-selection patterns. */
+enum class TrafficPattern
+{
+    UniformRandom,    //!< Every message picks a random peer.
+    Hotspot,          //!< Everyone sends to one victim endpoint.
+    Transpose,        //!< Endpoint i sends to endpoint (n-1)-i.
+    NearestNeighbor,  //!< Endpoint i sends to endpoint (i+1) % n.
+};
+
+const char *trafficPatternName(TrafficPattern pattern);
+
+/** Load description. */
+struct TrafficParams
+{
+    TrafficPattern pattern = TrafficPattern::UniformRandom;
+    std::uint64_t messageBytes = 1 << 20;
+    std::uint32_t messagesPerEndpoint = 8;
+    std::uint64_t seed = 1;
+    fabric::LinkMask mask = kAllLinks;
+    /** Victim index for Hotspot. */
+    std::size_t hotspot = 0;
+};
+
+/** Aggregate results of one traffic run. */
+struct TrafficResult
+{
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    /** Makespan: first injection to last delivery. */
+    double seconds = 0.0;
+    /** bytes / seconds. */
+    double aggregateBytesPerSec = 0.0;
+    /** Mean per-message delivery latency. */
+    double meanLatencySeconds = 0.0;
+    double maxLatencySeconds = 0.0;
+};
+
+/**
+ * Inject the load over @p endpoints and run the simulation to
+ * completion. All messages are injected at the current simulated
+ * time (a burst — the stress case).
+ */
+TrafficResult runTraffic(Topology &topo,
+                         const std::vector<NodeId> &endpoints,
+                         const TrafficParams &params);
+
+} // namespace coarse::fabric
+
+#endif // COARSE_FABRIC_TRAFFIC_HH

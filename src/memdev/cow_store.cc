@@ -1,0 +1,84 @@
+#include "cow_store.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::memdev {
+
+bool
+CowStore::put(TensorKey key, std::vector<float> data)
+{
+    auto it = current_.find(key);
+    if (it != current_.end() && *it->second == data) {
+        absorbed_.inc();
+        return false;
+    }
+    versions_.inc();
+    bytesCopied_.inc(data.size() * sizeof(float));
+    current_[key] =
+        std::make_shared<const std::vector<float>>(std::move(data));
+    return true;
+}
+
+bool
+CowStore::contains(TensorKey key) const
+{
+    return current_.find(key) != current_.end();
+}
+
+TensorVersion
+CowStore::get(TensorKey key) const
+{
+    auto it = current_.find(key);
+    if (it == current_.end())
+        sim::fatal("CowStore: no tensor with key ", key);
+    return it->second;
+}
+
+std::uint64_t
+CowStore::liveBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[key, version] : current_)
+        total += version->size() * sizeof(float);
+    return total;
+}
+
+SnapshotId
+CowStore::snapshot()
+{
+    const SnapshotId id = nextSnapshot_++;
+    checkpoints_[id] = current_;
+    return id;
+}
+
+const std::map<TensorKey, TensorVersion> &
+CowStore::checkpoint(SnapshotId id) const
+{
+    auto it = checkpoints_.find(id);
+    if (it == checkpoints_.end())
+        sim::fatal("CowStore: no checkpoint ", id);
+    return it->second;
+}
+
+void
+CowStore::restore(SnapshotId id)
+{
+    current_ = checkpoint(id);
+}
+
+void
+CowStore::dropCheckpoint(SnapshotId id)
+{
+    if (checkpoints_.erase(id) == 0)
+        sim::fatal("CowStore: no checkpoint ", id);
+}
+
+void
+CowStore::attachStats(sim::StatGroup &group) const
+{
+    group.addCounter("versions_created", versions_);
+    group.addCounter("bytes_copied", bytesCopied_);
+    group.addCounter("writes_absorbed", absorbed_);
+}
+
+} // namespace coarse::memdev

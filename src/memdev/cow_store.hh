@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Copy-on-write versioned parameter store with epoch snapshots.
+ *
+ * Implements the paper's fault-tolerance design (§IV-A): each write
+ * that actually changes a parameter creates a new version; unchanged
+ * writes are deduplicated; a snapshot freezes the current version of
+ * every parameter as a checkpoint at near-zero cost because versions
+ * are immutable and shared.
+ */
+
+#ifndef COARSE_MEMDEV_COW_STORE_HH
+#define COARSE_MEMDEV_COW_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace coarse::memdev {
+
+/** Key identifying one stored tensor. */
+using TensorKey = std::uint64_t;
+
+/** Snapshot (checkpoint) identifier. */
+using SnapshotId = std::uint64_t;
+
+/** An immutable tensor version. */
+using TensorVersion = std::shared_ptr<const std::vector<float>>;
+
+/**
+ * Versioned key-value store for parameters.
+ */
+class CowStore
+{
+  public:
+    CowStore() = default;
+
+    /**
+     * Store @p data under @p key. If the current version is
+     * byte-identical the write is absorbed (no copy, no new version);
+     * otherwise a new immutable version is created.
+     * @return true when a new version was created.
+     */
+    bool put(TensorKey key, std::vector<float> data);
+
+    bool contains(TensorKey key) const;
+
+    /** Current version of @p key; throws FatalError if absent. */
+    TensorVersion get(TensorKey key) const;
+
+    /** Number of live (current) tensors. */
+    std::size_t size() const { return current_.size(); }
+
+    /** Total bytes across current tensor versions. */
+    std::uint64_t liveBytes() const;
+
+    /**
+     * Freeze the current version of every tensor as a checkpoint.
+     * O(#tensors) pointer copies — no data is duplicated.
+     */
+    SnapshotId snapshot();
+
+    /** Tensors captured by a checkpoint. */
+    const std::map<TensorKey, TensorVersion> &
+    checkpoint(SnapshotId id) const;
+
+    /** Restore all tensors to the versions in checkpoint @p id. */
+    void restore(SnapshotId id);
+
+    /** Drop a checkpoint (its versions free once unreferenced). */
+    void dropCheckpoint(SnapshotId id);
+
+    std::size_t checkpointCount() const { return checkpoints_.size(); }
+
+    /** @name Stats */
+    ///@{
+    const sim::Counter &versionsCreated() const { return versions_; }
+    const sim::Counter &bytesCopied() const { return bytesCopied_; }
+    const sim::Counter &writesAbsorbed() const { return absorbed_; }
+    void attachStats(sim::StatGroup &group) const;
+    ///@}
+
+  private:
+    std::map<TensorKey, TensorVersion> current_;
+    std::map<SnapshotId, std::map<TensorKey, TensorVersion>> checkpoints_;
+    SnapshotId nextSnapshot_ = 1;
+    sim::Counter versions_;
+    sim::Counter bytesCopied_;
+    sim::Counter absorbed_;
+};
+
+} // namespace coarse::memdev
+
+#endif // COARSE_MEMDEV_COW_STORE_HH

@@ -1,0 +1,40 @@
+#include "memory_device.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::memdev {
+
+MemoryDevice::MemoryDevice(fabric::NodeId node, MemoryDeviceParams params)
+    : node_(node), params_(params)
+{
+    if (params_.syncCoreCount == 0)
+        sim::fatal("MemoryDevice: need at least one sync core");
+    if (params_.dramBytes == 0 || params_.dramBytesPerSec <= 0)
+        sim::fatal("MemoryDevice: invalid DRAM configuration");
+    auto coreParams = params_.syncCore;
+    // Each core sees its fair share of DRAM bandwidth.
+    coreParams.dramBytesPerSec = params_.dramBytesPerSec
+        / static_cast<double>(params_.syncCoreCount);
+    for (std::size_t i = 0; i < params_.syncCoreCount; ++i)
+        cores_.push_back(std::make_unique<SyncCore>(coreParams));
+}
+
+double
+MemoryDevice::effectiveCoreBytesPerSec() const
+{
+    const SyncCore &core = *cores_.front();
+    const double alu = core.reduceBytesPerSec();
+    const double dram = core.params().dramBytesPerSec;
+    // One reduced byte costs one ALU pass plus a DRAM load and a
+    // DRAM writeback; the stages pipeline, so the bottleneck governs.
+    return std::min(alu, dram / 2.0);
+}
+
+double
+MemoryDevice::aggregateReduceBytesPerSec() const
+{
+    return effectiveCoreBytesPerSec()
+        * static_cast<double>(cores_.size());
+}
+
+} // namespace coarse::memdev

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A CCI-attached disaggregated memory device.
+ *
+ * Combines large-capacity on-device DRAM, a weak general-purpose
+ * on-device processor (ARM-class), an array of sync cores, and a
+ * copy-on-write parameter store (paper §II-C, §IV-A).
+ */
+
+#ifndef COARSE_MEMDEV_MEMORY_DEVICE_HH
+#define COARSE_MEMDEV_MEMORY_DEVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cow_store.hh"
+#include "fabric/message.hh"
+#include "sync_core.hh"
+
+namespace coarse::memdev {
+
+/** Static memory-device parameters. */
+struct MemoryDeviceParams
+{
+    /** On-device DRAM capacity. */
+    std::uint64_t dramBytes = std::uint64_t(64) << 30;
+    /** Aggregate on-device DRAM bandwidth. */
+    double dramBytesPerSec = 20e9;
+    /**
+     * Reduction throughput of the general-purpose on-device core
+     * (e.g. ARM Cortex-A53): the slow path the paper rejects in
+     * favour of sync cores.
+     */
+    double armReduceBytesPerSec = 1.5e9;
+    /** Number of sync cores. */
+    std::size_t syncCoreCount = 4;
+    /** Per-core configuration. */
+    SyncCoreParams syncCore = {};
+};
+
+/**
+ * One memory device: identity, storage, and compute resources.
+ */
+class MemoryDevice
+{
+  public:
+    MemoryDevice(fabric::NodeId node, MemoryDeviceParams params = {});
+
+    fabric::NodeId node() const { return node_; }
+    const MemoryDeviceParams &params() const { return params_; }
+
+    CowStore &store() { return store_; }
+    const CowStore &store() const { return store_; }
+
+    std::size_t syncCoreCount() const { return cores_.size(); }
+    SyncCore &syncCore(std::size_t i) { return *cores_.at(i); }
+
+    /**
+     * Effective reduction throughput of one sync core, including the
+     * DRAM traffic each reduced byte implies (load + writeback).
+     */
+    double effectiveCoreBytesPerSec() const;
+
+    /** Aggregate reduction throughput across all sync cores. */
+    double aggregateReduceBytesPerSec() const;
+
+    /** Throughput when falling back to the ARM core (the ablation). */
+    double armReduceBytesPerSec() const
+    {
+        return params_.armReduceBytesPerSec;
+    }
+
+  private:
+    fabric::NodeId node_;
+    MemoryDeviceParams params_;
+    CowStore store_;
+    std::vector<std::unique_ptr<SyncCore>> cores_;
+};
+
+} // namespace coarse::memdev
+
+#endif // COARSE_MEMDEV_MEMORY_DEVICE_HH

@@ -1,0 +1,218 @@
+#include "ring_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace coarse::memdev {
+
+namespace {
+
+/** Element range of entry @p s when @p n elements split @p p ways. */
+std::pair<std::size_t, std::size_t>
+entryRange(std::size_t n, std::size_t p, std::size_t s)
+{
+    const std::size_t base = n / p;
+    const std::size_t extra = n % p;
+    const std::size_t begin = s * base + std::min(s, extra);
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    return {begin, begin + len};
+}
+
+} // namespace
+
+/** One allreduce in flight. */
+struct RingEngine::Job
+{
+    std::vector<std::span<float>> buffers;
+    std::size_t elements = 0;
+    std::size_t chunkElems = 0;
+    std::size_t chunkBegin = 0;
+    std::size_t chunkLen = 0;
+    /**
+     * Per-device working copy of the current chunk: the engine-level
+     * mirror of each core's LocalBuf/SendBuf contents at entry
+     * granularity.
+     */
+    std::vector<std::vector<float>> work;
+    std::size_t devicesDone = 0;
+    std::function<void()> done;
+};
+
+RingEngine::RingEngine(fabric::Topology &topo,
+                       std::vector<MemoryDevice *> devices,
+                       RingEngineOptions options)
+    : topo_(topo), devices_(std::move(devices)), options_(options)
+{
+    if (devices_.empty())
+        sim::fatal("RingEngine: need at least one device");
+    for (MemoryDevice *dev : devices_) {
+        if (dev == nullptr)
+            sim::fatal("RingEngine: null device");
+        if (options_.coreIndex >= dev->syncCoreCount())
+            sim::fatal("RingEngine: device lacks sync core ",
+                       options_.coreIndex);
+    }
+}
+
+void
+RingEngine::allReduce(std::vector<std::span<float>> buffers,
+                      std::function<void()> done)
+{
+    const std::size_t p = devices_.size();
+    if (buffers.size() != p)
+        sim::fatal("RingEngine: got ", buffers.size(), " buffers for ",
+                   p, " devices");
+    const std::size_t n = buffers.front().size();
+    for (const auto &b : buffers) {
+        if (b.size() != n)
+            sim::fatal("RingEngine: buffers must have equal length");
+    }
+    if (p == 1 || n == 0) {
+        topo_.sim().events().scheduleIn(0, std::move(done));
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->buffers = std::move(buffers);
+    job->elements = n;
+    std::size_t capacity = SIZE_MAX;
+    for (MemoryDevice *dev : devices_) {
+        capacity = std::min(
+            capacity,
+            dev->syncCore(options_.coreIndex).params().bufferElements);
+    }
+    job->chunkElems = std::min(capacity, n);
+    job->chunkBegin = 0;
+    job->done = std::move(done);
+    startChunk(job);
+}
+
+void
+RingEngine::startChunk(const std::shared_ptr<Job> &job)
+{
+    const std::size_t p = devices_.size();
+    job->chunkLen =
+        std::min(job->chunkElems, job->elements - job->chunkBegin);
+    job->devicesDone = 0;
+    job->work.assign(p, {});
+
+    // Stage the chunk from DRAM into every core's LocalBuf. The
+    // cores load in parallel; the slowest staging gates round 0.
+    double maxStage = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+        SyncCore &core = devices_[i]->syncCore(options_.coreIndex);
+        const auto chunk = job->buffers[i].subspan(job->chunkBegin,
+                                                   job->chunkLen);
+        core.loadLocal(chunk);
+        job->work[i].assign(chunk.begin(), chunk.end());
+        maxStage = std::max(maxStage,
+                            core.dramSeconds(job->chunkLen
+                                             * sizeof(float)));
+    }
+    ++chunks_;
+
+    topo_.sim().events().scheduleIn(
+        sim::fromSeconds(maxStage), [this, job] {
+            for (std::size_t i = 0; i < devices_.size(); ++i)
+                startRound(job, i * (2 * (devices_.size() - 1) + 1));
+        });
+}
+
+/**
+ * Rounds are encoded per device as round = device * stride + k so a
+ * single dispatch entry point can carry both; k runs 0..2p-3.
+ */
+void
+RingEngine::startRound(const std::shared_ptr<Job> &job,
+                       std::size_t encoded)
+{
+    const std::size_t p = devices_.size();
+    const std::size_t stride = 2 * (p - 1) + 1;
+    const std::size_t i = encoded / stride;
+    const std::size_t k = encoded % stride;
+    const std::size_t totalRounds = 2 * (p - 1);
+
+    if (k == totalRounds) {
+        finishChunk(job);
+        return;
+    }
+
+    const bool reversed = options_.reversed;
+    const std::size_t seg =
+        reversed ? (i + k) % p : (i + p - k % p) % p;
+    const auto [begin, end] = entryRange(job->chunkLen, p, seg);
+    const std::size_t j = reversed ? (i + p - 1) % p : (i + 1) % p;
+    const std::uint64_t bytes = (end - begin) * sizeof(float);
+
+    // SendBuf -> successor's RecvBuf over the CCI path.
+    auto payload = std::make_shared<std::vector<float>>(
+        job->work[i].begin() + begin, job->work[i].begin() + end);
+    ++steps_;
+
+    fabric::Message msg;
+    msg.src = devices_[i]->node();
+    msg.dst = devices_[j]->node();
+    msg.bytes = std::max<std::uint64_t>(bytes, 1);
+    msg.onDelivered = [this, job, payload, begin, end, j, k, stride,
+                       totalRounds, p] {
+        SyncCore &core = devices_[j]->syncCore(options_.coreIndex);
+        const bool reducePhase = k < p - 1;
+        auto &work = job->work[j];
+        // RecvBuf <- payload; ALU combines with the LocalBuf entry.
+        core.receive(*payload);
+        if (reducePhase) {
+            for (std::size_t e = begin; e < end; ++e)
+                work[e] += (*payload)[e - begin];
+        } else {
+            for (std::size_t e = begin; e < end; ++e)
+                work[e] = (*payload)[e - begin];
+        }
+        auto proceed = [this, job, j, k, stride] {
+            startRound(job, j * stride + (k + 1));
+        };
+        if (reducePhase) {
+            const double sec =
+                static_cast<double>((end - begin) * sizeof(float))
+                / core.reduceBytesPerSec();
+            topo_.sim().events().scheduleIn(sim::fromSeconds(sec),
+                                            proceed);
+        } else {
+            proceed();
+        }
+    };
+    topo_.send(std::move(msg), options_.mask);
+}
+
+void
+RingEngine::finishChunk(const std::shared_ptr<Job> &job)
+{
+    if (++job->devicesDone < devices_.size())
+        return;
+
+    // All devices hold the synchronized chunk: write it back to DRAM
+    // and move on. The writeback of the slowest device gates the
+    // next chunk, per the paper's sequential-chunk schedule.
+    double maxWriteback = 0.0;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        SyncCore &core = devices_[i]->syncCore(options_.coreIndex);
+        std::copy(job->work[i].begin(), job->work[i].end(),
+                  job->buffers[i].begin()
+                      + static_cast<std::ptrdiff_t>(job->chunkBegin));
+        maxWriteback = std::max(
+            maxWriteback,
+            core.dramSeconds(job->chunkLen * sizeof(float)));
+    }
+
+    topo_.sim().events().scheduleIn(
+        sim::fromSeconds(maxWriteback), [this, job] {
+            job->chunkBegin += job->chunkLen;
+            if (job->chunkBegin < job->elements) {
+                startChunk(job);
+            } else {
+                job->done();
+            }
+        });
+}
+
+} // namespace coarse::memdev

@@ -1,0 +1,75 @@
+#include "sync_core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace coarse::memdev {
+
+SyncCore::SyncCore(SyncCoreParams params) : params_(params)
+{
+    if (params_.bufferElements == 0)
+        sim::fatal("SyncCore: zero buffer size");
+    if (params_.aluLanes == 0 || params_.opsPerLanePerSec <= 0)
+        sim::fatal("SyncCore: invalid ALU configuration");
+    recvBuf_.reserve(params_.bufferElements);
+    localBuf_.reserve(params_.bufferElements);
+    sendBuf_.reserve(params_.bufferElements);
+}
+
+double
+SyncCore::reduceBytesPerSec() const
+{
+    return static_cast<double>(params_.aluLanes)
+        * params_.opsPerLanePerSec * sizeof(float);
+}
+
+double
+SyncCore::dramSeconds(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / params_.dramBytesPerSec;
+}
+
+void
+SyncCore::loadLocal(std::span<const float> chunk)
+{
+    if (chunk.size() > params_.bufferElements)
+        sim::fatal("SyncCore: chunk of ", chunk.size(),
+                   " elements exceeds LocalBuf capacity ",
+                   params_.bufferElements);
+    localBuf_.assign(chunk.begin(), chunk.end());
+    dramBytes_.inc(chunk.size() * sizeof(float));
+}
+
+void
+SyncCore::receive(std::span<const float> data)
+{
+    if (data.size() > params_.bufferElements)
+        sim::fatal("SyncCore: receive of ", data.size(),
+                   " elements exceeds RecvBuf capacity ",
+                   params_.bufferElements);
+    recvBuf_.assign(data.begin(), data.end());
+}
+
+std::span<const float>
+SyncCore::combine()
+{
+    if (recvBuf_.size() != localBuf_.size())
+        sim::fatal("SyncCore: RecvBuf (", recvBuf_.size(),
+                   ") and LocalBuf (", localBuf_.size(),
+                   ") sizes differ");
+    sendBuf_.resize(localBuf_.size());
+    for (std::size_t i = 0; i < localBuf_.size(); ++i)
+        sendBuf_[i] = localBuf_[i] + recvBuf_[i];
+    reduced_.inc(localBuf_.size());
+    return sendBuf_;
+}
+
+void
+SyncCore::commitToLocal()
+{
+    localBuf_ = sendBuf_;
+    dramBytes_.inc(sendBuf_.size() * sizeof(float));
+}
+
+} // namespace coarse::memdev

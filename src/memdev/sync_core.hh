@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Near-memory sync cores (paper §IV-A, Fig. 11a).
+ *
+ * A sync core is a specialized reduction engine on the memory device:
+ * three buffers (RecvBuf, LocalBuf, SendBuf) plus an ALU array. It
+ * processes tensors chunk by chunk: load a chunk from DRAM into
+ * LocalBuf, run the ring iterations combining RecvBuf entries with
+ * LocalBuf into SendBuf, and write results back to DRAM.
+ */
+
+#ifndef COARSE_MEMDEV_SYNC_CORE_HH
+#define COARSE_MEMDEV_SYNC_CORE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace coarse::memdev {
+
+/** Static sync-core parameters. */
+struct SyncCoreParams
+{
+    /** Elements each of RecvBuf / LocalBuf / SendBuf holds. */
+    std::size_t bufferElements = 256 * 1024;
+    /** ALU lanes operating in parallel. */
+    std::size_t aluLanes = 64;
+    /** Element operations per lane per second. */
+    double opsPerLanePerSec = 250e6;
+    /** On-device DRAM bandwidth available to this core. */
+    double dramBytesPerSec = 8e9;
+};
+
+/**
+ * Functional + timed model of one sync core.
+ */
+class SyncCore
+{
+  public:
+    explicit SyncCore(SyncCoreParams params = {});
+
+    const SyncCoreParams &params() const { return params_; }
+
+    /** Reduction throughput in bytes/second (ALU array aggregate). */
+    double reduceBytesPerSec() const;
+
+    /** Seconds to move @p bytes between DRAM and a core buffer. */
+    double dramSeconds(std::uint64_t bytes) const;
+
+    /** Load a chunk from (modelled) DRAM into LocalBuf. */
+    void loadLocal(std::span<const float> chunk);
+
+    /** Deposit data into RecvBuf (a remote core's CCI write lands here). */
+    void receive(std::span<const float> data);
+
+    /**
+     * Combine RecvBuf with LocalBuf element-wise into SendBuf
+     * (the paper's ALU step). Returns a view of SendBuf.
+     */
+    std::span<const float> combine();
+
+    /** Copy SendBuf entries back over LocalBuf (end-of-round commit). */
+    void commitToLocal();
+
+    /** Current LocalBuf contents. */
+    std::span<const float> local() const { return localBuf_; }
+
+    /** Current SendBuf contents. */
+    std::span<const float> sendBuf() const { return sendBuf_; }
+
+    /** @name Stats */
+    ///@{
+    const sim::Counter &elementsReduced() const { return reduced_; }
+    const sim::Counter &bytesFromDram() const { return dramBytes_; }
+    ///@}
+
+  private:
+    SyncCoreParams params_;
+    std::vector<float> recvBuf_;
+    std::vector<float> localBuf_;
+    std::vector<float> sendBuf_;
+    sim::Counter reduced_;
+    sim::Counter dramBytes_;
+};
+
+} // namespace coarse::memdev
+
+#endif // COARSE_MEMDEV_SYNC_CORE_HH

@@ -1,0 +1,157 @@
+#include "sync_group.hh"
+
+#include <algorithm>
+
+#include "collective/ring_builder.hh"
+#include "sim/logging.hh"
+
+namespace coarse::memdev {
+
+namespace {
+
+std::vector<fabric::NodeId>
+nodesOf(const std::vector<MemoryDevice *> &devices)
+{
+    std::vector<fabric::NodeId> nodes;
+    nodes.reserve(devices.size());
+    for (const MemoryDevice *dev : devices) {
+        if (dev == nullptr)
+            sim::fatal("SyncGroupScheduler: null device");
+        nodes.push_back(dev->node());
+    }
+    return nodes;
+}
+
+std::vector<MemoryDevice *>
+orderDevices(fabric::Topology &topo, std::vector<MemoryDevice *> devices,
+             const SyncScheduleOptions &options)
+{
+    if (!options.optimizeRingOrder || devices.size() < 3)
+        return devices;
+    coll::RingBuildOptions build;
+    build.mask = options.mask;
+    const auto ring = coll::buildRing(topo, nodesOf(devices), build);
+    std::vector<MemoryDevice *> ordered;
+    ordered.reserve(devices.size());
+    for (fabric::NodeId node : ring) {
+        for (MemoryDevice *dev : devices) {
+            if (dev->node() == node)
+                ordered.push_back(dev);
+        }
+    }
+    return ordered;
+}
+
+} // namespace
+
+SyncGroupScheduler::SyncGroupScheduler(fabric::Topology &topo,
+                                       std::vector<MemoryDevice *> devices,
+                                       SyncScheduleOptions options)
+    : devices_(orderDevices(topo, std::move(devices), options)),
+      options_(options), comm_(topo, nodesOf(devices_))
+{
+    if (devices_.empty())
+        sim::fatal("SyncGroupScheduler: need at least one device");
+    std::size_t minCores = devices_.front()->syncCoreCount();
+    for (const MemoryDevice *dev : devices_)
+        minCores = std::min(minCores, dev->syncCoreCount());
+    if (options_.groups == 0)
+        sim::fatal("SyncGroupScheduler: need at least one group");
+    if (options_.groups > minCores) {
+        sim::fatal("SyncGroupScheduler: ", options_.groups,
+                   " groups need ", options_.groups,
+                   " sync cores per device, but a device has only ",
+                   minCores);
+    }
+    if (options_.detailedCores) {
+        for (std::size_t g = 0; g < options_.groups; ++g) {
+            RingEngineOptions engineOptions;
+            engineOptions.coreIndex = g;
+            engineOptions.reversed =
+                options_.alternateDirections && (g % 2 == 1);
+            engineOptions.mask = options_.mask;
+            engines_.push_back(std::make_unique<RingEngine>(
+                topo, devices_, engineOptions));
+        }
+    }
+}
+
+RingEngine &
+SyncGroupScheduler::ringEngine(std::size_t group)
+{
+    if (engines_.empty())
+        sim::fatal("SyncGroupScheduler: detailed cores not enabled");
+    return *engines_.at(group);
+}
+
+coll::RingOptions
+SyncGroupScheduler::ringOptions() const
+{
+    coll::RingOptions ring;
+    ring.mask = options_.mask;
+    ring.rings = options_.groups;
+    ring.alternateDirections = options_.alternateDirections;
+    // Each ring is served by one sync core per device (or shares the
+    // single ARM core when the ablation disables sync cores).
+    if (options_.useArmCore) {
+        ring.reduceBytesPerSec =
+            devices_.front()->armReduceBytesPerSec()
+            / static_cast<double>(options_.groups);
+    } else {
+        ring.reduceBytesPerSec =
+            devices_.front()->effectiveCoreBytesPerSec();
+    }
+    return ring;
+}
+
+void
+SyncGroupScheduler::allReduce(std::vector<std::span<float>> buffers,
+                              std::function<void()> done)
+{
+    if (buffers.size() != devices_.size())
+        sim::fatal("SyncGroupScheduler: got ", buffers.size(),
+                   " buffers for ", devices_.size(), " devices");
+    if (!options_.detailedCores) {
+        comm_.allReduce(std::move(buffers), ringOptions(),
+                        std::move(done));
+        return;
+    }
+
+    // Detailed mode: slice the data across the counter-rotating
+    // groups and let each group's RingEngine chew through its slice.
+    const std::size_t n = buffers.front().size();
+    const std::size_t groups = std::max<std::size_t>(
+        1, std::min<std::size_t>(engines_.size(), n ? n : 1));
+    auto remaining = std::make_shared<std::size_t>(groups);
+    auto doneShared =
+        std::make_shared<std::function<void()>>(std::move(done));
+    std::size_t offset = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t len = n / groups + (g < n % groups ? 1 : 0);
+        std::vector<std::span<float>> slice;
+        slice.reserve(buffers.size());
+        for (auto &b : buffers)
+            slice.push_back(b.subspan(offset, len));
+        offset += len;
+        engines_[g]->allReduce(std::move(slice),
+                               [remaining, doneShared] {
+                                   if (--*remaining == 0)
+                                       (*doneShared)();
+                               });
+    }
+}
+
+void
+SyncGroupScheduler::allReduceTimed(std::uint64_t bytes,
+                                   std::function<void()> done)
+{
+    comm_.allReduceTimed(bytes, ringOptions(), std::move(done));
+}
+
+double
+SyncGroupScheduler::estimateSeconds(std::uint64_t bytes)
+{
+    return comm_.estimateAllReduceSeconds(bytes, ringOptions());
+}
+
+} // namespace coarse::memdev

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Group-based collective synchronization across memory devices
+ * (paper §IV-A, Fig. 11b/c).
+ *
+ * Sync cores from each memory device form groups; each group runs a
+ * ring over the CCI interconnect, and adjacent groups rotate in
+ * opposite directions so every CCI link is driven bidirectionally.
+ */
+
+#ifndef COARSE_MEMDEV_SYNC_GROUP_HH
+#define COARSE_MEMDEV_SYNC_GROUP_HH
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "collective/communicator.hh"
+#include "memory_device.hh"
+#include "ring_engine.hh"
+
+namespace coarse::memdev {
+
+/** Scheduling options for group synchronization. */
+struct SyncScheduleOptions
+{
+    /** Number of concurrent sync-core groups (rings). */
+    std::size_t groups = 2;
+    /** Counter-rotate adjacent groups (disable for the ablation). */
+    bool alternateDirections = true;
+    /** Run reductions on the ARM core instead of sync cores. */
+    bool useArmCore = false;
+    /** Link kinds the rings may traverse. */
+    fabric::LinkMask mask = fabric::kCciPath;
+    /**
+     * Reorder the devices with the NCCL-style ring search so logical
+     * ring neighbours are physical neighbours.
+     */
+    bool optimizeRingOrder = false;
+    /**
+     * Execute the paper's Fig. 11c state machine (RingEngine) with
+     * explicit chunk staging and per-entry ring steps, instead of the
+     * flow-level collective. Functional allReduce() only.
+     */
+    bool detailedCores = false;
+};
+
+/**
+ * Orchestrates parameter synchronization across a fixed set of
+ * memory devices.
+ */
+class SyncGroupScheduler
+{
+  public:
+    /**
+     * @param topo The fabric the devices live on.
+     * @param devices Participating devices (not owned); their nodes
+     *        become the communicator ranks, in order.
+     */
+    SyncGroupScheduler(fabric::Topology &topo,
+                       std::vector<MemoryDevice *> devices,
+                       SyncScheduleOptions options = {});
+
+    std::size_t deviceCount() const { return devices_.size(); }
+    const SyncScheduleOptions &options() const { return options_; }
+
+    /**
+     * Sum-allreduce @p buffers (one per device, equal length) across
+     * the devices. Buffers are updated in place; @p done fires when
+     * every device holds the reduced data.
+     */
+    void allReduce(std::vector<std::span<float>> buffers,
+                   std::function<void()> done);
+
+    /** Timing-only variant: same traffic, no payload allocation. */
+    void allReduceTimed(std::uint64_t bytes, std::function<void()> done);
+
+    /** Planner estimate for synchronizing @p bytes. */
+    double estimateSeconds(std::uint64_t bytes);
+
+    coll::Communicator &communicator() { return comm_; }
+
+    /** Detailed engines (present when options.detailedCores). */
+    RingEngine &ringEngine(std::size_t group);
+
+  private:
+    coll::RingOptions ringOptions() const;
+
+    std::vector<MemoryDevice *> devices_;
+    SyncScheduleOptions options_;
+    coll::Communicator comm_;
+    std::vector<std::unique_ptr<RingEngine>> engines_;
+};
+
+} // namespace coarse::memdev
+
+#endif // COARSE_MEMDEV_SYNC_GROUP_HH

@@ -1,0 +1,90 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace coarse::sim {
+
+bool
+EventHandle::pending() const
+{
+    return state_ != nullptr && !state_->cancelled && !state_->executed;
+}
+
+void
+EventHandle::cancel()
+{
+    if (state_ != nullptr && !state_->executed)
+        state_->cancelled = true;
+}
+
+EventHandle
+EventQueue::schedule(Tick when, std::function<void()> action,
+                     EventPriority priority)
+{
+    if (when < now_) {
+        panic("EventQueue: scheduling event at tick ", when,
+              " in the past (now=", now_, ")");
+    }
+    if (!action)
+        panic("EventQueue: scheduling empty action");
+
+    auto state = std::make_shared<EventHandle::State>();
+    queue_.push(Entry{when, priority, nextSequence_++, std::move(action),
+                      state});
+    ++pending_;
+    return EventHandle(std::move(state));
+}
+
+bool
+EventQueue::popRunnable(Entry &out, Tick limit)
+{
+    while (!queue_.empty()) {
+        const Entry &top = queue_.top();
+        if (top.when > limit)
+            return false;
+        if (top.state->cancelled) {
+            --pending_;
+            queue_.pop();
+            continue;
+        }
+        out = std::move(const_cast<Entry &>(top));
+        queue_.pop();
+        --pending_;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t count = 0;
+    Entry entry;
+    while (popRunnable(entry, limit)) {
+        now_ = entry.when;
+        entry.state->executed = true;
+        entry.action();
+        ++executed_;
+        ++count;
+    }
+    // Advance time to the limit only if it is a real horizon; draining
+    // the queue leaves time at the last executed event.
+    if (limit != kMaxTick && now_ < limit && queue_.empty())
+        now_ = limit;
+    return count;
+}
+
+bool
+EventQueue::step()
+{
+    Entry entry;
+    if (!popRunnable(entry, kMaxTick))
+        return false;
+    now_ = entry.when;
+    entry.state->executed = true;
+    entry.action();
+    ++executed_;
+    return true;
+}
+
+} // namespace coarse::sim

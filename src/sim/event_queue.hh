@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Discrete-event queue.
+ *
+ * The queue orders events by (tick, priority, sequence number); the
+ * sequence number makes execution order fully deterministic for events
+ * scheduled at the same tick with the same priority.
+ */
+
+#ifndef COARSE_SIM_EVENT_QUEUE_HH
+#define COARSE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "ticks.hh"
+
+namespace coarse::sim {
+
+/** Scheduling priority; lower values execute first within a tick. */
+using EventPriority = std::int32_t;
+
+constexpr EventPriority kDefaultPriority = 0;
+
+/**
+ * Handle to a scheduled event, used for cancellation. Handles are
+ * cheap copyable tokens; cancelling an already-executed or
+ * already-cancelled event is a no-op.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if the handle refers to an event (executed or not). */
+    bool valid() const { return state_ != nullptr; }
+
+    /** True if the event has neither executed nor been cancelled. */
+    bool pending() const;
+
+    /** Prevent the event from executing. Idempotent. */
+    void cancel();
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        bool cancelled = false;
+        bool executed = false;
+    };
+
+    explicit EventHandle(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Not thread safe: the whole simulator is single threaded by design,
+ * which is what makes runs exactly reproducible.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p action to run at absolute time @p when.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param action Callback executed when the event fires.
+     * @param priority Tie-break among events at the same tick.
+     * @return A handle that can cancel the event.
+     */
+    EventHandle schedule(Tick when, std::function<void()> action,
+                         EventPriority priority = kDefaultPriority);
+
+    /** Schedule @p action to run @p delay ticks from now. */
+    EventHandle
+    scheduleIn(Tick delay, std::function<void()> action,
+               EventPriority priority = kDefaultPriority)
+    {
+        return schedule(now_ + delay, std::move(action), priority);
+    }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingCount() const { return pending_; }
+
+    /** True when no events remain. */
+    bool empty() const { return pending_ == 0; }
+
+    /**
+     * Execute events until the queue drains or @p limit is passed.
+     *
+     * @param limit Do not execute events scheduled after this tick.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick limit = kMaxTick);
+
+    /** Execute exactly one event if any is pending. @return true if so. */
+    bool step();
+
+    /** Total number of events executed over the queue's lifetime. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventPriority priority;
+        std::uint64_t sequence;
+        std::function<void()> action;
+        std::shared_ptr<EventHandle::State> state;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    /** Pop entries until a runnable (non-cancelled) one is found. */
+    bool popRunnable(Entry &out, Tick limit);
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t pending_ = 0;
+};
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_EVENT_QUEUE_HH

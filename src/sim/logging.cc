@@ -1,0 +1,84 @@
+#include "logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace coarse::sim {
+
+namespace {
+
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("COARSE_LOG");
+    if (env == nullptr)
+        return LogLevel::Warn;
+    const std::string value(env);
+    if (value == "none")
+        return LogLevel::None;
+    if (value == "warn")
+        return LogLevel::Warn;
+    if (value == "info")
+        return LogLevel::Info;
+    if (value == "debug")
+        return LogLevel::Debug;
+    if (value == "trace")
+        return LogLevel::Trace;
+    return LogLevel::Warn;
+}
+
+LogLevel &
+levelStorage()
+{
+    static LogLevel level = initialLevel();
+    return level;
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::None:
+        return "none";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Trace:
+        return "trace";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return levelStorage();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStorage() = level;
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &component,
+        const std::string &message)
+{
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> guard(mutex);
+    std::cerr << "[" << levelName(level) << "] " << component << ": "
+              << message << "\n";
+}
+
+} // namespace detail
+
+} // namespace coarse::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Logging and error reporting.
+ *
+ * Follows the gem5 convention: fatal() reports a condition caused by
+ * the user (bad configuration, impossible request) and panic() reports
+ * an internal invariant violation (a simulator bug). Both raise typed
+ * exceptions so the conditions are testable; neither aborts the
+ * process directly.
+ */
+
+#ifndef COARSE_SIM_LOGGING_HH
+#define COARSE_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace coarse::sim {
+
+/** Raised by fatal(): a user error the simulation cannot recover from. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Raised by panic(): an internal invariant violation (a bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what) {}
+};
+
+/** Verbosity levels for trace output. */
+enum class LogLevel { None = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+/** Read the global log level (initialized from $COARSE_LOG). */
+LogLevel logLevel();
+
+/** Override the global log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+void emitLog(LogLevel level, const std::string &component,
+             const std::string &message);
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report an unrecoverable user error. Always throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an internal invariant violation. Always throws PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Component-scoped logger. Cheap to construct; emits only when the
+ * global level admits the message.
+ */
+class Logger
+{
+  public:
+    explicit Logger(std::string component)
+        : component_(std::move(component)) {}
+
+    template <typename... Args>
+    void
+    warn(Args &&...args) const
+    {
+        log(LogLevel::Warn, std::forward<Args>(args)...);
+    }
+
+    template <typename... Args>
+    void
+    info(Args &&...args) const
+    {
+        log(LogLevel::Info, std::forward<Args>(args)...);
+    }
+
+    template <typename... Args>
+    void
+    debug(Args &&...args) const
+    {
+        log(LogLevel::Debug, std::forward<Args>(args)...);
+    }
+
+    template <typename... Args>
+    void
+    trace(Args &&...args) const
+    {
+        log(LogLevel::Trace, std::forward<Args>(args)...);
+    }
+
+    const std::string &component() const { return component_; }
+
+  private:
+    template <typename... Args>
+    void
+    log(LogLevel level, Args &&...args) const
+    {
+        if (static_cast<int>(level) <= static_cast<int>(logLevel())) {
+            detail::emitLog(level, component_,
+                            detail::concat(std::forward<Args>(args)...));
+        }
+    }
+
+    std::string component_;
+};
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_LOGGING_HH

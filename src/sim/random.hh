@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic behaviour in the simulator draws from an explicitly
+ * seeded generator so runs are reproducible bit-for-bit.
+ */
+
+#ifndef COARSE_SIM_RANDOM_HH
+#define COARSE_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+
+namespace coarse::sim {
+
+/** Seeded pseudo-random source with convenience distributions. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x5eedc0a45eULL)
+        : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        std::normal_distribution<double> dist(mean, stddev);
+        return dist(engine_);
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        std::bernoulli_distribution dist(p);
+        return dist(engine_);
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_RANDOM_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simulation context shared by all simulated components.
+ */
+
+#ifndef COARSE_SIM_SIMULATION_HH
+#define COARSE_SIM_SIMULATION_HH
+
+#include <memory>
+#include <string>
+
+#include "event_queue.hh"
+#include "random.hh"
+#include "stats.hh"
+#include "ticks.hh"
+
+namespace coarse::sim {
+
+/**
+ * Owns the event queue, root stat group, and RNG for one simulated
+ * system. Components keep a reference to the Simulation that created
+ * them; the Simulation must outlive all components.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1)
+        : stats_("sim"), random_(seed) {}
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
+
+    StatGroup &stats() { return stats_; }
+    Random &random() { return random_; }
+
+    /** Current simulated time. */
+    Tick now() const { return events_.now(); }
+
+    /** Run until the event queue drains or @p limit passes. */
+    std::uint64_t run(Tick limit = kMaxTick) { return events_.run(limit); }
+
+  private:
+    EventQueue events_;
+    StatGroup stats_;
+    Random random_;
+};
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_SIMULATION_HH

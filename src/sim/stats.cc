@@ -1,0 +1,149 @@
+#include "stats.hh"
+
+#include "logging.hh"
+
+namespace coarse::sim {
+
+void
+Distribution::sample(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    total_ += value;
+    ++count_;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    total_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    if (hi <= lo)
+        fatal("Histogram: hi (", hi, ") must exceed lo (", lo, ")");
+    if (buckets == 0)
+        fatal("Histogram: need at least one bucket");
+}
+
+void
+Histogram::sample(double value)
+{
+    ++samples_;
+    if (value < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (value >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto index = static_cast<std::size_t>((value - lo_) / width);
+    index = std::min(index, counts_.size() - 1);
+    ++counts_[index];
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    samples_ = 0;
+}
+
+StatGroup &
+StatGroup::subgroup(const std::string &name)
+{
+    auto it = children_.find(name);
+    if (it == children_.end()) {
+        it = children_.emplace(name, std::make_unique<StatGroup>(name))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter &counter)
+{
+    values_[name] = [&counter] {
+        return static_cast<double>(counter.value());
+    };
+}
+
+void
+StatGroup::addScalar(const std::string &name, const Scalar &scalar)
+{
+    values_[name] = [&scalar] { return scalar.value(); };
+}
+
+void
+StatGroup::addDistribution(const std::string &name, const Distribution &dist)
+{
+    values_[name + ".mean"] = [&dist] { return dist.mean(); };
+    values_[name + ".min"] = [&dist] { return dist.min(); };
+    values_[name + ".max"] = [&dist] { return dist.max(); };
+    values_[name + ".count"] = [&dist] {
+        return static_cast<double>(dist.count());
+    };
+    values_[name + ".total"] = [&dist] { return dist.total(); };
+}
+
+void
+StatGroup::addFormula(const std::string &name, std::function<double()> fn)
+{
+    values_[name] = std::move(fn);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string path =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &[name, fn] : values_)
+        os << path << "." << name << " " << fn() << "\n";
+    for (const auto &[name, child] : children_)
+        child->dump(os, path);
+}
+
+double
+StatGroup::lookup(const std::string &dottedPath) const
+{
+    const auto dot = dottedPath.find('.');
+    if (dot == std::string::npos) {
+        auto it = values_.find(dottedPath);
+        if (it == values_.end())
+            fatal("StatGroup ", name_, ": no stat named ", dottedPath);
+        return it->second();
+    }
+    const std::string head = dottedPath.substr(0, dot);
+    const std::string rest = dottedPath.substr(dot + 1);
+    auto child = children_.find(head);
+    if (child != children_.end())
+        return child->second->lookup(rest);
+    // Distributions register dotted leaf names (e.g. "lat.mean").
+    auto it = values_.find(dottedPath);
+    if (it == values_.end())
+        fatal("StatGroup ", name_, ": no stat named ", dottedPath);
+    return it->second();
+}
+
+} // namespace coarse::sim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components register named statistics with a StatGroup; groups nest
+ * to form a tree that can be dumped as "path.name value" lines, in the
+ * spirit of gem5's stats package but sized for this project.
+ */
+
+#ifndef COARSE_SIM_STATS_HH
+#define COARSE_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace coarse::sim {
+
+/** A monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A settable scalar value. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    void set(double value) { value_ = value; }
+    void add(double by) { value_ += by; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running mean/min/max/total over samples. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    void sample(double value);
+
+    std::uint64_t count() const { return count_; }
+    double total() const { return total_; }
+    double mean() const { return count_ == 0 ? 0.0 : total_ / count_; }
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double total_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with under/overflow buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the bucketed range.
+     * @param hi Upper bound of the bucketed range; must be > lo.
+     * @param buckets Number of equal-width buckets; must be >= 1.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double value);
+
+    std::size_t bucketCount() const { return counts_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t samples() const { return samples_; }
+    double bucketLow(std::size_t i) const;
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+/**
+ * A named collection of statistics. Groups own no stat storage; they
+ * record accessors so components keep their stats as plain members.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Create (or fetch) a nested group. */
+    StatGroup &subgroup(const std::string &name);
+
+    /** Register stats; the referenced objects must outlive the group. */
+    void addCounter(const std::string &name, const Counter &counter);
+    void addScalar(const std::string &name, const Scalar &scalar);
+    void addDistribution(const std::string &name, const Distribution &dist);
+
+    /** Register a derived value computed at dump time. */
+    void addFormula(const std::string &name, std::function<double()> fn);
+
+    /** Write "prefix.name value" lines for this group and children. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Look up a dumped value by dotted path relative to this group. */
+    double lookup(const std::string &dottedPath) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::function<double()>> values_;
+    std::map<std::string, std::unique_ptr<StatGroup>> children_;
+};
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_STATS_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * The simulator counts time in integer picoseconds. Picosecond
+ * resolution keeps serialization delays of small (64-byte) messages on
+ * fast (>100 GB/s) links exactly representable, while a 64-bit tick
+ * still covers more than 200 days of simulated time.
+ */
+
+#ifndef COARSE_SIM_TICKS_HH
+#define COARSE_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace coarse::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per common time unit. */
+constexpr Tick kTicksPerPs = 1;
+constexpr Tick kTicksPerNs = 1000;
+constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** A tick value that is never reached. */
+constexpr Tick kMaxTick = ~Tick(0);
+
+/** Convert a duration in seconds to ticks (rounds to nearest tick). */
+constexpr Tick
+fromSeconds(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(kTicksPerSec)
+                             + 0.5);
+}
+
+/** Convert a duration in microseconds to ticks. */
+constexpr Tick
+fromMicroseconds(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs) + 0.5);
+}
+
+/** Convert a duration in nanoseconds to ticks. */
+constexpr Tick
+fromNanoseconds(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs) + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/** Convert ticks to milliseconds. */
+constexpr double
+toMilliseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerMs);
+}
+
+/** Convert ticks to microseconds. */
+constexpr double
+toMicroseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Convert ticks to nanoseconds. */
+constexpr double
+toNanoseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_TICKS_HH

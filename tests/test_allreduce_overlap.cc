@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the overlapped (Horovod-style) AllReduce baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/allreduce.hh"
+#include "baselines/allreduce_overlap.hh"
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::baselines;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+TEST(OverlapAllReduce, BucketsCoverTheModel)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeAwsV100(sim);
+    OverlapAllReduceOptions options;
+    options.bucketBytes = 16 << 20;
+    OverlapAllReduceTrainer trainer(
+        *machine, coarse::dl::makeBertBase(), 2, options);
+    // ~438 MiB of gradients in 16 MiB buckets.
+    EXPECT_GE(trainer.bucketCount(), 18u);
+    EXPECT_LE(trainer.bucketCount(), 32u);
+}
+
+TEST(OverlapAllReduce, BeatsBlockingAllReduce)
+{
+    const auto model = coarse::dl::makeBertBase();
+
+    Simulation simA;
+    auto machineA = coarse::fabric::makeAwsV100(simA);
+    AllReduceTrainer blocking(*machineA, model, 2);
+    const auto blockingReport = blocking.run(4, 1);
+
+    Simulation simB;
+    auto machineB = coarse::fabric::makeAwsV100(simB);
+    OverlapAllReduceTrainer overlapped(*machineB, model, 2);
+    const auto overlappedReport = overlapped.run(4, 1);
+
+    EXPECT_LT(overlappedReport.iterationSeconds,
+              blockingReport.iterationSeconds);
+    EXPECT_LT(overlappedReport.blockedCommSeconds,
+              blockingReport.blockedCommSeconds);
+}
+
+TEST(OverlapAllReduce, CoarseStillCompetitive)
+{
+    // The overlapped baseline is the strongest non-COARSE scheme;
+    // COARSE should remain at least comparable on the anti-local
+    // machine (its extra tricks: routing + memory-device offload).
+    const auto model = coarse::dl::makeBertBase();
+
+    Simulation simA;
+    auto machineA = coarse::fabric::makeAwsV100(simA);
+    OverlapAllReduceTrainer overlapped(*machineA, model, 2);
+    const auto ol = overlapped.run(4, 1);
+
+    Simulation simB;
+    auto machineB = coarse::fabric::makeAwsV100(simB);
+    coarse::core::CoarseEngine engine(*machineB, model, 2);
+    const auto c = engine.run(4, 1);
+
+    EXPECT_LT(c.iterationSeconds, ol.iterationSeconds * 1.15);
+}
+
+TEST(OverlapAllReduce, SlowdownKnobCosts)
+{
+    const auto model = coarse::dl::makeBertBase();
+    auto iterFor = [&](double slowdown) {
+        Simulation sim;
+        auto machine = coarse::fabric::makeAwsV100(sim);
+        OverlapAllReduceOptions options;
+        options.computeSlowdown = slowdown;
+        OverlapAllReduceTrainer trainer(*machine, model, 2, options);
+        return trainer.run(3, 1).iterationSeconds;
+    };
+    EXPECT_LT(iterFor(0.0), iterFor(0.3));
+}
+
+TEST(OverlapAllReduce, RejectsBadConfig)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+    OverlapAllReduceOptions options;
+    options.bucketBytes = 0;
+    EXPECT_THROW(OverlapAllReduceTrainer(
+                     *machine, coarse::dl::makeResNet50(), 8, options),
+                 FatalError);
+}
+
+TEST(OverlapAllReduce, OomBatchIsFatal)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeAwsV100(sim);
+    OverlapAllReduceTrainer trainer(*machine,
+                                    coarse::dl::makeBertLarge(), 4);
+    EXPECT_THROW(trainer.run(1), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the coarsesim CLI layer: option parsing and the runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "app/options.hh"
+#include "app/runner.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace coarse::app;
+using coarse::sim::FatalError;
+
+TEST(Options, DefaultsAreSane)
+{
+    const auto options = parseOptions({});
+    EXPECT_EQ(options.machine, "aws_v100");
+    EXPECT_EQ(options.model, "resnet50");
+    EXPECT_EQ(options.scheme, "all");
+    EXPECT_EQ(options.batch, 64u); // resnet default
+    EXPECT_TRUE(options.routing);
+    EXPECT_TRUE(options.partitioning);
+    EXPECT_TRUE(options.dualSync);
+}
+
+TEST(Options, ParsesEveryFlag)
+{
+    const auto options = parseOptions(
+        {"--machine", "sdsc_p100", "--model", "bert_large", "--scheme",
+         "COARSE", "--batch", "4", "--iters", "7", "--warmup", "2",
+         "--nodes", "2", "--share", "2", "--checkpoint-every", "3",
+         "--no-routing", "--no-partitioning", "--no-dual-sync",
+         "--stats"});
+    EXPECT_EQ(options.machine, "sdsc_p100");
+    EXPECT_EQ(options.model, "bert_large");
+    EXPECT_EQ(options.scheme, "COARSE");
+    EXPECT_EQ(options.batch, 4u);
+    EXPECT_EQ(options.iterations, 7u);
+    EXPECT_EQ(options.warmup, 2u);
+    EXPECT_EQ(options.nodes, 2u);
+    EXPECT_EQ(options.workersPerMemDevice, 2u);
+    EXPECT_EQ(options.checkpointEvery, 3u);
+    EXPECT_FALSE(options.routing);
+    EXPECT_FALSE(options.partitioning);
+    EXPECT_FALSE(options.dualSync);
+    EXPECT_TRUE(options.dumpStats);
+}
+
+TEST(Options, BertDefaultsToBatchTwo)
+{
+    const auto options = parseOptions({"--model", "bert_base"});
+    EXPECT_EQ(options.batch, 2u);
+}
+
+TEST(Options, RejectsBadInput)
+{
+    EXPECT_THROW(parseOptions({"--bogus"}), FatalError);
+    EXPECT_THROW(parseOptions({"--batch"}), FatalError);
+    EXPECT_THROW(parseOptions({"--batch", "abc"}), FatalError);
+    EXPECT_THROW(parseOptions({"--batch", "-3"}), FatalError);
+    EXPECT_THROW(parseOptions({"--iters", "0"}), FatalError);
+    EXPECT_THROW(parseOptions({"--nodes", "0"}), FatalError);
+}
+
+TEST(Options, HelpAndList)
+{
+    EXPECT_TRUE(parseOptions({"--help"}).showHelp);
+    EXPECT_TRUE(parseOptions({"-h"}).showHelp);
+    EXPECT_TRUE(parseOptions({"--list"}).listPresets);
+    EXPECT_NE(usageText().find("--machine"), std::string::npos);
+}
+
+TEST(Runner, SchemesForExpandsAll)
+{
+    Options options;
+    options.scheme = "all";
+    EXPECT_EQ(schemesFor(options).size(), 6u);
+    options.scheme = "COARSE";
+    EXPECT_EQ(schemesFor(options),
+              (std::vector<std::string>{"COARSE"}));
+}
+
+TEST(Options, CompressFlag)
+{
+    EXPECT_FALSE(parseOptions({}).compressGradients);
+    EXPECT_TRUE(parseOptions({"--compress"}).compressGradients);
+}
+
+TEST(Options, DataLoadingFlag)
+{
+    EXPECT_FALSE(parseOptions({}).dataLoading);
+    EXPECT_TRUE(parseOptions({"--data-loading"}).dataLoading);
+}
+
+TEST(Options, FormatValidation)
+{
+    EXPECT_EQ(parseOptions({"--format", "csv"}).format, "csv");
+    EXPECT_EQ(parseOptions({}).format, "table");
+    EXPECT_THROW(parseOptions({"--format", "json"}), FatalError);
+}
+
+TEST(Runner, CsvOutputIsMachineReadable)
+{
+    Options options;
+    options.machine = "sdsc_p100";
+    options.model = "resnet50";
+    options.scheme = "COARSE";
+    options.batch = 16;
+    options.iterations = 1;
+    options.format = "csv";
+    std::ostringstream out;
+    EXPECT_EQ(runCli(options, out), 0);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("scheme,machine,model,batch"),
+              std::string::npos);
+    EXPECT_NE(text.find("COARSE,sdsc_p100,resnet50,16,"),
+              std::string::npos);
+    EXPECT_EQ(text.find("samples/s"), std::string::npos); // no table
+}
+
+TEST(Runner, RunsShardedAndAsyncSchemes)
+{
+    Options options;
+    options.machine = "sdsc_p100";
+    options.model = "resnet50";
+    options.batch = 16;
+    options.iterations = 1;
+    EXPECT_EQ(runOne(options, "Sharded-PS").report.scheme,
+              "Sharded-PS");
+    EXPECT_EQ(runOne(options, "Async-PS").report.scheme, "Async-PS");
+}
+
+TEST(Runner, RunsOneScheme)
+{
+    Options options;
+    options.machine = "sdsc_p100";
+    options.model = "resnet50";
+    options.batch = 16;
+    options.iterations = 2;
+    const auto outcome = runOne(options, "COARSE");
+    EXPECT_FALSE(outcome.outOfMemory);
+    EXPECT_EQ(outcome.report.scheme, "COARSE");
+    EXPECT_GT(outcome.report.iterationSeconds, 0.0);
+}
+
+TEST(Runner, ReportsOutOfMemory)
+{
+    Options options;
+    options.machine = "aws_v100";
+    options.model = "bert_large";
+    options.batch = 4;
+    options.iterations = 1;
+    EXPECT_TRUE(runOne(options, "AllReduce").outOfMemory);
+    EXPECT_FALSE(runOne(options, "COARSE").outOfMemory);
+}
+
+TEST(Runner, UnknownSchemeIsFatal)
+{
+    Options options;
+    EXPECT_THROW(runOne(options, "Ring2000"), FatalError);
+}
+
+TEST(Runner, StatsDumpContainsLinks)
+{
+    Options options;
+    options.machine = "sdsc_p100";
+    options.model = "resnet50";
+    options.batch = 16;
+    options.iterations = 1;
+    options.dumpStats = true;
+    const auto outcome = runOne(options, "AllReduce");
+    EXPECT_NE(outcome.statsDump.find("bytes"), std::string::npos);
+    EXPECT_NE(outcome.statsDump.find("utilization"),
+              std::string::npos);
+    EXPECT_NE(outcome.statsDump.find("gpu0"), std::string::npos);
+}
+
+TEST(Runner, CliRendersTable)
+{
+    Options options;
+    options.machine = "sdsc_p100";
+    options.model = "resnet50";
+    options.scheme = "COARSE";
+    options.batch = 16;
+    options.iterations = 1;
+    std::ostringstream out;
+    EXPECT_EQ(runCli(options, out), 0);
+    EXPECT_NE(out.str().find("COARSE"), std::string::npos);
+    EXPECT_NE(out.str().find("samples/s"), std::string::npos);
+}
+
+TEST(Runner, CliHelpAndList)
+{
+    Options help;
+    help.showHelp = true;
+    std::ostringstream h;
+    EXPECT_EQ(runCli(help, h), 0);
+    EXPECT_NE(h.str().find("usage"), std::string::npos);
+
+    Options list;
+    list.listPresets = true;
+    std::ostringstream l;
+    EXPECT_EQ(runCli(list, l), 0);
+    EXPECT_NE(l.str().find("aws_v100"), std::string::npos);
+}
+
+} // namespace

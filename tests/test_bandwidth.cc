@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for size-dependent bandwidth curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fabric/bandwidth.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace coarse::fabric;
+
+TEST(BandwidthCurve, FlatIsSizeIndependent)
+{
+    const auto curve = BandwidthCurve::flat(gbps(10.0));
+    EXPECT_DOUBLE_EQ(curve.at(1), gbps(10.0));
+    EXPECT_DOUBLE_EQ(curve.at(1 << 20), gbps(10.0));
+    EXPECT_DOUBLE_EQ(curve.at(std::uint64_t(1) << 40), gbps(10.0));
+    EXPECT_DOUBLE_EQ(curve.peak(), gbps(10.0));
+}
+
+TEST(BandwidthCurve, RampEndsAtPeak)
+{
+    const auto curve =
+        BandwidthCurve::ramp(gbps(12.0), 4096, 2 << 20, 0.1);
+    EXPECT_NEAR(curve.at(4096), gbps(1.2), gbps(0.01));
+    EXPECT_DOUBLE_EQ(curve.at(2 << 20), gbps(12.0));
+    EXPECT_DOUBLE_EQ(curve.at(64 << 20), gbps(12.0));
+}
+
+TEST(BandwidthCurve, RampIsMonotonic)
+{
+    const auto curve =
+        BandwidthCurve::ramp(gbps(13.0), 4096, 2 << 20, 0.12);
+    double last = 0.0;
+    for (std::uint64_t size = 1024; size <= (8 << 20); size *= 2) {
+        const double bw = curve.at(size);
+        EXPECT_GE(bw, last);
+        last = bw;
+    }
+}
+
+TEST(BandwidthCurve, ClampsBelowFirstPoint)
+{
+    const auto curve =
+        BandwidthCurve::ramp(gbps(10.0), 4096, 1 << 20, 0.2);
+    EXPECT_DOUBLE_EQ(curve.at(1), curve.at(4096));
+    EXPECT_DOUBLE_EQ(curve.at(0), curve.at(4096));
+}
+
+TEST(BandwidthCurve, InterpolatesBetweenPoints)
+{
+    const auto curve = BandwidthCurve::fromPoints(
+        {{1024, gbps(1.0)}, {4096, gbps(3.0)}});
+    // Halfway in log2 space between 1 KiB and 4 KiB is 2 KiB.
+    EXPECT_NEAR(curve.at(2048), gbps(2.0), gbps(0.001));
+}
+
+TEST(BandwidthCurve, SaturationSizeFindsKnee)
+{
+    const auto curve =
+        BandwidthCurve::ramp(gbps(12.0), 4096, 2 << 20, 0.1);
+    EXPECT_EQ(curve.saturationSize(1.0), std::uint64_t(2 << 20));
+    EXPECT_LE(curve.saturationSize(0.5), std::uint64_t(2 << 20));
+}
+
+TEST(BandwidthCurve, ScaledMultipliesEverywhere)
+{
+    const auto curve =
+        BandwidthCurve::ramp(gbps(10.0), 4096, 1 << 20, 0.5);
+    const auto half = curve.scaled(0.5);
+    for (std::uint64_t size = 1024; size <= (4 << 20); size *= 4)
+        EXPECT_DOUBLE_EQ(half.at(size), 0.5 * curve.at(size));
+}
+
+TEST(BandwidthCurve, RejectsInvalidConstruction)
+{
+    EXPECT_THROW(BandwidthCurve::fromPoints({}),
+                 coarse::sim::FatalError);
+    EXPECT_THROW(BandwidthCurve::fromPoints({{1024, -1.0}}),
+                 coarse::sim::FatalError);
+    EXPECT_THROW(
+        BandwidthCurve::fromPoints({{4096, gbps(1.0)},
+                                    {1024, gbps(2.0)}}),
+        coarse::sim::FatalError);
+    EXPECT_THROW(BandwidthCurve::ramp(gbps(1.0), 4096, 4096, 0.5),
+                 coarse::sim::FatalError);
+    const auto curve = BandwidthCurve::flat(gbps(1.0));
+    EXPECT_THROW(curve.scaled(0.0), coarse::sim::FatalError);
+}
+
+/** Property sweep: curves never return non-positive bandwidth. */
+class CurveSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CurveSweep, AlwaysPositive)
+{
+    const auto curve =
+        BandwidthCurve::ramp(gbps(13.0), 4096, 2 << 20, 0.12);
+    EXPECT_GT(curve.at(GetParam()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CurveSweep,
+    ::testing::Values(1, 64, 4095, 4096, 4097, 65536, 1 << 20,
+                      (2 << 20) - 1, 2 << 20, 1 << 30));
+
+} // namespace

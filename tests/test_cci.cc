@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the CCI layer: address space, directory coherence,
+ * access port, prototype performance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cci/address_space.hh"
+#include "cci/directory.hh"
+#include "cci/port.hh"
+#include "cci/prototype_model.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::cci;
+using namespace coarse::fabric;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+TEST(AddressSpace, AllocateAndRelease)
+{
+    AddressSpace space;
+    space.addDevice(7, 1 << 20);
+    EXPECT_TRUE(space.hasDevice(7));
+    EXPECT_FALSE(space.hasDevice(8));
+    EXPECT_EQ(space.capacity(7), std::uint64_t(1 << 20));
+
+    const RegionId r = space.allocate(7, 512 << 10, "params");
+    EXPECT_EQ(space.region(r).home, 7u);
+    EXPECT_EQ(space.region(r).bytes, std::uint64_t(512 << 10));
+    EXPECT_EQ(space.region(r).name, "params");
+    EXPECT_EQ(space.freeBytes(7), std::uint64_t(512 << 10));
+
+    space.release(r);
+    EXPECT_EQ(space.freeBytes(7), std::uint64_t(1 << 20));
+    EXPECT_THROW(space.region(r), FatalError);
+}
+
+TEST(AddressSpace, RegionsGetDisjointAddresses)
+{
+    AddressSpace space;
+    space.addDevice(1, 1 << 20);
+    space.addDevice(2, 1 << 20);
+    const RegionId a = space.allocate(1, 4096, "a");
+    const RegionId b = space.allocate(1, 4096, "b");
+    const RegionId c = space.allocate(2, 4096, "c");
+    EXPECT_NE(space.region(a).base, space.region(b).base);
+    EXPECT_NE(space.region(a).base, space.region(c).base);
+}
+
+TEST(AddressSpace, OutOfMemoryIsFatal)
+{
+    AddressSpace space;
+    space.addDevice(1, 8192);
+    space.allocate(1, 8192, "all");
+    EXPECT_THROW(space.allocate(1, 1, "more"), FatalError);
+}
+
+TEST(AddressSpace, RejectsBadUsage)
+{
+    AddressSpace space;
+    EXPECT_THROW(space.allocate(9, 1, "x"), FatalError);
+    space.addDevice(1, 4096);
+    EXPECT_THROW(space.addDevice(1, 4096), FatalError);
+    EXPECT_THROW(space.allocate(1, 0, "zero"), FatalError);
+}
+
+TEST(PrototypeModel, ReadSpeedupMatchesPaper)
+{
+    PrototypeModel model;
+    const auto large = std::uint64_t(16) << 20;
+    const auto small = std::uint64_t(4) << 10;
+    const double cciR =
+        model.bandwidth(AccessPath::Cci, AccessDirection::Read, large);
+    const double directLarge = model.bandwidth(
+        AccessPath::GpuDirect, AccessDirection::Read, large);
+    const double directSmall = model.bandwidth(
+        AccessPath::GpuDirect, AccessDirection::Read, small);
+    EXPECT_NEAR(directLarge / cciR, 17.0, 0.5);
+    EXPECT_NEAR(directSmall / cciR, 9.0, 0.5);
+}
+
+TEST(PrototypeModel, WriteSpeedupMatchesPaper)
+{
+    PrototypeModel model;
+    const auto large = std::uint64_t(16) << 20;
+    const auto small = std::uint64_t(4) << 10;
+    const double cciW =
+        model.bandwidth(AccessPath::Cci, AccessDirection::Write, large);
+    EXPECT_NEAR(model.bandwidth(AccessPath::GpuDirect,
+                                AccessDirection::Write, large)
+                    / cciW,
+                4.0, 0.2);
+    EXPECT_NEAR(model.bandwidth(AccessPath::GpuDirect,
+                                AccessDirection::Write, small)
+                    / cciW,
+                1.25, 0.1);
+}
+
+TEST(PrototypeModel, CciReadIsFlat)
+{
+    PrototypeModel model;
+    const double a =
+        model.bandwidth(AccessPath::Cci, AccessDirection::Read, 4096);
+    const double b = model.bandwidth(AccessPath::Cci,
+                                     AccessDirection::Read, 64 << 20);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(PrototypeModel, IndirectReadBoundedByCci)
+{
+    PrototypeModel model;
+    for (std::uint64_t size = 4096; size <= (64 << 20); size *= 4) {
+        EXPECT_LE(model.bandwidth(AccessPath::GpuIndirect,
+                                  AccessDirection::Read, size),
+                  model.bandwidth(AccessPath::Cci,
+                                  AccessDirection::Read, size)
+                      * 1.0001);
+    }
+}
+
+TEST(PrototypeModel, DmaSaturatesAtTwoMegabytes)
+{
+    PrototypeModel model;
+    const auto &dma = model.dmaCurve();
+    EXPECT_LT(dma.at(64 << 10), dma.peak());
+    EXPECT_DOUBLE_EQ(dma.at(2 << 20), dma.peak());
+    EXPECT_DOUBLE_EQ(dma.at(32 << 20), dma.peak());
+}
+
+/** Directory + port over a small two-GPU machine. */
+struct CciFixture : public ::testing::Test
+{
+    CciFixture()
+        : machine(makeSdscP100(sim)), space(),
+          directory(machine->topology(), space), model(),
+          port(machine->topology(), directory, space, model)
+    {
+        dev = machine->memDevices()[0];
+        space.addDevice(dev, std::uint64_t(1) << 30);
+        region = space.allocate(dev, 64 << 20, "params");
+    }
+
+    Simulation sim;
+    std::unique_ptr<Machine> machine;
+    AddressSpace space;
+    Directory directory;
+    PrototypeModel model;
+    CciPort port;
+    NodeId dev = kInvalidNode;
+    RegionId region = 0;
+};
+
+TEST_F(CciFixture, ReadRegistersSharer)
+{
+    const NodeId w0 = machine->workers()[0];
+    bool done = false;
+    port.read(w0, region, 0, 1 << 20, AccessOptions{},
+              [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(directory.sharerCount(region, 0), 1u);
+}
+
+TEST_F(CciFixture, WriteInvalidatesSharers)
+{
+    const NodeId w0 = machine->workers()[0];
+    const NodeId w1 = machine->workers()[1];
+    port.read(w0, region, 0, 1 << 20, AccessOptions{}, [] {});
+    port.read(w1, region, 0, 1 << 20, AccessOptions{}, [] {});
+    sim.run();
+    EXPECT_EQ(directory.sharerCount(region, 0), 2u);
+
+    const auto invBefore = directory.invalidations().value();
+    port.write(w0, region, 0, 1 << 20, AccessOptions{}, [] {});
+    sim.run();
+    EXPECT_EQ(directory.invalidations().value(), invBefore + 1);
+    EXPECT_EQ(directory.sharerCount(region, 0), 1u); // w0 owns
+}
+
+TEST_F(CciFixture, InvalidationTrafficScalesWithSharers)
+{
+    // More sharers -> more invalidations on a write.
+    const auto &workers = machine->workers();
+    for (NodeId w : workers)
+        port.read(w, region, 0, 1 << 20, AccessOptions{}, [] {});
+    sim.run();
+    const auto before = directory.invalidations().value();
+    port.write(workers[0], region, 0, 1 << 20, AccessOptions{}, [] {});
+    sim.run();
+    EXPECT_EQ(directory.invalidations().value(),
+              before + workers.size() - 1);
+}
+
+TEST_F(CciFixture, EvictDropsState)
+{
+    const NodeId w0 = machine->workers()[0];
+    port.read(w0, region, 0, 1 << 20, AccessOptions{}, [] {});
+    sim.run();
+    directory.evict(w0, region);
+    EXPECT_EQ(directory.sharerCount(region, 0), 0u);
+}
+
+TEST_F(CciFixture, OutOfRangeAccessIsFatal)
+{
+    EXPECT_THROW(directory.acquireRead(machine->workers()[0], region,
+                                       64 << 20, 1, [] {}),
+                 FatalError);
+}
+
+TEST_F(CciFixture, GpuDirectFasterThanCciPath)
+{
+    const NodeId w0 = machine->workers()[0];
+    const std::uint64_t bytes = 32 << 20;
+
+    auto timeFor = [&](AccessPath path) {
+        Simulation s;
+        auto m = makeSdscP100(s);
+        AddressSpace sp;
+        sp.addDevice(m->memDevices()[0], std::uint64_t(1) << 30);
+        const RegionId r =
+            sp.allocate(m->memDevices()[0], bytes, "probe");
+        Directory dir(m->topology(), sp);
+        PrototypeModel pm;
+        CciPort p(m->topology(), dir, sp, pm);
+        AccessOptions options;
+        options.path = path;
+        options.coherent = false;
+        options.via = m->hostCpus()[0];
+        p.read(m->workers()[0], r, 0, bytes, options, [] {});
+        s.run();
+        return coarse::sim::toSeconds(s.now());
+    };
+    (void)w0;
+
+    EXPECT_LT(timeFor(AccessPath::GpuDirect),
+              timeFor(AccessPath::Cci) / 5.0);
+    EXPECT_LT(timeFor(AccessPath::GpuDirect),
+              timeFor(AccessPath::GpuIndirect) / 5.0);
+}
+
+TEST_F(CciFixture, PortCountsBytes)
+{
+    const NodeId w0 = machine->workers()[0];
+    port.read(w0, region, 0, 4096, AccessOptions{}, [] {});
+    port.write(w0, region, 0, 8192, AccessOptions{}, [] {});
+    sim.run();
+    EXPECT_EQ(port.bytesRead().value(), 4096u);
+    EXPECT_EQ(port.bytesWritten().value(), 8192u);
+
+    coarse::sim::StatGroup group("port");
+    port.attachStats(group);
+    EXPECT_EQ(group.lookup("bytes_read"), 4096.0);
+    EXPECT_EQ(group.lookup("bytes_written"), 8192.0);
+    coarse::sim::StatGroup dir("dir");
+    directory.attachStats(dir);
+    EXPECT_GT(dir.lookup("control_messages"), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Randomized coherence-protocol stress: arbitrary interleavings of
+ * reads, writes, and evictions must preserve the directory's
+ * single-writer / multi-reader invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cci/address_space.hh"
+#include "cci/directory.hh"
+#include "fabric/machine.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::cci;
+using namespace coarse::fabric;
+using coarse::sim::Random;
+using coarse::sim::Simulation;
+
+class CoherenceFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CoherenceFuzz, InvariantsHoldUnderRandomTraffic)
+{
+    Simulation sim;
+    auto machine = makeAwsV100(sim);
+    AddressSpace space;
+    const NodeId home = machine->memDevices()[0];
+    space.addDevice(home, std::uint64_t(1) << 30);
+    const std::uint64_t granule = 1 << 20;
+    const std::uint64_t regionBytes = 16 << 20;
+    const RegionId region = space.allocate(home, regionBytes, "fuzz");
+    Directory directory(machine->topology(), space,
+                        CoherenceParams{granule, 128});
+
+    // Agents: all workers plus the home itself.
+    std::vector<NodeId> agents = machine->workers();
+    agents.push_back(home);
+
+    Random rng(GetParam());
+    // Track the expected logical state per granule: the last writer
+    // (if any write happened after the last read set formed).
+    const std::uint64_t granules = regionBytes / granule;
+    std::vector<NodeId> lastWriter(granules, kInvalidNode);
+
+    for (int op = 0; op < 300; ++op) {
+        const NodeId agent =
+            agents[rng.uniformInt(0, agents.size() - 1)];
+        const std::uint64_t g = rng.uniformInt(0, granules - 1);
+        const std::uint64_t offset = g * granule;
+        const std::uint64_t bytes =
+            rng.uniformInt(1, granule);
+        const int kind = static_cast<int>(rng.uniformInt(0, 2));
+        if (kind == 0) {
+            directory.acquireRead(agent, region, offset, bytes, [] {});
+        } else if (kind == 1) {
+            directory.acquireWrite(agent, region, offset, bytes,
+                                   [] {});
+            lastWriter[g] = agent;
+        } else {
+            directory.evictGranule(agent, region, g);
+        }
+        sim.run();
+
+        // Invariant: immediately after a write completes, the writer
+        // is the only sharer of the touched granule.
+        if (kind == 1) {
+            EXPECT_EQ(directory.sharerCount(region, offset), 1u)
+                << "seed " << GetParam() << " op " << op;
+            EXPECT_TRUE(directory.isSharer(agent, region, offset));
+        }
+        // General invariant: sharer counts never exceed agent count.
+        EXPECT_LE(directory.sharerCount(region, offset),
+                  agents.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceFuzz,
+                         ::testing::Values(7, 11, 23, 37, 53, 71));
+
+} // namespace

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the coherent parameter cache (DENSE's Fig. 5 cache).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/dense.hh"
+#include "cci/coherent_cache.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::cci;
+using namespace coarse::fabric;
+using coarse::sim::Simulation;
+
+struct CacheFixture : public ::testing::Test
+{
+    CacheFixture()
+        : machine(makeSdscP100(sim)),
+          directory(machine->topology(), space,
+                    CoherenceParams{/*granuleBytes=*/1 << 20, 128}),
+          model()
+    {
+        home = machine->memDevices()[0];
+        space.addDevice(home, std::uint64_t(1) << 30);
+        region = space.allocate(home, 16 << 20, "params");
+        port = std::make_unique<CciPort>(machine->topology(),
+                                         directory, space, model);
+        worker = machine->workers()[0];
+        cache = std::make_unique<CoherentCache>(worker, directory,
+                                                *port);
+    }
+
+    void
+    readAll()
+    {
+        AccessOptions options;
+        options.coherent = true;
+        cache->read(region, 0, 16 << 20, options, [] {});
+        sim.run();
+    }
+
+    Simulation sim;
+    AddressSpace space;
+    std::unique_ptr<Machine> machine;
+    Directory directory;
+    PrototypeModel model;
+    std::unique_ptr<CciPort> port;
+    std::unique_ptr<CoherentCache> cache;
+    NodeId home = kInvalidNode;
+    NodeId worker = kInvalidNode;
+    RegionId region = 0;
+};
+
+TEST_F(CacheFixture, ColdReadMissesEverything)
+{
+    readAll();
+    EXPECT_EQ(cache->misses().value(), 16u); // 16 x 1 MiB granules
+    EXPECT_EQ(cache->hits().value(), 0u);
+    EXPECT_EQ(cache->bytesFetched().value(),
+              std::uint64_t(16) << 20);
+}
+
+TEST_F(CacheFixture, WarmReadHitsEverything)
+{
+    readAll();
+    const auto fetched = cache->bytesFetched().value();
+    readAll();
+    EXPECT_EQ(cache->hits().value(), 16u);
+    EXPECT_EQ(cache->misses().value(), 16u); // unchanged
+    EXPECT_EQ(cache->bytesFetched().value(), fetched);
+}
+
+TEST_F(CacheFixture, RemoteWriteInvalidatesAndRefetches)
+{
+    readAll();
+    // The home (parameter server) updates the parameters.
+    directory.acquireWrite(home, region, 0, 16 << 20, [] {});
+    sim.run();
+    readAll();
+    EXPECT_EQ(cache->misses().value(), 32u); // full refetch
+}
+
+TEST_F(CacheFixture, PartialWriteInvalidatesOnlyTouchedGranules)
+{
+    readAll();
+    // Writer touches only the first 2 MiB = 2 granules.
+    directory.acquireWrite(home, region, 0, 2 << 20, [] {});
+    sim.run();
+    readAll();
+    EXPECT_EQ(cache->misses().value(), 18u);
+    EXPECT_EQ(cache->hits().value(), 14u);
+}
+
+TEST_F(CacheFixture, WarmReadIsFasterThanColdRead)
+{
+    readAll();
+    const auto coldEnd = sim.now();
+    readAll();
+    const auto warmTime = sim.now() - coldEnd;
+    EXPECT_LT(warmTime, coldEnd / 10);
+}
+
+TEST_F(CacheFixture, FlushDropsResidency)
+{
+    readAll();
+    EXPECT_EQ(cache->residentBytes(), std::uint64_t(16) << 20);
+    cache->flush(region);
+    EXPECT_EQ(cache->residentBytes(), 0u);
+    EXPECT_FALSE(directory.isSharer(worker, region, 0));
+    readAll();
+    EXPECT_EQ(cache->misses().value(), 32u);
+}
+
+TEST_F(CacheFixture, CapacityEvictsLru)
+{
+    CacheParams params;
+    params.capacityBytes = 4 << 20; // 4 of 16 granules
+    CoherentCache small(worker, directory, *port, params);
+    AccessOptions options;
+    small.read(region, 0, 16 << 20, options, [] {});
+    sim.run();
+    EXPECT_LE(small.residentBytes(), std::uint64_t(4) << 20);
+    EXPECT_EQ(small.evictions().value(), 12u);
+    // Evicted granules are no longer sharers in the directory.
+    EXPECT_FALSE(directory.isSharer(worker, region, 0));
+    EXPECT_TRUE(directory.isSharer(worker, region, 15 << 20));
+}
+
+TEST_F(CacheFixture, StatsAttach)
+{
+    coarse::sim::StatGroup group("cache");
+    cache->attachStats(group);
+    readAll();
+    EXPECT_EQ(group.lookup("misses"), 16.0);
+    EXPECT_EQ(group.lookup("hits"), 0.0);
+}
+
+TEST(DenseCache, PullsGoThroughTheCache)
+{
+    Simulation sim;
+    auto machine = makeSdscP100(sim);
+    const auto model = coarse::dl::makeSynthetic(
+        "small", {4 << 20}, 5e9, 1 << 20);
+    coarse::baselines::DenseTrainer trainer(*machine, model, 8);
+    trainer.run(3, 0);
+    // Every iteration's PS update invalidates the worker caches, so
+    // each iteration refetches: misses grow with iterations and no
+    // steady-state hits appear on the updated parameters.
+    EXPECT_GT(trainer.workerCache(0).misses().value(), 0u);
+    EXPECT_GT(trainer.workerCache(0).bytesFetched().value(), 0u);
+    EXPECT_EQ(trainer.workerCache(0).hits().value(), 0u);
+}
+
+TEST(DirectoryGranules, EvictGranuleIsScoped)
+{
+    Simulation sim;
+    auto machine = makeSdscP100(sim);
+    AddressSpace space;
+    space.addDevice(machine->memDevices()[0], 1 << 30);
+    const RegionId region =
+        space.allocate(machine->memDevices()[0], 8 << 20, "r");
+    Directory directory(machine->topology(), space);
+    const NodeId w = machine->workers()[0];
+    directory.acquireRead(w, region, 0, 8 << 20, [] {});
+    sim.run();
+    EXPECT_TRUE(directory.isSharer(w, region, 0));
+    EXPECT_TRUE(directory.isSharer(w, region, 4 << 20));
+    directory.evictGranule(w, region, 0);
+    EXPECT_FALSE(directory.isSharer(w, region, 0));
+    EXPECT_TRUE(directory.isSharer(w, region, 4 << 20));
+}
+
+} // namespace

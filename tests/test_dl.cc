@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the DL workload model: model zoo parameter counts,
+ * memory footprints, batch-size limits, iteration timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dl/gpu.hh"
+#include "dl/iteration.hh"
+#include "dl/model.hh"
+#include "dl/model_zoo.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace coarse::dl;
+using coarse::sim::FatalError;
+
+TEST(ModelZoo, ResNet50ParameterCount)
+{
+    const auto model = makeResNet50();
+    // 25.557M in the canonical torchvision weights.
+    EXPECT_NEAR(static_cast<double>(model.parameterCount()), 25.56e6,
+                0.15e6);
+    // 53 conv layers + their BN tensors + the fc head.
+    EXPECT_GT(model.tensors.size(), 100u);
+}
+
+TEST(ModelZoo, BertBaseParameterCount)
+{
+    const auto model = makeBertBase();
+    EXPECT_NEAR(static_cast<double>(model.parameterCount()), 109.5e6,
+                2e6);
+}
+
+TEST(ModelZoo, BertLargeParameterCount)
+{
+    const auto model = makeBertLarge();
+    EXPECT_NEAR(static_cast<double>(model.parameterCount()), 335e6,
+                6e6);
+}
+
+TEST(ModelZoo, Vgg16ParameterCount)
+{
+    const auto model = makeVgg16();
+    EXPECT_NEAR(static_cast<double>(model.parameterCount()), 138.4e6,
+                1e6);
+}
+
+TEST(ModelZoo, LookupByName)
+{
+    EXPECT_EQ(makeModel("resnet50").name, "resnet50");
+    EXPECT_EQ(makeModel("bert_large").name, "bert_large");
+    EXPECT_THROW(makeModel("gpt3"), FatalError);
+}
+
+TEST(ModelZoo, SyntheticModelIsExact)
+{
+    const auto model = makeSynthetic("tiny", {10, 20, 30});
+    EXPECT_EQ(model.tensors.size(), 3u);
+    EXPECT_EQ(model.parameterCount(), 60u);
+    EXPECT_EQ(model.parameterBytes(), 240u);
+}
+
+TEST(ModelSpec, PrefixFractionIsMonotone)
+{
+    const auto model = makeResNet50();
+    double last = 0.0;
+    for (std::size_t i = 0; i < model.tensors.size(); ++i) {
+        const double f = model.prefixBytesFraction(i);
+        EXPECT_GE(f, last);
+        last = f;
+    }
+    EXPECT_DOUBLE_EQ(last, 1.0);
+    EXPECT_THROW(model.prefixBytesFraction(model.tensors.size()),
+                 FatalError);
+}
+
+TEST(Gpu, SpecsExist)
+{
+    EXPECT_EQ(gpuSpec("T4").name, "T4");
+    EXPECT_EQ(gpuSpec("P100").memBytes, std::uint64_t(16) << 30);
+    EXPECT_GT(gpuSpec("V100").fp32Tflops, gpuSpec("P100").fp32Tflops);
+    EXPECT_THROW(gpuSpec("A100"), FatalError);
+}
+
+TEST(Footprint, ScalesWithBatch)
+{
+    const auto model = makeResNet50();
+    const auto state = residentStateModel();
+    EXPECT_LT(gpuMemoryNeeded(model, 1, state),
+              gpuMemoryNeeded(model, 64, state));
+}
+
+TEST(Footprint, OffloadingShrinksState)
+{
+    const auto model = makeBertLarge();
+    EXPECT_LT(gpuMemoryNeeded(model, 2, offloadedStateModel()),
+              gpuMemoryNeeded(model, 2, residentStateModel()));
+}
+
+TEST(Footprint, BertLargeBatchLimitsMatchFig16e)
+{
+    // The paper's single-node result: AllReduce fits batch 2 but not
+    // 4 on a 16 GB V100; COARSE's offloaded state fits batch 4.
+    const auto model = makeBertLarge();
+    const auto v100 = gpuSpec("V100");
+    EXPECT_GE(maxBatchSize(model, v100.memBytes, residentStateModel()),
+              2u);
+    EXPECT_LT(maxBatchSize(model, v100.memBytes, residentStateModel()),
+              4u);
+    EXPECT_GE(maxBatchSize(model, v100.memBytes, offloadedStateModel()),
+              4u);
+}
+
+TEST(Footprint, MaxBatchZeroWhenNothingFits)
+{
+    const auto model = makeBertLarge();
+    EXPECT_EQ(maxBatchSize(model, 1 << 20, residentStateModel()), 0u);
+}
+
+TEST(IterationModel, BackwardLongerThanForward)
+{
+    const auto model = makeResNet50();
+    const auto gpu = gpuSpec("V100");
+    IterationModel iter(model, gpu, 64);
+    EXPECT_GT(iter.forwardSeconds(), 0.0);
+    EXPECT_NEAR(iter.backwardSeconds(),
+                2.0 * iter.forwardSeconds(), 1e-9);
+}
+
+TEST(IterationModel, TimeScalesWithBatch)
+{
+    const auto model = makeResNet50();
+    const auto gpu = gpuSpec("V100");
+    IterationModel small(model, gpu, 16);
+    IterationModel large(model, gpu, 64);
+    // Slightly sublinear: the bigger batch fills the SMs better.
+    EXPECT_LT(large.forwardSeconds(), 4.0 * small.forwardSeconds());
+    EXPECT_GT(large.forwardSeconds(), 3.8 * small.forwardSeconds());
+}
+
+TEST(IterationModel, LargerBatchHasBetterPerSampleThroughput)
+{
+    const auto model = makeBertLarge();
+    const auto gpu = gpuSpec("V100");
+    IterationModel bs2(model, gpu, 2);
+    IterationModel bs4(model, gpu, 4);
+    const double perSample2 = bs2.forwardSeconds() / 2.0;
+    const double perSample4 = bs4.forwardSeconds() / 4.0;
+    EXPECT_LT(perSample4, perSample2);
+}
+
+TEST(IterationModel, FasterGpuIsFaster)
+{
+    const auto model = makeBertBase();
+    IterationModel v100(model, gpuSpec("V100"), 2);
+    IterationModel t4(model, gpuSpec("T4"), 2);
+    EXPECT_LT(v100.forwardSeconds(), t4.forwardSeconds());
+}
+
+TEST(IterationModel, GradReadyIsReverseLayerOrder)
+{
+    const auto model = makeResNet50();
+    IterationModel iter(model, gpuSpec("V100"), 32);
+    // Output-side tensors become ready before input-side ones.
+    const double lastTensor =
+        iter.gradReadySeconds(model.tensors.size() - 1);
+    const double firstTensor = iter.gradReadySeconds(0);
+    EXPECT_LT(lastTensor, firstTensor);
+    EXPECT_NEAR(firstTensor, iter.backwardSeconds(), 1e-12);
+    for (std::size_t t = 1; t < model.tensors.size(); ++t) {
+        EXPECT_GE(iter.gradReadySeconds(t - 1),
+                  iter.gradReadySeconds(t));
+    }
+    EXPECT_THROW(iter.gradReadySeconds(model.tensors.size()),
+                 FatalError);
+}
+
+TEST(IterationModel, ZeroBatchIsFatal)
+{
+    const auto model = makeResNet50();
+    const auto gpu = gpuSpec("V100");
+    EXPECT_THROW(IterationModel(model, gpu, 0), FatalError);
+}
+
+/** Parameter sweep: every zoo model has sane invariants. */
+class ZooSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ZooSweep, ModelInvariants)
+{
+    const auto model = makeModel(GetParam());
+    EXPECT_FALSE(model.tensors.empty());
+    EXPECT_GT(model.parameterCount(), 0u);
+    EXPECT_GT(model.flopsPerSampleFwd, 0.0);
+    EXPECT_GT(model.activationBytesPerSample, 0u);
+    for (const auto &t : model.tensors) {
+        EXPECT_GT(t.elements, 0u);
+        EXPECT_FALSE(t.name.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooSweep,
+                         ::testing::Values("resnet50", "bert_base",
+                                           "bert_large", "vgg16",
+                                           "gpt2_medium"));
+
+TEST(ModelZoo, Gpt2MediumParameterCount)
+{
+    const auto model = makeGpt2Medium();
+    EXPECT_NEAR(static_cast<double>(model.parameterCount()), 353e6,
+                10e6);
+}
+
+TEST(ModelZoo, TransformerLmScalesWithConfig)
+{
+    const auto small = makeTransformerLm(256, 4, 128);
+    const auto big = makeTransformerLm(1024, 24, 1024);
+    EXPECT_LT(small.parameterCount(), big.parameterCount());
+    EXPECT_LT(small.flopsPerSampleFwd, big.flopsPerSampleFwd);
+    EXPECT_LT(small.activationBytesPerSample,
+              big.activationBytesPerSample);
+}
+
+} // namespace

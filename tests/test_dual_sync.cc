@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the dual-synchronization planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coarse/dual_sync.hh"
+#include "dl/model_zoo.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace coarse::core;
+using coarse::sim::FatalError;
+
+DualSyncInputs
+baseInputs()
+{
+    DualSyncInputs in;
+    in.forwardSeconds = 0.030;
+    in.backwardSeconds = 0.060;
+    in.totalBytes = 400 << 20;
+    in.workers = 4;
+    in.gpuRingBytesPerSec = 10e9;
+    in.proxyRingBytesPerSec = 12e9;
+    return in;
+}
+
+TEST(DualSync, PredictionMatchesFormula)
+{
+    const auto in = baseInputs();
+    const double c = 2.0 * 3.0 / 4.0;
+    const std::uint64_t m = 100 << 20;
+    const double gpuPath = in.forwardSeconds + in.backwardSeconds
+        + c * double(in.totalBytes - m) / in.gpuRingBytesPerSec;
+    const double proxyPath =
+        in.forwardSeconds + c * double(m) / in.proxyRingBytesPerSec;
+    EXPECT_DOUBLE_EQ(predictedIterationSeconds(in, m),
+                     std::max(gpuPath, proxyPath));
+}
+
+TEST(DualSync, PlanIsNoWorseThanBruteForce)
+{
+    const auto in = baseInputs();
+    const auto plan = planDualSync(in);
+    // Scan m densely; the planner's prediction must be within a hair
+    // of the best scanned value.
+    double best = 1e30;
+    for (std::uint64_t m = 0; m <= in.totalBytes;
+         m += in.totalBytes / 1000) {
+        best = std::min(best, predictedIterationSeconds(in, m));
+    }
+    EXPECT_LE(plan.predictedIterationSeconds, best * 1.0001);
+    EXPECT_EQ(plan.proxyBytes + plan.gpuBytes, in.totalBytes);
+}
+
+TEST(DualSync, FastProxiesTakeEverything)
+{
+    auto in = baseInputs();
+    in.proxyRingBytesPerSec = 1e13; // near-free proxy sync
+    const auto plan = planDualSync(in);
+    EXPECT_EQ(plan.proxyBytes, in.totalBytes);
+    EXPECT_EQ(plan.gpuBytes, 0u);
+}
+
+TEST(DualSync, SlowProxiesStillOffloadWhatHidesUnderBackward)
+{
+    // Even slow proxies take the bytes whose sync hides under the
+    // backward pass; only beyond that does GPU sync win.
+    auto in = baseInputs();
+    in.proxyRingBytesPerSec = 1e9;
+    in.gpuRingBytesPerSec = 50e9;
+    const auto plan = planDualSync(in);
+    EXPECT_GT(plan.gpuBytes, 0u);
+    EXPECT_GT(plan.proxyBytes, 0u);
+    // And the split beats both extremes.
+    EXPECT_LT(plan.predictedIterationSeconds,
+              predictedIterationSeconds(in, in.totalBytes));
+    EXPECT_LT(plan.predictedIterationSeconds,
+              predictedIterationSeconds(in, 0));
+}
+
+TEST(DualSync, SingleWorkerNeedsNoSync)
+{
+    auto in = baseInputs();
+    in.workers = 1;
+    const auto plan = planDualSync(in);
+    EXPECT_DOUBLE_EQ(plan.predictedIterationSeconds,
+                     in.forwardSeconds + in.backwardSeconds);
+}
+
+TEST(DualSync, RejectsBadInputs)
+{
+    auto in = baseInputs();
+    in.workers = 0;
+    EXPECT_THROW(planDualSync(in), FatalError);
+    in = baseInputs();
+    in.gpuRingBytesPerSec = 0.0;
+    EXPECT_THROW(planDualSync(in), FatalError);
+    in = baseInputs();
+    EXPECT_THROW(predictedIterationSeconds(in, in.totalBytes + 1),
+                 FatalError);
+}
+
+TEST(DualSync, AssignTensorsCoversRequestedBytes)
+{
+    const auto model = coarse::dl::makeResNet50();
+    const std::uint64_t n = model.parameterBytes();
+
+    EXPECT_EQ(assignTensors(model, 0), model.tensors.size());
+    EXPECT_EQ(assignTensors(model, n), 0u);
+
+    const std::size_t split = assignTensors(model, n / 2);
+    std::uint64_t proxyBytes = 0;
+    for (std::size_t t = split; t < model.tensors.size(); ++t)
+        proxyBytes += model.tensors[t].bytes();
+    EXPECT_GE(proxyBytes, n / 2);
+    // Removing the boundary tensor drops below the target: minimal
+    // cover.
+    if (split < model.tensors.size()) {
+        EXPECT_LT(proxyBytes - model.tensors[split].bytes(), n / 2);
+    }
+}
+
+/** Property sweep over worker counts. */
+class WorkerSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(WorkerSweep, PlanBeatsExtremes)
+{
+    auto in = baseInputs();
+    in.workers = GetParam();
+    const auto plan = planDualSync(in);
+    EXPECT_LE(plan.predictedIterationSeconds,
+              predictedIterationSeconds(in, 0) + 1e-12);
+    EXPECT_LE(plan.predictedIterationSeconds,
+              predictedIterationSeconds(in, in.totalBytes) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerSweep,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+} // namespace

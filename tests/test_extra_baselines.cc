@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the sharded and asynchronous parameter-server baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/async_ps.hh"
+#include "baselines/dense.hh"
+#include "baselines/sharded_ps.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::baselines;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+coarse::dl::ModelSpec
+smallModel()
+{
+    return coarse::dl::makeSynthetic("small", {1 << 20, 4 << 20}, 5e9,
+                                     1 << 20);
+}
+
+TEST(ShardedPs, ShardsAcrossAllDevices)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeAwsV100(sim);
+    ShardedPsTrainer trainer(*machine, smallModel(), 8);
+    EXPECT_EQ(trainer.shardCount(), machine->memDevices().size());
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < trainer.shardCount(); ++s)
+        total += trainer.shardBytes(s);
+    EXPECT_EQ(total, smallModel().parameterBytes());
+}
+
+TEST(ShardedPs, FasterThanDenseOnTheSameMachine)
+{
+    // Spreading the parameter traffic over four device attachments
+    // must beat funnelling it all through one.
+    Simulation simA;
+    auto machineA = coarse::fabric::makeAwsV100(simA);
+    DenseTrainer dense(*machineA, smallModel(), 8);
+    const auto denseReport = dense.run(3, 1);
+
+    Simulation simB;
+    auto machineB = coarse::fabric::makeAwsV100(simB);
+    ShardedPsTrainer sharded(*machineB, smallModel(), 8);
+    const auto shardedReport = sharded.run(3, 1);
+
+    EXPECT_LT(shardedReport.blockedCommSeconds,
+              denseReport.blockedCommSeconds);
+}
+
+TEST(ShardedPs, GpuDirectBeatsCciLoadStore)
+{
+    auto blockedFor = [](bool direct) {
+        Simulation sim;
+        auto machine = coarse::fabric::makeAwsV100(sim);
+        ShardedPsOptions options;
+        options.gpuDirect = direct;
+        ShardedPsTrainer trainer(*machine, smallModel(), 8, options);
+        return trainer.run(2, 1).blockedCommSeconds;
+    };
+    EXPECT_LT(blockedFor(true), blockedFor(false) / 2.0);
+}
+
+TEST(ShardedPs, ReportIsSane)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+    ShardedPsTrainer trainer(*machine, smallModel(), 8);
+    const auto report = trainer.run(3, 1);
+    EXPECT_EQ(report.scheme, "Sharded-PS");
+    EXPECT_EQ(report.iterations, 3u);
+    EXPECT_GT(report.blockedCommSeconds, 0.0);
+}
+
+TEST(AsyncPs, CompletesAndReports)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+    AsyncPsTrainer trainer(*machine, smallModel(), 8);
+    const auto report = trainer.run(4, 1);
+    EXPECT_EQ(report.scheme, "Async-PS");
+    EXPECT_FALSE(report.deadlocked);
+    EXPECT_EQ(report.iterations, 4u);
+    EXPECT_GT(report.iterationSeconds, 0.0);
+}
+
+TEST(AsyncPs, StalenessStaysWithinBound)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeAwsV100(sim);
+    AsyncPsOptions options;
+    options.stalenessBound = 3;
+    AsyncPsTrainer trainer(*machine, smallModel(), 8, options);
+    trainer.run(6, 0);
+    EXPECT_LE(trainer.maxObservedStaleness(), 3u);
+}
+
+TEST(AsyncPs, LooserBoundHidesMoreCommunication)
+{
+    auto blockedFor = [](std::uint32_t bound) {
+        Simulation sim;
+        auto machine = coarse::fabric::makeSdscP100(sim);
+        AsyncPsOptions options;
+        options.stalenessBound = bound;
+        // Big model so the server apply time dominates.
+        AsyncPsTrainer trainer(
+            *machine,
+            coarse::dl::makeSynthetic("big", {64 << 20}, 5e9, 1 << 20),
+            8, options);
+        return trainer.run(4, 1).blockedCommSeconds;
+    };
+    EXPECT_LT(blockedFor(4), blockedFor(1));
+}
+
+TEST(AsyncPs, RejectsBadConfig)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+    AsyncPsOptions options;
+    options.stalenessBound = 0;
+    EXPECT_THROW(AsyncPsTrainer(*machine, smallModel(), 8, options),
+                 FatalError);
+}
+
+TEST(AsyncPs, OutOfMemoryBatchIsFatal)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeAwsV100(sim);
+    AsyncPsTrainer trainer(*machine, coarse::dl::makeBertLarge(), 64);
+    EXPECT_THROW(trainer.run(1), FatalError);
+}
+
+} // namespace

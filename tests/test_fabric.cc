@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the fabric: links, routing, transport timing,
+ * duplex behaviour, pair efficiency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fabric/topology.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::fabric;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+/** A linear chain: gpu -- sw -- cpu with flat 10 GB/s links. */
+struct ChainFixture : public ::testing::Test
+{
+    ChainFixture() : topo(sim)
+    {
+        gpu = topo.addNode(NodeKind::Gpu, "gpu");
+        sw = topo.addNode(NodeKind::PcieSwitch, "sw");
+        cpu = topo.addNode(NodeKind::HostCpu, "cpu");
+        LinkParams params;
+        params.bandwidth = BandwidthCurve::flat(gbps(10.0));
+        params.latency = coarse::sim::fromNanoseconds(500);
+        topo.addLink(gpu, sw, params);
+        topo.addLink(sw, cpu, params);
+    }
+
+    Simulation sim;
+    Topology topo;
+    NodeId gpu = 0, sw = 0, cpu = 0;
+};
+
+TEST_F(ChainFixture, RouteFollowsChain)
+{
+    const auto &path = topo.route(gpu, cpu);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(topo.link(path[0]).peerOf(gpu), sw);
+    EXPECT_EQ(topo.link(path[1]).peerOf(sw), cpu);
+    EXPECT_TRUE(topo.route(gpu, gpu).empty());
+}
+
+TEST_F(ChainFixture, PathLatencySumsHops)
+{
+    EXPECT_EQ(topo.pathLatency(gpu, cpu),
+              coarse::sim::fromNanoseconds(1000));
+}
+
+TEST_F(ChainFixture, PathBandwidthIsBottleneck)
+{
+    EXPECT_DOUBLE_EQ(topo.pathBandwidth(gpu, cpu, 1 << 20), gbps(10.0));
+}
+
+TEST_F(ChainFixture, TransferTimeMatchesAnalytic)
+{
+    const std::uint64_t bytes = 100 << 20; // 100 MiB
+    bool delivered = false;
+    Message msg;
+    msg.src = gpu;
+    msg.dst = cpu;
+    msg.bytes = bytes;
+    msg.onDelivered = [&] { delivered = true; };
+    topo.send(std::move(msg));
+    sim.run();
+    EXPECT_TRUE(delivered);
+    // Pipelined store-and-forward: ~bytes/bw + 2 hops latency
+    // (+ one chunk of serialization skew).
+    const double expected = double(bytes) / gbps(10.0);
+    const double actual = coarse::sim::toSeconds(sim.now());
+    EXPECT_NEAR(actual, expected, expected * 0.02);
+}
+
+TEST_F(ChainFixture, ZeroByteMessageTakesLatencyOnly)
+{
+    Message msg;
+    msg.src = gpu;
+    msg.dst = cpu;
+    msg.bytes = 0;
+    topo.send(std::move(msg));
+    sim.run();
+    EXPECT_EQ(sim.now(), coarse::sim::fromNanoseconds(1000));
+}
+
+TEST_F(ChainFixture, FifoContentionSerializesSameDirection)
+{
+    // Two 50 MiB transfers in the same direction take ~2x one.
+    const std::uint64_t bytes = 50 << 20;
+    int delivered = 0;
+    for (int i = 0; i < 2; ++i) {
+        Message msg;
+        msg.src = gpu;
+        msg.dst = cpu;
+        msg.bytes = bytes;
+        msg.onDelivered = [&] { ++delivered; };
+        topo.send(std::move(msg));
+    }
+    sim.run();
+    EXPECT_EQ(delivered, 2);
+    const double expected = 2.0 * double(bytes) / gbps(10.0);
+    EXPECT_NEAR(coarse::sim::toSeconds(sim.now()), expected,
+                expected * 0.02);
+}
+
+TEST_F(ChainFixture, OppositeDirectionsDoNotContend)
+{
+    // A gpu->cpu transfer and a cpu->gpu transfer overlap fully.
+    const std::uint64_t bytes = 50 << 20;
+    int delivered = 0;
+    Message a;
+    a.src = gpu;
+    a.dst = cpu;
+    a.bytes = bytes;
+    a.onDelivered = [&] { ++delivered; };
+    topo.send(std::move(a));
+    Message b;
+    b.src = cpu;
+    b.dst = gpu;
+    b.bytes = bytes;
+    b.onDelivered = [&] { ++delivered; };
+    topo.send(std::move(b));
+    sim.run();
+    EXPECT_EQ(delivered, 2);
+    const double oneWay = double(bytes) / gbps(10.0);
+    EXPECT_NEAR(coarse::sim::toSeconds(sim.now()), oneWay,
+                oneWay * 0.02);
+}
+
+TEST_F(ChainFixture, RateCapLimitsThroughput)
+{
+    const std::uint64_t bytes = 10 << 20;
+    Message msg;
+    msg.src = gpu;
+    msg.dst = cpu;
+    msg.bytes = bytes;
+    msg.rateCap = gbps(1.0);
+    topo.send(std::move(msg));
+    sim.run();
+    // Two store-and-forward hops add one chunk of pipeline skew.
+    const double expected =
+        double(bytes + topo.chunkBytes()) / gbps(1.0);
+    EXPECT_NEAR(coarse::sim::toSeconds(sim.now()), expected,
+                expected * 0.02);
+}
+
+TEST_F(ChainFixture, PairEfficiencyScalesSerialHops)
+{
+    topo.setPairEfficiency(gpu, cpu, 0.5);
+    const std::uint64_t bytes = 10 << 20;
+    Message msg;
+    msg.src = gpu;
+    msg.dst = cpu;
+    msg.bytes = bytes;
+    topo.send(std::move(msg));
+    sim.run();
+    const double expected =
+        double(bytes + topo.chunkBytes()) / gbps(5.0);
+    EXPECT_NEAR(coarse::sim::toSeconds(sim.now()), expected,
+                expected * 0.02);
+}
+
+TEST_F(ChainFixture, ReceiverFiresOnDelivery)
+{
+    int received = 0;
+    topo.setReceiver(cpu, [&](const Message &m) {
+        EXPECT_EQ(m.src, gpu);
+        ++received;
+    });
+    Message msg;
+    msg.src = gpu;
+    msg.dst = cpu;
+    msg.bytes = 4096;
+    topo.send(std::move(msg));
+    sim.run();
+    EXPECT_EQ(received, 1);
+}
+
+TEST_F(ChainFixture, FlowBytesControlsEffectiveRate)
+{
+    // With a ramped link, a small message moving as part of a large
+    // flow gets the large-flow bandwidth.
+    Simulation sim2;
+    Topology t2(sim2);
+    const NodeId a = t2.addNode(NodeKind::Gpu, "a");
+    const NodeId b = t2.addNode(NodeKind::Gpu, "b");
+    LinkParams params;
+    params.bandwidth = BandwidthCurve::ramp(gbps(10.0), 4096, 2 << 20,
+                                            0.1);
+    params.latency = 0;
+    t2.addLink(a, b, params);
+
+    auto timeFor = [&](std::uint64_t flow) {
+        Simulation s;
+        Topology t(s);
+        const NodeId x = t.addNode(NodeKind::Gpu, "x");
+        const NodeId y = t.addNode(NodeKind::Gpu, "y");
+        t.addLink(x, y, params);
+        Message msg;
+        msg.src = x;
+        msg.dst = y;
+        msg.bytes = 64 << 10;
+        msg.flowBytes = flow;
+        t.send(std::move(msg));
+        s.run();
+        return coarse::sim::toSeconds(s.now());
+    };
+    EXPECT_LT(timeFor(16 << 20), timeFor(64 << 10));
+}
+
+TEST(Topology, RoutePrefersFewestHops)
+{
+    Simulation sim;
+    Topology topo(sim);
+    const NodeId a = topo.addNode(NodeKind::Gpu, "a");
+    const NodeId b = topo.addNode(NodeKind::Gpu, "b");
+    const NodeId c = topo.addNode(NodeKind::PcieSwitch, "c");
+    LinkParams slow;
+    slow.bandwidth = BandwidthCurve::flat(gbps(1.0));
+    topo.addLink(a, c, slow);
+    topo.addLink(c, b, slow);
+    const LinkId direct = topo.addLink(a, b, slow);
+    const auto &path = topo.route(a, b);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], direct);
+}
+
+TEST(Topology, RouteTieBreaksOnBottleneckBandwidth)
+{
+    Simulation sim;
+    Topology topo(sim);
+    const NodeId a = topo.addNode(NodeKind::Gpu, "a");
+    const NodeId m1 = topo.addNode(NodeKind::PcieSwitch, "m1");
+    const NodeId m2 = topo.addNode(NodeKind::PcieSwitch, "m2");
+    const NodeId b = topo.addNode(NodeKind::Gpu, "b");
+    LinkParams slow, fast;
+    slow.bandwidth = BandwidthCurve::flat(gbps(1.0));
+    fast.bandwidth = BandwidthCurve::flat(gbps(10.0));
+    topo.addLink(a, m1, slow);
+    topo.addLink(m1, b, slow);
+    const LinkId f1 = topo.addLink(a, m2, fast);
+    const LinkId f2 = topo.addLink(m2, b, fast);
+    const auto &path = topo.route(a, b);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], f1);
+    EXPECT_EQ(path[1], f2);
+}
+
+TEST(Topology, MaskExcludesLinkKinds)
+{
+    Simulation sim;
+    Topology topo(sim);
+    const NodeId a = topo.addNode(NodeKind::Gpu, "a");
+    const NodeId b = topo.addNode(NodeKind::Gpu, "b");
+    const NodeId sw = topo.addNode(NodeKind::PcieSwitch, "sw");
+    LinkParams nvl;
+    nvl.kind = LinkKind::NvLink;
+    nvl.bandwidth = BandwidthCurve::flat(gbps(25.0));
+    LinkParams bus;
+    bus.bandwidth = BandwidthCurve::flat(gbps(13.0));
+    topo.addLink(a, b, nvl);
+    topo.addLink(a, sw, bus);
+    topo.addLink(sw, b, bus);
+
+    EXPECT_EQ(topo.route(a, b, kAllLinks).size(), 1u);
+    EXPECT_EQ(topo.route(a, b, kNoNvLink).size(), 2u);
+    EXPECT_THROW(topo.route(a, b, linkBit(LinkKind::Network)),
+                 FatalError);
+}
+
+TEST(Topology, RejectsBadConstruction)
+{
+    Simulation sim;
+    Topology topo(sim);
+    const NodeId a = topo.addNode(NodeKind::Gpu, "a");
+    EXPECT_THROW(topo.addLink(a, 99, LinkParams{}), FatalError);
+    EXPECT_THROW(topo.setPairEfficiency(a, a, 1.5), FatalError);
+    EXPECT_THROW(topo.setChunkBytes(0), FatalError);
+}
+
+TEST(Link, UtilizationAndByteAccounting)
+{
+    Simulation sim;
+    Topology topo(sim);
+    const NodeId a = topo.addNode(NodeKind::Gpu, "a");
+    const NodeId b = topo.addNode(NodeKind::Gpu, "b");
+    LinkParams params;
+    params.bandwidth = BandwidthCurve::flat(gbps(10.0));
+    params.latency = 0;
+    const LinkId l = topo.addLink(a, b, params);
+
+    Message msg;
+    msg.src = a;
+    msg.dst = b;
+    msg.bytes = 10 << 20;
+    topo.send(std::move(msg));
+    sim.run();
+
+    EXPECT_EQ(topo.link(l).totalBytes(), std::uint64_t(10 << 20));
+    EXPECT_NEAR(topo.link(l).utilization(sim.now()), 1.0, 0.05);
+}
+
+/** Chunk-size sweep: delivery time is insensitive to chunking. */
+class ChunkSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ChunkSweep, DeliveryTimeStable)
+{
+    Simulation sim;
+    Topology topo(sim);
+    const NodeId a = topo.addNode(NodeKind::Gpu, "a");
+    const NodeId sw = topo.addNode(NodeKind::PcieSwitch, "sw");
+    const NodeId b = topo.addNode(NodeKind::Gpu, "b");
+    LinkParams params;
+    params.bandwidth = BandwidthCurve::flat(gbps(10.0));
+    params.latency = coarse::sim::fromNanoseconds(500);
+    topo.addLink(a, sw, params);
+    topo.addLink(sw, b, params);
+    topo.setChunkBytes(GetParam());
+
+    Message msg;
+    msg.src = a;
+    msg.dst = b;
+    msg.bytes = 32 << 20;
+    topo.send(std::move(msg));
+    sim.run();
+    const double expected = double(32 << 20) / gbps(10.0);
+    EXPECT_NEAR(coarse::sim::toSeconds(sim.now()), expected,
+                expected * 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ChunkSweep,
+                         ::testing::Values(64 << 10, 256 << 10,
+                                           512 << 10, 2 << 20));
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the hierarchical multi-node allreduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/allreduce.hh"
+#include "collective/hierarchical.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::coll;
+using namespace coarse::fabric;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+struct TwoNodeFixture
+{
+    TwoNodeFixture()
+    {
+        MachineOptions mo;
+        mo.nodes = 2;
+        machine = makeAwsV100(sim, mo);
+        for (NodeId worker : machine->workers())
+            groups[machine->serverNodeOf(worker)].push_back(worker);
+    }
+
+    Simulation sim;
+    std::unique_ptr<Machine> machine;
+    std::vector<std::vector<NodeId>> groups =
+        std::vector<std::vector<NodeId>>(2);
+};
+
+TEST(Hierarchical, FunctionalSumsAcrossNodes)
+{
+    TwoNodeFixture f;
+    HierarchicalAllReduce hier(f.machine->topology(), f.groups);
+    ASSERT_EQ(hier.groupCount(), 2u);
+    ASSERT_EQ(hier.totalRanks(), 8u);
+
+    const std::size_t n = 5000;
+    std::vector<std::vector<float>> buffers(8);
+    float expected = 0.0f;
+    for (std::size_t i = 0; i < 8; ++i) {
+        buffers[i].assign(n, static_cast<float>(i + 1));
+        expected += static_cast<float>(i + 1);
+    }
+    std::vector<std::span<float>> spans;
+    for (auto &b : buffers)
+        spans.emplace_back(b);
+
+    bool done = false;
+    hier.allReduce(spans, HierarchicalOptions{}, [&] { done = true; });
+    f.sim.run();
+    ASSERT_TRUE(done);
+    for (const auto &b : buffers) {
+        EXPECT_NEAR(b.front(), expected, 1e-3);
+        EXPECT_NEAR(b.back(), expected, 1e-3);
+    }
+}
+
+/**
+ * The latency/bandwidth crossover: a flat ring pays 2(p-1) network
+ * round-trips but moves fewer bytes over the NIC, so it wins for
+ * large transfers; the hierarchical schedule has only a couple of
+ * network rounds and wins for small, latency-bound synchronizations.
+ */
+TEST(Hierarchical, WinsSmallTransfersFlatWinsLarge)
+{
+    auto timedFlat = [](std::uint64_t bytes) {
+        TwoNodeFixture f;
+        Communicator comm(f.machine->topology(),
+                          f.machine->workers());
+        comm.allReduceTimed(bytes, RingOptions{}, [] {});
+        f.sim.run();
+        return coarse::sim::toSeconds(f.sim.now());
+    };
+    auto timedHier = [](std::uint64_t bytes) {
+        TwoNodeFixture f;
+        HierarchicalAllReduce hier(f.machine->topology(), f.groups);
+        hier.allReduceTimed(bytes, HierarchicalOptions{}, [] {});
+        f.sim.run();
+        return coarse::sim::toSeconds(f.sim.now());
+    };
+    EXPECT_LT(timedHier(4 << 10), timedFlat(4 << 10));
+    EXPECT_GT(timedHier(256 << 20), timedFlat(256 << 20));
+}
+
+TEST(Hierarchical, SingleMemberGroupsDegenerate)
+{
+    Simulation sim;
+    auto machine = makeSdscP100(sim);
+    std::vector<std::vector<NodeId>> groups{
+        {machine->workers()[0]}, {machine->workers()[1]}};
+    HierarchicalAllReduce hier(machine->topology(), groups);
+    std::vector<std::vector<float>> buffers{{1.0f, 2.0f},
+                                            {3.0f, 4.0f}};
+    std::vector<std::span<float>> spans;
+    for (auto &b : buffers)
+        spans.emplace_back(b);
+    bool done = false;
+    hier.allReduce(spans, HierarchicalOptions{}, [&] { done = true; });
+    sim.run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(buffers[0], (std::vector<float>{4.0f, 6.0f}));
+    EXPECT_EQ(buffers[1], (std::vector<float>{4.0f, 6.0f}));
+}
+
+TEST(Hierarchical, TimedCompletesAndEstimates)
+{
+    TwoNodeFixture f;
+    HierarchicalAllReduce hier(f.machine->topology(), f.groups);
+    const std::uint64_t bytes = 64 << 20;
+    const double estimate =
+        hier.estimateSeconds(bytes, HierarchicalOptions{});
+    bool done = false;
+    hier.allReduceTimed(bytes, HierarchicalOptions{},
+                        [&] { done = true; });
+    f.sim.run();
+    ASSERT_TRUE(done);
+    const double measured = coarse::sim::toSeconds(f.sim.now());
+    EXPECT_GT(estimate, 0.0);
+    EXPECT_NEAR(estimate, measured, measured); // same order
+}
+
+TEST(Hierarchical, RejectsBadConfig)
+{
+    TwoNodeFixture f;
+    EXPECT_THROW(HierarchicalAllReduce(f.machine->topology(), {}),
+                 FatalError);
+    EXPECT_THROW(HierarchicalAllReduce(f.machine->topology(),
+                                       {{f.machine->workers()[0]}, {}}),
+                 FatalError);
+    HierarchicalAllReduce hier(f.machine->topology(), f.groups);
+    std::vector<float> one(8);
+    std::vector<std::span<float>> tooFew{std::span<float>(one)};
+    EXPECT_THROW(
+        hier.allReduce(tooFew, HierarchicalOptions{}, [] {}),
+        FatalError);
+}
+
+TEST(Hierarchical, TrainerDefaultsToFlat)
+{
+    Simulation sim;
+    MachineOptions mo;
+    mo.nodes = 2;
+    auto machine = makeAwsV100(sim, mo);
+    coarse::baselines::AllReduceTrainer trainer(
+        *machine, coarse::dl::makeBertBase(), 2);
+    EXPECT_FALSE(trainer.hierarchical());
+
+    Simulation sim2;
+    auto machine2 = makeAwsV100(sim2, mo);
+    coarse::baselines::AllReduceOptions options;
+    options.topology = coarse::baselines::AllReduceTopology::Hierarchical;
+    coarse::baselines::AllReduceTrainer hier(
+        *machine2, coarse::dl::makeBertBase(), 2, options);
+    EXPECT_TRUE(hier.hierarchical());
+}
+
+TEST(Hierarchical, FlatWinsBandwidthBoundTraining)
+{
+    // BERT-Large gradients are large: the bandwidth-optimal flat
+    // ring must beat the three-phase schedule.
+    const auto model = coarse::dl::makeBertLarge();
+    auto blockedFor = [&](coarse::baselines::AllReduceTopology topo) {
+        Simulation sim;
+        MachineOptions mo;
+        mo.nodes = 2;
+        auto machine = makeAwsV100(sim, mo);
+        coarse::baselines::AllReduceOptions options;
+        options.topology = topo;
+        coarse::baselines::AllReduceTrainer trainer(*machine, model, 2,
+                                                    options);
+        return trainer.run(2, 1).blockedCommSeconds;
+    };
+    EXPECT_LT(blockedFor(coarse::baselines::AllReduceTopology::Flat),
+              blockedFor(
+                  coarse::baselines::AllReduceTopology::Hierarchical));
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the Table I machine presets: structure, pairing,
+ * locality/anti-locality bandwidth character, multi-node variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::fabric;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+TEST(Machine, AwsT4Structure)
+{
+    Simulation sim;
+    auto m = makeAwsT4(sim);
+    EXPECT_EQ(m->name(), "aws_t4");
+    EXPECT_EQ(m->gpuModel(), "T4");
+    EXPECT_FALSE(m->p2pSupported());
+    EXPECT_EQ(m->workers().size(), 4u);
+    EXPECT_EQ(m->memDevices().size(), 4u);
+    EXPECT_EQ(m->hostCpus().size(), 1u);
+    EXPECT_EQ(m->serverNodeCount(), 1u);
+}
+
+TEST(Machine, SdscP100Structure)
+{
+    Simulation sim;
+    auto m = makeSdscP100(sim);
+    EXPECT_EQ(m->gpuModel(), "P100");
+    EXPECT_TRUE(m->p2pSupported());
+    EXPECT_EQ(m->workers().size(), 2u);
+    EXPECT_EQ(m->memDevices().size(), 2u);
+}
+
+TEST(Machine, AwsV100Structure)
+{
+    Simulation sim;
+    auto m = makeAwsV100(sim);
+    EXPECT_EQ(m->gpuModel(), "V100");
+    EXPECT_EQ(m->workers().size(), 4u);
+    EXPECT_EQ(m->memDevices().size(), 4u);
+}
+
+TEST(Machine, PairingIsLocal)
+{
+    Simulation sim;
+    auto m = makeSdscP100(sim);
+    for (NodeId worker : m->workers()) {
+        const NodeId dev = m->pairedMemDevice(worker);
+        // Paired devices share a switch: two hops apart.
+        EXPECT_EQ(m->topology().route(worker, dev).size(), 2u);
+    }
+}
+
+TEST(Machine, SdscHasConventionalLocality)
+{
+    Simulation sim;
+    auto m = makeSdscP100(sim);
+    Topology &topo = m->topology();
+    const NodeId w0 = m->workers()[0];
+    const NodeId localDev = m->pairedMemDevice(w0);
+    const NodeId remoteDev = m->pairedMemDevice(m->workers()[1]);
+    const std::uint64_t size = 16 << 20;
+    EXPECT_GT(topo.pathBandwidth(w0, localDev, size),
+              topo.pathBandwidth(w0, remoteDev, size));
+}
+
+TEST(Machine, AwsV100HasAntiLocality)
+{
+    Simulation sim;
+    auto m = makeAwsV100(sim);
+    Topology &topo = m->topology();
+    const NodeId w0 = m->workers()[0];
+    const NodeId localDev = m->pairedMemDevice(w0);
+    const NodeId remoteDev = m->pairedMemDevice(m->workers()[2]);
+    const std::uint64_t size = 16 << 20;
+    // Remote beats local on the PCIe path (Fig. 8a).
+    EXPECT_LT(topo.pathBandwidth(w0, localDev, size, kNoNvLink),
+              topo.pathBandwidth(w0, remoteDev, size, kNoNvLink));
+}
+
+TEST(Machine, V100NvlinkFasterThanPcieForWorkers)
+{
+    Simulation sim;
+    auto m = makeAwsV100(sim);
+    Topology &topo = m->topology();
+    const NodeId w0 = m->workers()[0];
+    const NodeId w1 = m->workers()[1];
+    const std::uint64_t size = 16 << 20;
+    EXPECT_GT(topo.pathBandwidth(w0, w1, size, kAllLinks),
+              topo.pathBandwidth(w0, w1, size, kNoNvLink));
+}
+
+TEST(Machine, V100NvlinkRingHasAMissingSegment)
+{
+    Simulation sim;
+    auto m = makeAwsV100(sim);
+    Topology &topo = m->topology();
+    const auto &w = m->workers();
+    // Adjacent pairs are NVLink-connected except the wrap-around.
+    EXPECT_EQ(topo.route(w[0], w[1], kAllLinks).size(), 1u);
+    EXPECT_EQ(topo.route(w[1], w[2], kAllLinks).size(), 1u);
+    EXPECT_EQ(topo.route(w[2], w[3], kAllLinks).size(), 1u);
+    EXPECT_GT(topo.route(w[3], w[0], kAllLinks).size(), 1u);
+}
+
+TEST(Machine, T4PeersArePenalized)
+{
+    Simulation sim;
+    auto m = makeAwsT4(sim);
+    Topology &topo = m->topology();
+    const NodeId w0 = m->workers()[0];
+    const NodeId w1 = m->workers()[1];
+    const NodeId cpu = m->hostCpus()[0];
+    const std::uint64_t size = 16 << 20;
+    // Peer transfers bounce through host memory and run slower than
+    // the direct GPU<->CPU path.
+    EXPECT_LT(topo.pathBandwidth(w0, w1, size),
+              topo.pathBandwidth(w0, cpu, size));
+}
+
+TEST(Machine, SharedMemDeviceConfig)
+{
+    Simulation sim;
+    MachineOptions options;
+    options.workersPerMemDevice = 2;
+    auto m = makeAwsV100(sim, options);
+    EXPECT_EQ(m->workers().size(), 4u);
+    EXPECT_EQ(m->memDevices().size(), 2u);
+    // Both workers of a pair share one device.
+    EXPECT_EQ(m->pairedMemDevice(m->workers()[0]),
+              m->pairedMemDevice(m->workers()[1]));
+    EXPECT_NE(m->pairedMemDevice(m->workers()[0]),
+              m->pairedMemDevice(m->workers()[2]));
+}
+
+TEST(Machine, MultiNodeAddsNicsAndNetwork)
+{
+    Simulation sim;
+    MachineOptions options;
+    options.nodes = 2;
+    auto m = makeAwsV100(sim, options);
+    EXPECT_EQ(m->serverNodeCount(), 2u);
+    EXPECT_EQ(m->workers().size(), 8u);
+    EXPECT_EQ(m->memDevices().size(), 8u);
+    EXPECT_EQ(m->nics().size(), 2u);
+    EXPECT_EQ(m->hostCpus().size(), 2u);
+
+    // Cross-node path exists and crosses the NICs.
+    const NodeId w0 = m->workers()[0];
+    const NodeId w4 = m->workers()[4];
+    EXPECT_EQ(m->serverNodeOf(w0), 0u);
+    EXPECT_EQ(m->serverNodeOf(w4), 1u);
+    EXPECT_GE(m->topology().route(w0, w4).size(), 4u);
+
+    // Intra-node bandwidth beats cross-node bandwidth.
+    const std::uint64_t size = 16 << 20;
+    EXPECT_GT(m->topology().pathBandwidth(w0, m->workers()[2], size),
+              m->topology().pathBandwidth(w0, w4, size));
+}
+
+TEST(Machine, LookupByName)
+{
+    Simulation sim;
+    EXPECT_EQ(makeMachine("aws_t4", sim)->name(), "aws_t4");
+    EXPECT_EQ(makeMachine("sdsc_p100", sim)->name(), "sdsc_p100");
+    EXPECT_EQ(makeMachine("aws_v100", sim)->name(), "aws_v100");
+    EXPECT_THROW(makeMachine("dgx_a100", sim), FatalError);
+}
+
+TEST(Machine, RejectsBadSharingRatio)
+{
+    Simulation sim;
+    MachineOptions options;
+    options.workersPerMemDevice = 3; // 4 workers not divisible by 3
+    EXPECT_THROW(makeAwsV100(sim, options), FatalError);
+    options.workersPerMemDevice = 0;
+    EXPECT_THROW(makeAwsV100(sim, options), FatalError);
+}
+
+TEST(Machine, PartitionTableAssignsRoles)
+{
+    Simulation sim;
+    using R = GpuRole;
+    // 8 GPUs: 5 workers, 3 memory devices (the paper's 2:1-ish mix).
+    auto m = makeAwsV100Partitioned(
+        sim, {R::Worker, R::MemoryDevice, R::Worker, R::Worker,
+              R::Worker, R::MemoryDevice, R::Worker,
+              R::MemoryDevice});
+    EXPECT_EQ(m->workers().size(), 5u);
+    EXPECT_EQ(m->memDevices().size(), 3u);
+    // First worker pairs with its same-switch device.
+    EXPECT_EQ(m->pairedMemDevice(m->workers()[0]),
+              m->memDevices()[0]);
+    EXPECT_EQ(m->topology()
+                  .route(m->workers()[0], m->memDevices()[0])
+                  .size(),
+              2u);
+}
+
+TEST(Machine, PartitionTableKeepsAntiLocality)
+{
+    Simulation sim;
+    using R = GpuRole;
+    auto m = makeAwsV100Partitioned(
+        sim, {R::Worker, R::MemoryDevice, R::Worker, R::MemoryDevice,
+              R::Worker, R::MemoryDevice, R::Worker,
+              R::MemoryDevice});
+    auto &topo = m->topology();
+    const std::uint64_t size = 16 << 20;
+    const NodeId w0 = m->workers()[0];
+    EXPECT_LT(topo.pathBandwidth(w0, m->memDevices()[0], size,
+                                 kNoNvLink),
+              topo.pathBandwidth(w0, m->memDevices()[1], size,
+                                 kNoNvLink));
+}
+
+TEST(Machine, PartitionTableRejectsDegenerateMixes)
+{
+    Simulation sim;
+    using R = GpuRole;
+    EXPECT_THROW(makeAwsV100Partitioned(sim, {R::Worker, R::Worker}),
+                 FatalError);
+    EXPECT_THROW(makeAwsV100Partitioned(
+                     sim, {R::MemoryDevice, R::MemoryDevice}),
+                 FatalError);
+    EXPECT_THROW(makeAwsV100Partitioned(sim, {R::Worker}),
+                 FatalError);
+}
+
+TEST(Machine, PartitionedMachineTrainsWithCoarse)
+{
+    Simulation sim;
+    using R = GpuRole;
+    auto m = makeAwsV100Partitioned(
+        sim, {R::Worker, R::Worker, R::Worker, R::MemoryDevice,
+              R::Worker, R::Worker, R::MemoryDevice,
+              R::MemoryDevice});
+    coarse::core::CoarseOptions options;
+    options.functionalData = true;
+    const auto model = coarse::dl::makeSynthetic(
+        "pt", {2048, 1 << 17}, 1e9, 1 << 20);
+    coarse::core::CoarseEngine engine(*m, model, 4, options);
+    const auto report = engine.run(2, 0);
+    EXPECT_FALSE(report.deadlocked);
+    EXPECT_EQ(report.workers, 5u);
+    EXPECT_EQ(engine.weights(0, 1), engine.weights(4, 1));
+}
+
+TEST(Machine, UnpairedWorkerLookupFails)
+{
+    Simulation sim;
+    auto m = makeAwsT4(sim);
+    EXPECT_THROW(m->pairedMemDevice(m->hostCpus()[0]), FatalError);
+}
+
+} // namespace

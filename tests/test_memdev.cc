@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the memory-device layer: COW store, sync cores, sync
+ * group scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fabric/machine.hh"
+#include "memdev/cow_store.hh"
+#include "memdev/memory_device.hh"
+#include "memdev/sync_core.hh"
+#include "memdev/sync_group.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::memdev;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+TEST(CowStore, PutGetRoundTrip)
+{
+    CowStore store;
+    EXPECT_FALSE(store.contains(1));
+    EXPECT_TRUE(store.put(1, {1.0f, 2.0f}));
+    EXPECT_TRUE(store.contains(1));
+    EXPECT_EQ(*store.get(1), (std::vector<float>{1.0f, 2.0f}));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.liveBytes(), 8u);
+    EXPECT_THROW(store.get(9), FatalError);
+}
+
+TEST(CowStore, IdenticalWriteIsAbsorbed)
+{
+    CowStore store;
+    store.put(1, {1.0f, 2.0f});
+    const auto copied = store.bytesCopied().value();
+    EXPECT_FALSE(store.put(1, {1.0f, 2.0f}));
+    EXPECT_EQ(store.bytesCopied().value(), copied);
+    EXPECT_EQ(store.writesAbsorbed().value(), 1u);
+    EXPECT_TRUE(store.put(1, {1.0f, 3.0f}));
+    EXPECT_EQ(store.versionsCreated().value(), 2u);
+}
+
+TEST(CowStore, SnapshotFreezesVersions)
+{
+    CowStore store;
+    store.put(1, {1.0f});
+    const SnapshotId snap = store.snapshot();
+    store.put(1, {2.0f});
+    EXPECT_EQ((*store.get(1))[0], 2.0f);
+    EXPECT_EQ((*store.checkpoint(snap).at(1))[0], 1.0f);
+}
+
+TEST(CowStore, SnapshotSharesDataWithoutCopying)
+{
+    CowStore store;
+    std::vector<float> big(1 << 20, 1.0f);
+    store.put(1, big);
+    const auto copied = store.bytesCopied().value();
+    store.snapshot(); // O(#tensors) pointer copies only
+    EXPECT_EQ(store.bytesCopied().value(), copied);
+}
+
+TEST(CowStore, RestoreRewindsToCheckpoint)
+{
+    CowStore store;
+    store.put(1, {1.0f});
+    store.put(2, {5.0f});
+    const SnapshotId snap = store.snapshot();
+    store.put(1, {9.0f});
+    store.restore(snap);
+    EXPECT_EQ((*store.get(1))[0], 1.0f);
+    EXPECT_EQ((*store.get(2))[0], 5.0f);
+}
+
+TEST(CowStore, DropCheckpoint)
+{
+    CowStore store;
+    store.put(1, {1.0f});
+    const SnapshotId snap = store.snapshot();
+    EXPECT_EQ(store.checkpointCount(), 1u);
+    store.dropCheckpoint(snap);
+    EXPECT_EQ(store.checkpointCount(), 0u);
+    EXPECT_THROW(store.checkpoint(snap), FatalError);
+    EXPECT_THROW(store.dropCheckpoint(snap), FatalError);
+}
+
+TEST(SyncCore, CombineAddsBuffers)
+{
+    SyncCore core;
+    std::vector<float> local{1.0f, 2.0f, 3.0f};
+    std::vector<float> recv{10.0f, 20.0f, 30.0f};
+    core.loadLocal(local);
+    core.receive(recv);
+    const auto out = core.combine();
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 11.0f);
+    EXPECT_EQ(out[2], 33.0f);
+    core.commitToLocal();
+    EXPECT_EQ(core.local()[1], 22.0f);
+    EXPECT_EQ(core.elementsReduced().value(), 3u);
+}
+
+TEST(SyncCore, MismatchedBuffersAreFatal)
+{
+    SyncCore core;
+    std::vector<float> local{1.0f, 2.0f};
+    std::vector<float> recv{1.0f};
+    core.loadLocal(local);
+    core.receive(recv);
+    EXPECT_THROW(core.combine(), FatalError);
+}
+
+TEST(SyncCore, CapacityIsEnforced)
+{
+    SyncCoreParams params;
+    params.bufferElements = 4;
+    SyncCore core(params);
+    std::vector<float> tooBig(5, 1.0f);
+    EXPECT_THROW(core.loadLocal(tooBig), FatalError);
+    EXPECT_THROW(core.receive(tooBig), FatalError);
+}
+
+TEST(SyncCore, ThroughputFollowsAluConfig)
+{
+    SyncCoreParams params;
+    params.aluLanes = 32;
+    params.opsPerLanePerSec = 1e9;
+    SyncCore core(params);
+    EXPECT_DOUBLE_EQ(core.reduceBytesPerSec(), 32.0 * 1e9 * 4);
+}
+
+TEST(MemoryDevice, SyncCoresBeatArmCore)
+{
+    Simulation sim;
+    MemoryDevice dev(0);
+    EXPECT_GT(dev.aggregateReduceBytesPerSec(),
+              dev.armReduceBytesPerSec() * 4);
+}
+
+TEST(MemoryDevice, DramSharedAcrossCores)
+{
+    MemoryDeviceParams params;
+    params.syncCoreCount = 4;
+    params.dramBytesPerSec = 20e9;
+    MemoryDevice dev(0, params);
+    EXPECT_DOUBLE_EQ(dev.syncCore(0).params().dramBytesPerSec, 5e9);
+}
+
+struct SchedulerFixture : public ::testing::Test
+{
+    SchedulerFixture() : machine(coarse::fabric::makeAwsV100(sim))
+    {
+        for (auto node : machine->memDevices())
+            devices.push_back(std::make_unique<MemoryDevice>(node));
+        for (auto &d : devices)
+            raw.push_back(d.get());
+    }
+
+    Simulation sim;
+    std::unique_ptr<coarse::fabric::Machine> machine;
+    std::vector<std::unique_ptr<MemoryDevice>> devices;
+    std::vector<MemoryDevice *> raw;
+};
+
+TEST_F(SchedulerFixture, AllReduceSumsAcrossDevices)
+{
+    SyncGroupScheduler scheduler(machine->topology(), raw);
+    const std::size_t n = 10000;
+    std::vector<std::vector<float>> buffers(raw.size());
+    float expected = 0.0f;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        buffers[i].assign(n, static_cast<float>(i + 1));
+        expected += static_cast<float>(i + 1);
+    }
+    std::vector<std::span<float>> spans;
+    for (auto &b : buffers)
+        spans.emplace_back(b);
+    bool done = false;
+    scheduler.allReduce(spans, [&] { done = true; });
+    sim.run();
+    ASSERT_TRUE(done);
+    for (const auto &b : buffers) {
+        EXPECT_NEAR(b.front(), expected, 1e-3);
+        EXPECT_NEAR(b.back(), expected, 1e-3);
+    }
+}
+
+TEST_F(SchedulerFixture, ArmCoreSlowerThanSyncCores)
+{
+    auto timeFor = [&](bool arm) {
+        Simulation s;
+        auto m = coarse::fabric::makeAwsV100(s);
+        std::vector<std::unique_ptr<MemoryDevice>> devs;
+        std::vector<MemoryDevice *> ptrs;
+        for (auto node : m->memDevices()) {
+            devs.push_back(std::make_unique<MemoryDevice>(node));
+            ptrs.push_back(devs.back().get());
+        }
+        SyncScheduleOptions options;
+        options.useArmCore = arm;
+        SyncGroupScheduler scheduler(m->topology(), ptrs, options);
+        scheduler.allReduceTimed(64 << 20, [] {});
+        s.run();
+        return coarse::sim::toSeconds(s.now());
+    };
+    EXPECT_GT(timeFor(true), timeFor(false) * 1.5);
+}
+
+TEST_F(SchedulerFixture, EstimateIsReasonable)
+{
+    SyncGroupScheduler scheduler(machine->topology(), raw);
+    const std::uint64_t bytes = 32 << 20;
+    const double estimate = scheduler.estimateSeconds(bytes);
+    scheduler.allReduceTimed(bytes, [] {});
+    sim.run();
+    const double measured = coarse::sim::toSeconds(sim.now());
+    EXPECT_NEAR(estimate, measured, measured * 0.5);
+}
+
+TEST_F(SchedulerFixture, GroupCountBoundedBySyncCores)
+{
+    SyncScheduleOptions options;
+    options.groups = 100;
+    EXPECT_THROW(
+        SyncGroupScheduler(machine->topology(), raw, options),
+        FatalError);
+    options.groups = 0;
+    EXPECT_THROW(
+        SyncGroupScheduler(machine->topology(), raw, options),
+        FatalError);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Property tests for the tensor partitioner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coarse/partition.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace coarse::core;
+using coarse::sim::FatalError;
+
+TEST(Partitioner, SmallTensorStaysWhole)
+{
+    TensorPartitioner partitioner(2 << 20);
+    const auto shards = partitioner.partition(3, 1 << 20);
+    ASSERT_EQ(shards.size(), 1u);
+    EXPECT_EQ(shards[0].tensorIndex, 3u);
+    EXPECT_EQ(shards[0].bytes, std::uint64_t(1 << 20));
+    EXPECT_EQ(shards[0].shardCount, 1u);
+}
+
+TEST(Partitioner, JustBelowTwoShardsStaysWhole)
+{
+    TensorPartitioner partitioner(2 << 20);
+    const auto shards = partitioner.partition(0, (4 << 20) - 1);
+    EXPECT_EQ(shards.size(), 1u);
+}
+
+TEST(Partitioner, ExactMultipleSplitsEvenly)
+{
+    TensorPartitioner partitioner(1 << 20);
+    const auto shards = partitioner.partition(0, 4 << 20);
+    ASSERT_EQ(shards.size(), 4u);
+    for (const auto &s : shards)
+        EXPECT_EQ(s.bytes, std::uint64_t(1 << 20));
+}
+
+TEST(Partitioner, ZeroShardSizeDisablesSplitting)
+{
+    TensorPartitioner partitioner(0);
+    const auto shards = partitioner.partition(0, 100 << 20);
+    EXPECT_EQ(shards.size(), 1u);
+}
+
+TEST(Partitioner, ZeroByteTensorIsFatal)
+{
+    TensorPartitioner partitioner(1 << 20);
+    EXPECT_THROW(partitioner.partition(0, 0), FatalError);
+}
+
+TEST(Partitioner, UnalignedShardSizeIsRoundedToElements)
+{
+    // A shard target that is not a multiple of the element size must
+    // still cut on float boundaries.
+    TensorPartitioner partitioner((1 << 20) + 3);
+    const auto shards = partitioner.partition(0, 8 << 20);
+    for (const auto &s : shards) {
+        EXPECT_EQ(s.offset % 4, 0u);
+        EXPECT_EQ(s.bytes % 4, 0u);
+    }
+}
+
+/** Exhaustive property sweep over tensor sizes. */
+class PartitionSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PartitionSweep, Invariants)
+{
+    const std::uint64_t shardSize = 2 << 20;
+    TensorPartitioner partitioner(shardSize);
+    const std::uint64_t bytes = GetParam();
+    const auto shards = partitioner.partition(7, bytes);
+
+    ASSERT_FALSE(shards.empty());
+    // Contiguous, complete coverage.
+    std::uint64_t offset = 0;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        EXPECT_EQ(shards[i].tensorIndex, 7u);
+        EXPECT_EQ(shards[i].shardIndex, i);
+        EXPECT_EQ(shards[i].shardCount, shards.size());
+        EXPECT_EQ(shards[i].offset, offset);
+        offset += shards[i].bytes;
+    }
+    EXPECT_EQ(offset, bytes);
+
+    // No shard below the saturating size (unless the whole tensor is).
+    if (bytes >= shardSize) {
+        for (const auto &s : shards)
+            EXPECT_GE(s.bytes, shardSize);
+    }
+    // The last shard absorbs the remainder but stays below 2x.
+    if (shards.size() > 1) {
+        EXPECT_LT(shards.back().bytes, 2 * shardSize);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PartitionSweep,
+    ::testing::Values(1, 4096, (2 << 20) - 1, 2 << 20, (2 << 20) + 1,
+                      (4 << 20) - 1, 4 << 20, (4 << 20) + 1, 10 << 20,
+                      (10 << 20) + 12345, 100 << 20, 102760448));
+
+} // namespace

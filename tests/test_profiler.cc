@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the COARSE profiler and routing tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coarse/profiler.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::core;
+using namespace coarse::fabric;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+TEST(Profiler, PathProfileIsMonotone)
+{
+    Simulation sim;
+    auto m = makeSdscP100(sim);
+    Profiler profiler(m->topology());
+    const auto profile = profiler.profilePath(
+        m->workers()[0], m->pairedMemDevice(m->workers()[0]));
+    EXPECT_GT(profile.latencySeconds, 0.0);
+    EXPECT_GT(profile.peakBytesPerSec, 0.0);
+    double lastBw = 0.0;
+    for (const auto &point : profile.points) {
+        EXPECT_GE(point.bytesPerSec, lastBw);
+        lastBw = point.bytesPerSec;
+        EXPECT_GT(point.seconds, profile.latencySeconds);
+    }
+}
+
+TEST(Profiler, LocalMachinePicksSameProxyForBoth)
+{
+    // SDSC has conventional locality: the paired (local) proxy is
+    // both latency- and bandwidth-optimal, so everything routes there
+    // and the threshold is zero.
+    Simulation sim;
+    auto m = makeSdscP100(sim);
+    Profiler profiler(m->topology());
+    const auto profile =
+        profiler.profileClient(m->workers()[0], m->memDevices());
+    EXPECT_EQ(profile.routing.latProxy,
+              m->pairedMemDevice(m->workers()[0]));
+    EXPECT_EQ(profile.routing.bwProxy, profile.routing.latProxy);
+    EXPECT_EQ(profile.routing.thresholdBytes, 0u);
+}
+
+TEST(Profiler, AntiLocalMachineSplitsProxies)
+{
+    // AWS V100 is anti-local: the local proxy has the lowest latency
+    // but a *remote* proxy has the highest bandwidth.
+    Simulation sim;
+    auto m = makeAwsV100(sim);
+    Profiler profiler(m->topology());
+    const auto profile =
+        profiler.profileClient(m->workers()[0], m->memDevices());
+    EXPECT_EQ(profile.routing.latProxy,
+              m->pairedMemDevice(m->workers()[0]));
+    EXPECT_NE(profile.routing.bwProxy, profile.routing.latProxy);
+    EXPECT_GT(profile.routing.thresholdBytes, 0u);
+}
+
+TEST(Profiler, ThresholdRoutesBySize)
+{
+    Simulation sim;
+    auto m = makeAwsV100(sim);
+    Profiler profiler(m->topology());
+    const auto profile =
+        profiler.profileClient(m->workers()[0], m->memDevices());
+    const auto &routing = profile.routing;
+    EXPECT_EQ(routing.route(64), routing.latProxy);
+    EXPECT_EQ(routing.route(64 << 20), routing.bwProxy);
+    EXPECT_EQ(routing.route(routing.thresholdBytes), routing.bwProxy);
+}
+
+TEST(Profiler, CrossoverIsConsistentWithTransferTimes)
+{
+    // Below the threshold the LatProxy path must be at least as fast;
+    // above it the BwProxy path must be. Verify against the
+    // topology's analytic path model.
+    Simulation sim;
+    auto m = makeAwsV100(sim);
+    auto &topo = m->topology();
+    Profiler profiler(topo);
+    const NodeId client = m->workers()[0];
+    const auto profile =
+        profiler.profileClient(client, m->memDevices());
+    const auto &r = profile.routing;
+    ASSERT_GT(r.thresholdBytes, 0u);
+
+    auto seconds = [&](NodeId proxy, std::uint64_t bytes) {
+        return coarse::sim::toSeconds(
+                   topo.pathLatency(client, proxy, kNoNvLink))
+            + double(bytes)
+            / topo.pathBandwidth(client, proxy, bytes, kNoNvLink);
+    };
+    const std::uint64_t below = r.thresholdBytes / 4;
+    const std::uint64_t above = r.thresholdBytes * 4;
+    EXPECT_LE(seconds(r.latProxy, below), seconds(r.bwProxy, below));
+    EXPECT_LE(seconds(r.bwProxy, above), seconds(r.latProxy, above));
+}
+
+TEST(Profiler, ShardSizeSaturatesBandwidth)
+{
+    Simulation sim;
+    auto m = makeSdscP100(sim);
+    auto &topo = m->topology();
+    Profiler profiler(topo);
+    const NodeId client = m->workers()[0];
+    const auto profile =
+        profiler.profileClient(client, m->memDevices());
+    const NodeId proxy = profile.routing.bwProxy;
+    const double atShard =
+        topo.pathBandwidth(client, proxy, profile.shardBytes, kNoNvLink);
+    const double atHuge =
+        topo.pathBandwidth(client, proxy, 64 << 20, kNoNvLink);
+    EXPECT_GE(atShard, 0.95 * atHuge);
+    // And it is the *smallest* probed size that does so.
+    EXPECT_LT(topo.pathBandwidth(client, proxy, profile.shardBytes / 2,
+                                 kNoNvLink),
+              0.95 * atHuge);
+}
+
+TEST(Profiler, ShardSizeMatchesDmaSaturationPoint)
+{
+    // The machine presets saturate at 2 MiB (Fig. 14), so the
+    // profiled shard size lands there.
+    Simulation sim;
+    auto m = makeSdscP100(sim);
+    Profiler profiler(m->topology());
+    const auto profile =
+        profiler.profileClient(m->workers()[0], m->memDevices());
+    EXPECT_EQ(profile.shardBytes, std::uint64_t(2) << 20);
+}
+
+TEST(Profiler, MeasuredProfileMatchesAnalyticOnIdleFabric)
+{
+    // Probing an idle fabric must find the same routing table the
+    // analytic model predicts.
+    Simulation sim;
+    auto m = makeAwsV100(sim);
+    Profiler profiler(m->topology());
+    const NodeId client = m->workers()[0];
+    const NodeId preferred = m->pairedMemDevice(client);
+
+    const auto analytic =
+        profiler.profileClient(client, m->memDevices(), preferred);
+
+    bool done = false;
+    ClientProfile measured;
+    profiler.profileClientMeasured(client, m->memDevices(), preferred,
+                                   [&](ClientProfile profile) {
+                                       measured = std::move(profile);
+                                       done = true;
+                                   });
+    sim.run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(measured.routing.latProxy, analytic.routing.latProxy);
+    EXPECT_EQ(measured.routing.bwProxy, analytic.routing.bwProxy);
+    // Real probes see store-and-forward skew the analytic model
+    // excludes, so the measured saturation knee can land a step or
+    // two later — but never earlier, and within a small factor.
+    EXPECT_GE(measured.shardBytes, analytic.shardBytes);
+    EXPECT_LE(measured.shardBytes, analytic.shardBytes * 4);
+    // Measured bandwidths track the analytic curve within the
+    // store-and-forward pipeline skew.
+    ASSERT_EQ(measured.paths.size(), analytic.paths.size());
+    const auto &mp = measured.paths.front();
+    const auto &ap = analytic.paths.front();
+    EXPECT_NEAR(mp.peakBytesPerSec, ap.peakBytesPerSec,
+                ap.peakBytesPerSec * 0.15);
+}
+
+TEST(Profiler, MeasuredProfilingTakesSimulatedTime)
+{
+    Simulation sim;
+    auto m = makeSdscP100(sim);
+    Profiler profiler(m->topology());
+    bool done = false;
+    profiler.profileClientMeasured(
+        m->workers()[0], m->memDevices(),
+        m->pairedMemDevice(m->workers()[0]),
+        [&](ClientProfile) { done = true; });
+    EXPECT_FALSE(done); // asynchronous
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_GT(sim.now(), 0u); // the probes cost simulated time
+}
+
+TEST(Profiler, RejectsBadConfig)
+{
+    Simulation sim;
+    auto m = makeSdscP100(sim);
+    ProfilerOptions bad;
+    bad.maxProbeBytes = bad.minProbeBytes;
+    EXPECT_THROW(Profiler(m->topology(), bad), FatalError);
+    Profiler profiler(m->topology());
+    EXPECT_THROW(profiler.profileClient(m->workers()[0], {}),
+                 FatalError);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Randomized property tests: invariants that must hold on arbitrary
+ * connected topologies and arbitrary engine configurations. All
+ * randomness is seeded, so failures are reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coarse/engine.hh"
+#include "collective/communicator.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "fabric/topology.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::fabric;
+using coarse::sim::Random;
+using coarse::sim::Simulation;
+
+/** A random connected topology: a tree plus extra random edges. */
+struct RandomTopo
+{
+    RandomTopo(Simulation &sim, std::uint64_t seed, std::size_t nodes)
+        : topo(sim)
+    {
+        Random rng(seed);
+        for (std::size_t i = 0; i < nodes; ++i) {
+            const auto kind = i == 0 ? NodeKind::HostCpu
+                                     : (i % 2 ? NodeKind::Gpu
+                                              : NodeKind::PcieSwitch);
+            ids.push_back(
+                topo.addNode(kind, "n" + std::to_string(i)));
+        }
+        auto params = [&rng] {
+            LinkParams p;
+            p.bandwidth = BandwidthCurve::flat(
+                gbps(rng.uniformReal(2.0, 25.0)));
+            p.latency = coarse::sim::fromNanoseconds(
+                rng.uniformReal(100.0, 2000.0));
+            return p;
+        };
+        // Spanning tree keeps it connected.
+        for (std::size_t i = 1; i < nodes; ++i)
+            topo.addLink(ids[i], ids[rng.uniformInt(0, i - 1)],
+                         params());
+        // Extra shortcuts.
+        for (std::size_t e = 0; e < nodes / 2; ++e) {
+            const auto a = rng.uniformInt(0, nodes - 1);
+            const auto b = rng.uniformInt(0, nodes - 1);
+            if (a != b)
+                topo.addLink(ids[a], ids[b], params());
+        }
+    }
+
+    Topology topo;
+    std::vector<NodeId> ids;
+};
+
+class TopoSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TopoSeeds, EveryPairIsRoutable)
+{
+    Simulation sim;
+    RandomTopo random(sim, GetParam(), 12);
+    for (NodeId a : random.ids) {
+        for (NodeId b : random.ids) {
+            if (a == b)
+                continue;
+            const auto &path = random.topo.route(a, b);
+            EXPECT_FALSE(path.empty());
+            // Path actually connects a to b.
+            NodeId at = a;
+            for (LinkId l : path)
+                at = random.topo.link(l).peerOf(at);
+            EXPECT_EQ(at, b);
+        }
+    }
+}
+
+TEST_P(TopoSeeds, RouteLengthIsSymmetric)
+{
+    Simulation sim;
+    RandomTopo random(sim, GetParam(), 10);
+    for (NodeId a : random.ids) {
+        for (NodeId b : random.ids) {
+            EXPECT_EQ(random.topo.route(a, b).size(),
+                      random.topo.route(b, a).size());
+        }
+    }
+}
+
+TEST_P(TopoSeeds, TransfersAlwaysDeliverExactly)
+{
+    Simulation sim;
+    RandomTopo random(sim, GetParam(), 10);
+    Random rng(GetParam() ^ 0xabcdef);
+    int delivered = 0;
+    const int transfers = 20;
+    for (int t = 0; t < transfers; ++t) {
+        Message msg;
+        msg.src = random.ids[rng.uniformInt(0, random.ids.size() - 1)];
+        do {
+            msg.dst =
+                random.ids[rng.uniformInt(0, random.ids.size() - 1)];
+        } while (msg.dst == msg.src);
+        msg.bytes = rng.uniformInt(1, 8 << 20);
+        msg.onDelivered = [&] { ++delivered; };
+        random.topo.send(std::move(msg));
+    }
+    sim.run();
+    EXPECT_EQ(delivered, transfers);
+}
+
+TEST_P(TopoSeeds, AllReduceCorrectOnRandomGraph)
+{
+    Simulation sim;
+    RandomTopo random(sim, GetParam(), 9);
+    // Use the GPU nodes as ranks.
+    std::vector<NodeId> ranks;
+    for (NodeId id : random.ids) {
+        if (random.topo.nodeKind(id) == NodeKind::Gpu)
+            ranks.push_back(id);
+    }
+    ASSERT_GE(ranks.size(), 2u);
+    coarse::coll::Communicator comm(random.topo, ranks);
+
+    Random rng(GetParam() + 17);
+    const std::size_t n = rng.uniformInt(3, 5000);
+    std::vector<std::vector<float>> buffers(ranks.size());
+    std::vector<float> expected(n, 0.0f);
+    for (auto &b : buffers) {
+        b.resize(n);
+        for (std::size_t e = 0; e < n; ++e) {
+            b[e] = static_cast<float>(
+                rng.uniformReal(-1.0, 1.0));
+            expected[e] += b[e];
+        }
+    }
+    std::vector<std::span<float>> spans;
+    for (auto &b : buffers)
+        spans.emplace_back(b);
+    comm.allReduce(spans, coarse::coll::RingOptions{}, [] {});
+    sim.run();
+    for (const auto &b : buffers) {
+        for (std::size_t e = 0; e < n; e += 7)
+            ASSERT_NEAR(b[e], expected[e], 1e-3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopoSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+/** Random COARSE configurations must still train to identical
+ *  weights across workers. */
+class EngineSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EngineSeeds, RandomConfigConverges)
+{
+    Random rng(GetParam());
+    Simulation sim;
+    const char *machines[] = {"aws_t4", "sdsc_p100", "aws_v100"};
+    MachineOptions mo;
+    mo.workersPerMemDevice = rng.chance(0.3) ? 2 : 1;
+    auto machine = makeMachine(machines[rng.uniformInt(0, 2)], sim,
+                               mo);
+
+    // Random small model.
+    std::vector<std::uint64_t> tensors;
+    const auto count = rng.uniformInt(2, 6);
+    for (std::uint64_t t = 0; t < count; ++t)
+        tensors.push_back(rng.uniformInt(16, 1 << 19));
+    const auto model = coarse::dl::makeSynthetic("rand", tensors, 1e9,
+                                                 1 << 20);
+
+    coarse::core::CoarseOptions options;
+    options.functionalData = true;
+    options.tensorRouting = rng.chance(0.5);
+    options.tensorPartitioning = rng.chance(0.5);
+    options.dualSync = rng.chance(0.5);
+    options.detailedSyncCores = rng.chance(0.3);
+    options.syncGroups = rng.uniformInt(1, 2);
+    options.shardBytesOverride = rng.chance(0.5)
+        ? rng.uniformInt(16 << 10, 1 << 20)
+        : 0;
+
+    coarse::core::CoarseEngine engine(
+        *machine, model,
+        static_cast<std::uint32_t>(rng.uniformInt(1, 8)), options);
+    const auto report = engine.run(2, 0);
+    ASSERT_FALSE(report.deadlocked);
+    for (std::size_t t = 0; t < model.tensors.size(); ++t) {
+        const auto &w0 = engine.weights(0, t);
+        for (std::size_t w = 1; w < machine->workers().size(); ++w)
+            ASSERT_EQ(w0, engine.weights(w, t))
+                << "seed " << GetParam() << " tensor " << t
+                << " worker " << w;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSeeds,
+                         ::testing::Values(101, 202, 303, 404, 505,
+                                           606, 707, 808, 909, 1010));
+
+} // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the ring-order optimizer and the fp16 quantizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "coarse/engine.hh"
+#include "collective/ring_builder.hh"
+#include "dl/model_zoo.hh"
+#include "dl/quantize.hh"
+#include "fabric/machine.hh"
+#include "memdev/sync_group.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::coll;
+using namespace coarse::fabric;
+using coarse::sim::Simulation;
+
+TEST(RingBuilder, RecoversPhysicalCciRingFromShuffledOrder)
+{
+    Simulation sim;
+    auto machine = makeAwsV100(sim);
+    auto devices = machine->memDevices();
+    // Shuffle deterministically: 0,2,1,3 breaks ring adjacency.
+    std::vector<NodeId> shuffled{devices[0], devices[2], devices[1],
+                                 devices[3]};
+    RingBuildOptions options;
+    options.mask = kCciPath;
+
+    const double shuffledBw =
+        ringBottleneck(machine->topology(), shuffled, options);
+    const auto optimized =
+        buildRing(machine->topology(), shuffled, options);
+    const double optimizedBw =
+        ringBottleneck(machine->topology(), optimized, options);
+
+    EXPECT_GT(optimizedBw, shuffledBw);
+    // Physical order's bottleneck is the dedicated CCI link rate.
+    const double physicalBw =
+        ringBottleneck(machine->topology(), devices, options);
+    EXPECT_NEAR(optimizedBw, physicalBw, physicalBw * 1e-9);
+}
+
+TEST(RingBuilder, MultiNodeOrderGroupsByServerNode)
+{
+    Simulation sim;
+    MachineOptions mo;
+    mo.nodes = 2;
+    auto machine = makeAwsV100(sim, mo);
+    // Interleave nodes pathologically.
+    std::vector<NodeId> interleaved;
+    const auto &w = machine->workers();
+    for (std::size_t i = 0; i < 4; ++i) {
+        interleaved.push_back(w[i]);
+        interleaved.push_back(w[i + 4]);
+    }
+    RingBuildOptions options;
+    const double before =
+        ringBottleneck(machine->topology(), interleaved, options);
+    const auto optimized =
+        buildRing(machine->topology(), interleaved, options);
+    const double after =
+        ringBottleneck(machine->topology(), optimized, options);
+    // Interleaving crosses the NIC 8 times; grouping crosses twice.
+    EXPECT_GE(after, before);
+    // Count node transitions in the optimized ring.
+    int transitions = 0;
+    for (std::size_t i = 0; i < optimized.size(); ++i) {
+        const auto a = machine->serverNodeOf(optimized[i]);
+        const auto b = machine->serverNodeOf(
+            optimized[(i + 1) % optimized.size()]);
+        if (a != b)
+            ++transitions;
+    }
+    EXPECT_EQ(transitions, 2);
+}
+
+TEST(RingBuilder, SmallRingsPassThrough)
+{
+    Simulation sim;
+    auto machine = makeSdscP100(sim);
+    const auto two = buildRing(machine->topology(),
+                               machine->workers(), {});
+    EXPECT_EQ(two, machine->workers());
+}
+
+TEST(RingBuilder, SchedulerOptionRestoresShuffledDevices)
+{
+    Simulation sim;
+    auto machine = makeAwsV100(sim);
+    std::vector<std::unique_ptr<coarse::memdev::MemoryDevice>> owned;
+    for (auto node : machine->memDevices())
+        owned.push_back(
+            std::make_unique<coarse::memdev::MemoryDevice>(node));
+    // Shuffled order.
+    std::vector<coarse::memdev::MemoryDevice *> shuffled{
+        owned[0].get(), owned[2].get(), owned[1].get(),
+        owned[3].get()};
+
+    auto timeFor = [&](bool optimize) {
+        Simulation s;
+        auto m = makeAwsV100(s);
+        std::vector<std::unique_ptr<coarse::memdev::MemoryDevice>> o;
+        for (auto node : m->memDevices())
+            o.push_back(
+                std::make_unique<coarse::memdev::MemoryDevice>(node));
+        std::vector<coarse::memdev::MemoryDevice *> shuf{
+            o[0].get(), o[2].get(), o[1].get(), o[3].get()};
+        coarse::memdev::SyncScheduleOptions options;
+        options.optimizeRingOrder = optimize;
+        coarse::memdev::SyncGroupScheduler scheduler(m->topology(),
+                                                     shuf, options);
+        scheduler.allReduceTimed(64 << 20, [] {});
+        s.run();
+        return coarse::sim::toSeconds(s.now());
+    };
+    EXPECT_LT(timeFor(true), timeFor(false));
+    (void)shuffled;
+}
+
+TEST(Quantize, HalfRoundTripKnownValues)
+{
+    using coarse::dl::floatToHalf;
+    using coarse::dl::halfToFloat;
+    EXPECT_EQ(halfToFloat(floatToHalf(0.0f)), 0.0f);
+    EXPECT_EQ(halfToFloat(floatToHalf(1.0f)), 1.0f);
+    EXPECT_EQ(halfToFloat(floatToHalf(-2.0f)), -2.0f);
+    EXPECT_EQ(halfToFloat(floatToHalf(0.5f)), 0.5f);
+    EXPECT_EQ(halfToFloat(floatToHalf(65504.0f)), 65504.0f); // max
+    // Overflow becomes infinity.
+    EXPECT_TRUE(std::isinf(halfToFloat(floatToHalf(1e6f))));
+    // Subnormals survive.
+    EXPECT_NEAR(halfToFloat(floatToHalf(1e-5f)), 1e-5f, 1e-7f);
+    // NaN stays NaN.
+    EXPECT_TRUE(std::isnan(halfToFloat(
+        floatToHalf(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Quantize, RelativeErrorBounded)
+{
+    using coarse::dl::halfToFloat;
+    using coarse::dl::floatToHalf;
+    for (float value : {0.001f, 0.123f, 1.7f, 42.42f, 999.9f}) {
+        const float rt = halfToFloat(floatToHalf(value));
+        EXPECT_NEAR(rt, value,
+                    value * coarse::dl::kFp16RelativeError)
+            << value;
+    }
+}
+
+TEST(Quantize, InPlaceQuantizeIsIdempotent)
+{
+    std::vector<float> data{0.1f, -3.7f, 128.5f};
+    coarse::dl::quantizeFp16(data);
+    auto once = data;
+    coarse::dl::quantizeFp16(data);
+    EXPECT_EQ(data, once);
+}
+
+TEST(Compression, HalvesWireTimeOnCommBoundModel)
+{
+    auto blockedFor = [](bool compress) {
+        Simulation sim;
+        auto machine = makeSdscP100(sim);
+        coarse::core::CoarseOptions options;
+        options.compressGradients = compress;
+        coarse::core::CoarseEngine engine(
+            *machine, coarse::dl::makeBertBase(), 2, options);
+        return engine.run(3, 1).blockedCommSeconds;
+    };
+    EXPECT_LT(blockedFor(true), blockedFor(false));
+}
+
+TEST(Compression, FunctionalAccuracyWithinFp16Bounds)
+{
+    // Train compressed and uncompressed; final weights must differ
+    // by no more than the fp16 relative error times the update
+    // magnitudes (loose bound: 1%).
+    auto runWith = [](bool compress) {
+        Simulation sim;
+        auto machine = makeSdscP100(sim);
+        coarse::core::CoarseOptions options;
+        options.functionalData = true;
+        options.compressGradients = compress;
+        auto engine = std::make_unique<coarse::core::CoarseEngine>(
+            *machine,
+            coarse::dl::makeSynthetic("cmp", {4096, 1 << 16}, 1e9,
+                                      1 << 20),
+            4, options);
+        engine->run(3, 0);
+        std::vector<float> result = engine->weights(0, 1);
+        return result;
+    };
+    const auto exact = runWith(false);
+    const auto compressed = runWith(true);
+    ASSERT_EQ(exact.size(), compressed.size());
+    for (std::size_t e = 0; e < exact.size(); e += 331) {
+        EXPECT_NEAR(compressed[e], exact[e],
+                    std::abs(exact[e]) * 0.01 + 1e-4);
+    }
+}
+
+TEST(Compression, WorkersStillConvergeIdentically)
+{
+    Simulation sim;
+    auto machine = makeAwsV100(sim);
+    coarse::core::CoarseOptions options;
+    options.functionalData = true;
+    options.compressGradients = true;
+    coarse::core::CoarseEngine engine(
+        *machine,
+        coarse::dl::makeSynthetic("cmp", {512, 1 << 18}, 1e9, 1 << 20),
+        4, options);
+    engine.run(2, 0);
+    EXPECT_EQ(engine.weights(0, 1), engine.weights(3, 1));
+}
+
+} // namespace

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the Fig. 11c sync-core RingEngine: numerical equivalence
+ * with the flow-level collective, chunking behaviour, timing sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "memdev/ring_engine.hh"
+#include "memdev/sync_group.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::memdev;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+struct EngineFixture
+{
+    explicit EngineFixture(std::size_t bufferElements = 4096)
+        : machine(coarse::fabric::makeAwsV100(sim))
+    {
+        MemoryDeviceParams params;
+        params.syncCore.bufferElements = bufferElements;
+        for (auto node : machine->memDevices()) {
+            devices.push_back(
+                std::make_unique<MemoryDevice>(node, params));
+            raw.push_back(devices.back().get());
+        }
+    }
+
+    Simulation sim;
+    std::unique_ptr<coarse::fabric::Machine> machine;
+    std::vector<std::unique_ptr<MemoryDevice>> devices;
+    std::vector<MemoryDevice *> raw;
+};
+
+std::vector<std::vector<float>>
+makeBuffers(std::size_t p, std::size_t n)
+{
+    std::vector<std::vector<float>> buffers(p);
+    for (std::size_t i = 0; i < p; ++i) {
+        buffers[i].resize(n);
+        for (std::size_t e = 0; e < n; ++e) {
+            buffers[i][e] = static_cast<float>(i + 1)
+                + 0.001f * static_cast<float>(e % 57);
+        }
+    }
+    return buffers;
+}
+
+/** Sweep (elements, reversed): the engine must produce exact sums. */
+struct RingCase
+{
+    std::size_t elements;
+    bool reversed;
+};
+
+class RingEngineSweep : public ::testing::TestWithParam<RingCase>
+{
+};
+
+TEST_P(RingEngineSweep, ProducesExactSums)
+{
+    const auto [n, reversed] = GetParam();
+    EngineFixture f;
+    RingEngineOptions options;
+    options.reversed = reversed;
+    RingEngine engine(f.machine->topology(), f.raw, options);
+
+    auto buffers = makeBuffers(f.raw.size(), n);
+    std::vector<float> expected(n, 0.0f);
+    for (const auto &b : buffers) {
+        for (std::size_t e = 0; e < n; ++e)
+            expected[e] += b[e];
+    }
+    std::vector<std::span<float>> spans;
+    for (auto &b : buffers)
+        spans.emplace_back(b);
+
+    bool done = false;
+    engine.allReduce(spans, [&] { done = true; });
+    f.sim.run();
+    ASSERT_TRUE(done);
+    for (const auto &b : buffers) {
+        for (std::size_t e = 0; e < n; ++e)
+            ASSERT_NEAR(b[e], expected[e], 1e-3) << "elem " << e;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RingEngineSweep,
+    ::testing::Values(RingCase{16, false}, RingCase{4096, false},
+                      RingCase{4097, false}, RingCase{20000, false},
+                      RingCase{20000, true}, RingCase{1, false},
+                      RingCase{12289, true}));
+
+TEST(RingEngine, ChunksFollowBufferCapacity)
+{
+    EngineFixture f(/*bufferElements=*/1000);
+    RingEngine engine(f.machine->topology(), f.raw, {});
+    auto buffers = makeBuffers(f.raw.size(), 3500);
+    std::vector<std::span<float>> spans;
+    for (auto &b : buffers)
+        spans.emplace_back(b);
+    engine.allReduce(spans, [] {});
+    f.sim.run();
+    EXPECT_EQ(engine.chunksProcessed(), 4u); // ceil(3500/1000)
+    // 2(p-1) sends per device per chunk.
+    const std::size_t p = f.raw.size();
+    EXPECT_EQ(engine.ringSteps(), 4u * p * 2 * (p - 1));
+}
+
+TEST(RingEngine, MatchesFlowLevelCollectiveResults)
+{
+    const std::size_t n = 10000;
+
+    // Flow-level scheduler result.
+    EngineFixture flow;
+    auto flowBuffers = makeBuffers(flow.raw.size(), n);
+    {
+        SyncGroupScheduler scheduler(flow.machine->topology(),
+                                     flow.raw);
+        std::vector<std::span<float>> spans;
+        for (auto &b : flowBuffers)
+            spans.emplace_back(b);
+        scheduler.allReduce(spans, [] {});
+        flow.sim.run();
+    }
+
+    // Detailed RingEngine result via the scheduler dispatch.
+    EngineFixture detailed;
+    auto detailedBuffers = makeBuffers(detailed.raw.size(), n);
+    {
+        SyncScheduleOptions options;
+        options.detailedCores = true;
+        SyncGroupScheduler scheduler(detailed.machine->topology(),
+                                     detailed.raw, options);
+        std::vector<std::span<float>> spans;
+        for (auto &b : detailedBuffers)
+            spans.emplace_back(b);
+        scheduler.allReduce(spans, [] {});
+        detailed.sim.run();
+    }
+
+    for (std::size_t i = 0; i < flowBuffers.size(); ++i) {
+        for (std::size_t e = 0; e < n; e += 131) {
+            ASSERT_NEAR(flowBuffers[i][e], detailedBuffers[i][e], 1e-3)
+                << "device " << i << " elem " << e;
+        }
+    }
+}
+
+TEST(RingEngine, TimingWithinFactorOfFlowModel)
+{
+    const std::size_t n = 1 << 20;
+    auto timeFor = [&](bool detailedMode) {
+        EngineFixture f(/*bufferElements=*/256 * 1024);
+        auto buffers = makeBuffers(f.raw.size(), n);
+        SyncScheduleOptions options;
+        options.detailedCores = detailedMode;
+        SyncGroupScheduler scheduler(f.machine->topology(), f.raw,
+                                     options);
+        std::vector<std::span<float>> spans;
+        for (auto &b : buffers)
+            spans.emplace_back(b);
+        scheduler.allReduce(spans, [] {});
+        f.sim.run();
+        return coarse::sim::toSeconds(f.sim.now());
+    };
+    const double flow = timeFor(false);
+    const double detailed = timeFor(true);
+    // The detailed engine adds DRAM staging and chunk barriers, so it
+    // is slower than the flow model, but by a bounded factor.
+    EXPECT_GT(detailed, flow);
+    EXPECT_LT(detailed, flow * 6.0);
+}
+
+TEST(RingEngine, SingleDeviceIsImmediate)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+    auto device = std::make_unique<MemoryDevice>(
+        machine->memDevices()[0]);
+    RingEngine engine(machine->topology(), {device.get()}, {});
+    std::vector<float> data(64, 3.0f);
+    std::vector<std::span<float>> spans{std::span<float>(data)};
+    bool done = false;
+    engine.allReduce(spans, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(data[0], 3.0f);
+}
+
+TEST(RingEngine, RejectsBadConfiguration)
+{
+    EngineFixture f;
+    RingEngineOptions options;
+    options.coreIndex = 1000;
+    EXPECT_THROW(RingEngine(f.machine->topology(), f.raw, options),
+                 FatalError);
+
+    RingEngine engine(f.machine->topology(), f.raw, {});
+    std::vector<float> a(8), b(9);
+    std::vector<std::span<float>> bad{std::span<float>(a),
+                                      std::span<float>(b)};
+    EXPECT_THROW(engine.allReduce(bad, [] {}), FatalError);
+}
+
+TEST(RingEngine, EngineIntegration)
+{
+    // The COARSE engine trains correctly with detailed sync cores.
+    Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+    coarse::core::CoarseOptions options;
+    options.functionalData = true;
+    options.detailedSyncCores = true;
+    const auto model = coarse::dl::makeSynthetic(
+        "tiny", {512, 1 << 18, 2048}, 2e9, 1 << 20);
+    coarse::core::CoarseEngine engine(*machine, model, 4, options);
+    const auto report = engine.run(2, 0);
+    EXPECT_FALSE(report.deadlocked);
+    // Workers converge identically, as with the flow model.
+    EXPECT_EQ(engine.weights(0, 1), engine.weights(1, 1));
+}
+
+} // namespace

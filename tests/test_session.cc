@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the framework-facing push/pull session API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coarse/session.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::core;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+coarse::dl::ModelSpec
+tinyModel()
+{
+    return coarse::dl::makeSynthetic("tiny", {64, 4096}, 1e9, 1 << 20);
+}
+
+struct SessionFixture : public ::testing::Test
+{
+    SessionFixture()
+        : machine(coarse::fabric::makeSdscP100(sim)),
+          session(std::make_unique<CoarseSession>(*machine,
+                                                  tinyModel(), opts()))
+    {
+    }
+
+    static SessionOptions
+    opts()
+    {
+        SessionOptions options;
+        options.optimizer.learningRate = 0.5;
+        return options;
+    }
+
+    std::vector<float>
+    grad(std::size_t tensorIdx, float value)
+    {
+        return std::vector<float>(
+            tinyModel().tensors[tensorIdx].elements, value);
+    }
+
+    Simulation sim;
+    std::unique_ptr<coarse::fabric::Machine> machine;
+    std::unique_ptr<CoarseSession> session;
+};
+
+TEST_F(SessionFixture, PushFromAllClientsAppliesAveragedUpdate)
+{
+    const float w0 = session->weights(0)[0];
+    int synced = 0;
+    session->client(0).push(0, grad(0, 1.0f), [&] { ++synced; });
+    session->client(1).push(0, grad(0, 3.0f), [&] { ++synced; });
+    sim.run();
+
+    EXPECT_EQ(synced, 2);
+    EXPECT_EQ(session->roundsCompleted(0), 1u);
+    // avg grad = 2.0, lr = 0.5 -> w -= 1.0
+    EXPECT_NEAR(session->weights(0)[0], w0 - 1.0f, 1e-5);
+}
+
+TEST_F(SessionFixture, PullDeliversCurrentWeights)
+{
+    session->client(0).push(1, grad(1, 2.0f));
+    session->client(1).push(1, grad(1, 2.0f));
+    sim.run();
+
+    bool pulled = false;
+    session->client(0).pull(1, [&](const std::vector<float> &data) {
+        pulled = true;
+        EXPECT_EQ(data.size(), tinyModel().tensors[1].elements);
+        EXPECT_NEAR(data[0], session->weights(1)[0], 1e-6);
+    });
+    sim.run();
+    EXPECT_TRUE(pulled);
+}
+
+TEST_F(SessionFixture, PullTakesSimulatedTime)
+{
+    const auto before = sim.now();
+    session->client(0).pull(1, [](const std::vector<float> &) {});
+    sim.run();
+    EXPECT_GT(sim.now(), before);
+}
+
+TEST_F(SessionFixture, MultipleRoundsAccumulate)
+{
+    for (int round = 0; round < 3; ++round) {
+        session->client(0).push(0, grad(0, 1.0f));
+        session->client(1).push(0, grad(0, 1.0f));
+        sim.run();
+    }
+    EXPECT_EQ(session->roundsCompleted(0), 3u);
+    // Three rounds of avg grad 1.0 at lr 0.5.
+    const float initial = 1.0f; // element 0 of tensor 0
+    EXPECT_NEAR(session->weights(0)[0], initial - 1.5f, 1e-5);
+}
+
+TEST_F(SessionFixture, TensorsAreIndependent)
+{
+    session->client(0).push(0, grad(0, 1.0f));
+    session->client(1).push(0, grad(0, 1.0f));
+    sim.run();
+    EXPECT_EQ(session->roundsCompleted(0), 1u);
+    EXPECT_EQ(session->roundsCompleted(1), 0u);
+}
+
+TEST_F(SessionFixture, DoublePushIsFatal)
+{
+    session->client(0).push(0, grad(0, 1.0f));
+    EXPECT_THROW(session->client(0).push(0, grad(0, 1.0f)),
+                 FatalError);
+}
+
+TEST_F(SessionFixture, WrongGradientSizeIsFatal)
+{
+    std::vector<float> bad(3, 1.0f);
+    EXPECT_THROW(session->client(0).push(0, bad), FatalError);
+    EXPECT_THROW(session->client(0).push(99, bad), FatalError);
+}
+
+TEST_F(SessionFixture, RoutingIsExposed)
+{
+    const auto &table = session->client(0).routing();
+    EXPECT_NE(table.latProxy, coarse::fabric::kInvalidNode);
+}
+
+TEST_F(SessionFixture, CheckpointSnapshotsStorage)
+{
+    session->client(0).push(0, grad(0, 1.0f));
+    session->client(1).push(0, grad(0, 1.0f));
+    sim.run();
+    const auto id = session->checkpoint();
+    EXPECT_GT(id, 0u);
+}
+
+TEST(Session, LargeTensorIsPartitionedTransparently)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeAwsV100(sim);
+    const auto model = coarse::dl::makeSynthetic(
+        "big", {(8 << 20) / 4}, 1e9, 1 << 20); // 8 MiB tensor
+    CoarseSession session(*machine, model);
+
+    std::vector<float> gradient(model.tensors[0].elements, 4.0f);
+    for (std::size_t w = 0; w < session.clientCount(); ++w)
+        session.client(w).push(0, gradient);
+    sim.run();
+    EXPECT_EQ(session.roundsCompleted(0), 1u);
+    // 4 workers x avg grad 4.0 at default lr 0.1 -> w -= 0.4.
+    EXPECT_NEAR(session.weights(0)[0], 1.0f - 0.4f, 1e-4);
+    // More than one shard was synchronized.
+    EXPECT_GT(session.proxyService().shardsSynced().value(), 1u);
+}
+
+TEST(Session, AdamOptimizerOption)
+{
+    Simulation sim;
+    auto machine = coarse::fabric::makeSdscP100(sim);
+    SessionOptions options;
+    options.optimizer.kind = coarse::dl::OptimizerKind::Adam;
+    options.optimizer.learningRate = 0.1;
+    const auto model =
+        coarse::dl::makeSynthetic("adam", {128}, 1e9, 1 << 20);
+    CoarseSession session(*machine, model, options);
+    const float before = session.weights(0)[0];
+    std::vector<float> gradient(128, 0.7f);
+    session.client(0).push(0, gradient);
+    session.client(1).push(0, gradient);
+    sim.run();
+    // First Adam step magnitude ~ lr.
+    EXPECT_NEAR(before - session.weights(0)[0], 0.1f, 1e-3);
+}
+
+} // namespace

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, ticks, stats,
+ * logging, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace {
+
+using namespace coarse::sim;
+
+TEST(Ticks, RoundTripConversions)
+{
+    EXPECT_EQ(fromSeconds(1.0), kTicksPerSec);
+    EXPECT_EQ(fromMicroseconds(1.0), kTicksPerUs);
+    EXPECT_EQ(fromNanoseconds(1.0), kTicksPerNs);
+    EXPECT_DOUBLE_EQ(toSeconds(kTicksPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(kTicksPerMs), 1.0);
+    EXPECT_DOUBLE_EQ(toNanoseconds(kTicksPerNs), 1.0);
+}
+
+TEST(Ticks, FromSecondsRounds)
+{
+    // 1.5 ticks rounds to 2.
+    EXPECT_EQ(fromSeconds(1.5e-12), 2u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, [&] { order.push_back(3); });
+    queue.schedule(10, [&] { order.push_back(1); });
+    queue.schedule(20, [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, SameTickUsesPriorityThenFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(10, [&] { order.push_back(1); });
+    queue.schedule(10, [&] { order.push_back(2); });
+    queue.schedule(10, [&] { order.push_back(0); }, -1);
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue queue;
+    bool ran = false;
+    auto handle = queue.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(handle.pending());
+    handle.cancel();
+    EXPECT_FALSE(handle.pending());
+    queue.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(queue.executedCount(), 0u);
+}
+
+TEST(EventQueue, CancelAfterRunIsNoop)
+{
+    EventQueue queue;
+    auto handle = queue.schedule(10, [] {});
+    queue.run();
+    EXPECT_FALSE(handle.pending());
+    handle.cancel(); // must not crash or corrupt anything
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(10, [&] {
+        ++fired;
+        queue.scheduleIn(5, [&] { ++fired; });
+    });
+    queue.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(queue.now(), 15u);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(10, [&] { ++fired; });
+    queue.schedule(100, [&] { ++fired; });
+    EXPECT_EQ(queue.run(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.now(), 10u);
+    EXPECT_EQ(queue.run(), 1u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue queue;
+    queue.schedule(10, [] {});
+    queue.run();
+    EXPECT_THROW(queue.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1, [&] { ++fired; });
+    queue.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(queue.step());
+    EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueue, PendingCountTracksCancellations)
+{
+    EventQueue queue;
+    auto a = queue.schedule(1, [] {});
+    auto b = queue.schedule(2, [] {});
+    (void)b;
+    EXPECT_EQ(queue.pendingCount(), 2u);
+    a.cancel();
+    EXPECT_EQ(queue.pendingCount(), 2u); // lazily reaped
+    queue.run();
+    EXPECT_EQ(queue.pendingCount(), 0u);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad user input: ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug ", 1, " detected"), PanicError);
+}
+
+TEST(Logging, LevelFilterSuppressesBelowThreshold)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::None);
+    // No crash and no way to observe output; exercise the paths.
+    Logger logger("test");
+    logger.warn("suppressed");
+    logger.trace("suppressed");
+    setLogLevel(LogLevel::Trace);
+    logger.debug("emitted");
+    setLogLevel(before);
+    EXPECT_EQ(logger.component(), "test");
+}
+
+TEST(Logging, MessagesAreConcatenated)
+{
+    try {
+        fatal("a", 1, "b", 2.5);
+        FAIL() << "fatal must throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "a1b2.5");
+    }
+}
+
+TEST(Stats, CounterAndScalar)
+{
+    Counter c;
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+
+    Scalar s;
+    s.set(2.0);
+    s.add(0.5);
+    EXPECT_DOUBLE_EQ(s.value(), 2.5);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(2.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_DOUBLE_EQ(d.total(), 6.0);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(0.0);
+    h.sample(9.999);
+    h.sample(10.0);
+    h.sample(5.0);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(1), 2.0);
+}
+
+TEST(Stats, HistogramRejectsBadRange)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(Stats, GroupDumpAndLookup)
+{
+    StatGroup root("root");
+    Counter c;
+    c.inc(7);
+    root.addCounter("events", c);
+    Scalar s;
+    s.set(1.5);
+    root.subgroup("child").addScalar("value", s);
+    root.addFormula("twice", [&] { return 2.0 * s.value(); });
+
+    EXPECT_DOUBLE_EQ(root.lookup("events"), 7.0);
+    EXPECT_DOUBLE_EQ(root.lookup("child.value"), 1.5);
+    EXPECT_DOUBLE_EQ(root.lookup("twice"), 3.0);
+    EXPECT_THROW(root.lookup("missing"), FatalError);
+
+    std::ostringstream oss;
+    root.dump(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("root.events 7"), std::string::npos);
+    EXPECT_NE(out.find("root.child.value 1.5"), std::string::npos);
+}
+
+TEST(Stats, DistributionRegistersDottedLeaves)
+{
+    StatGroup root("root");
+    Distribution d;
+    d.sample(4.0);
+    root.addDistribution("lat", d);
+    EXPECT_DOUBLE_EQ(root.lookup("lat.mean"), 4.0);
+    EXPECT_DOUBLE_EQ(root.lookup("lat.count"), 1.0);
+}
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Random, DiffersAcrossSeeds)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000))
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Random, UniformRealInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniformReal(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Simulation, RunsEventsAndTracksTime)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.events().schedule(fromSeconds(1e-6), [&] { ++fired; });
+    EXPECT_EQ(sim.run(), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), fromSeconds(1e-6));
+}
+
+} // namespace

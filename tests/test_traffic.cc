@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the synthetic traffic generator and dataset descriptors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dl/dataset.hh"
+#include "fabric/machine.hh"
+#include "fabric/traffic.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse::fabric;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+std::vector<NodeId>
+gpusOf(const Machine &machine)
+{
+    std::vector<NodeId> gpus = machine.workers();
+    gpus.insert(gpus.end(), machine.memDevices().begin(),
+                machine.memDevices().end());
+    return gpus;
+}
+
+TEST(Traffic, AllPatternsDeliverEverything)
+{
+    for (TrafficPattern pattern :
+         {TrafficPattern::UniformRandom, TrafficPattern::Hotspot,
+          TrafficPattern::Transpose,
+          TrafficPattern::NearestNeighbor}) {
+        Simulation sim;
+        auto machine = makeAwsV100(sim);
+        TrafficParams params;
+        params.pattern = pattern;
+        params.messagesPerEndpoint = 4;
+        const auto result =
+            runTraffic(machine->topology(), gpusOf(*machine), params);
+        EXPECT_EQ(result.messages, 8u * 4u)
+            << trafficPatternName(pattern);
+        EXPECT_GT(result.aggregateBytesPerSec, 0.0);
+        EXPECT_GT(result.meanLatencySeconds, 0.0);
+        EXPECT_GE(result.maxLatencySeconds,
+                  result.meanLatencySeconds);
+    }
+}
+
+TEST(Traffic, HotspotIsSlowestAggregate)
+{
+    auto aggregateFor = [](TrafficPattern pattern) {
+        Simulation sim;
+        auto machine = makeAwsV100(sim);
+        TrafficParams params;
+        params.pattern = pattern;
+        params.messagesPerEndpoint = 8;
+        params.messageBytes = 4 << 20;
+        return runTraffic(machine->topology(), gpusOf(*machine),
+                          params)
+            .aggregateBytesPerSec;
+    };
+    // Everyone hammering one endpoint serializes on its link.
+    EXPECT_LT(aggregateFor(TrafficPattern::Hotspot),
+              aggregateFor(TrafficPattern::NearestNeighbor));
+    EXPECT_LT(aggregateFor(TrafficPattern::Hotspot),
+              aggregateFor(TrafficPattern::UniformRandom));
+}
+
+TEST(Traffic, DeterministicForSameSeed)
+{
+    auto once = [] {
+        Simulation sim;
+        auto machine = makeSdscP100(sim);
+        TrafficParams params;
+        params.seed = 99;
+        return runTraffic(machine->topology(), gpusOf(*machine),
+                          params)
+            .seconds;
+    };
+    EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(Traffic, RejectsBadLoad)
+{
+    Simulation sim;
+    auto machine = makeSdscP100(sim);
+    TrafficParams params;
+    EXPECT_THROW(
+        runTraffic(machine->topology(), {machine->workers()[0]},
+                   params),
+        FatalError);
+    params.messageBytes = 0;
+    EXPECT_THROW(runTraffic(machine->topology(), gpusOf(*machine),
+                            params),
+                 FatalError);
+    params.messageBytes = 1024;
+    params.hotspot = 99;
+    EXPECT_THROW(runTraffic(machine->topology(), gpusOf(*machine),
+                            params),
+                 FatalError);
+}
+
+TEST(Dataset, DescriptorsAreSane)
+{
+    using namespace coarse::dl;
+    EXPECT_EQ(imagenet().samples, 1281167u);
+    EXPECT_EQ(datasetFor("resnet50").name, "imagenet");
+    EXPECT_EQ(datasetFor("bert_large").name, "squad_v1.1");
+    EXPECT_THROW(datasetFor("alexnet"), FatalError);
+}
+
+TEST(Dataset, EpochMathFollowsThroughput)
+{
+    using namespace coarse::dl;
+    TrainingReport report;
+    report.throughputSamplesPerSec = 1000.0;
+    const auto data = imagenet();
+    EXPECT_NEAR(epochSeconds(report, data), 1281.167, 1e-6);
+    EXPECT_NEAR(timeToTrainSeconds(report, data), 1281.167 * 90,
+                1e-3);
+    report.throughputSamplesPerSec = 0.0;
+    EXPECT_THROW(epochSeconds(report, data), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * coarsesim: the command-line driver. Parses flags, runs the
+ * requested scheme(s) on the requested machine/model, prints a
+ * comparison table.
+ *
+ *   coarsesim --machine aws_v100 --model bert_large --batch 4
+ *   coarsesim --scheme COARSE --no-routing --stats
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "app/options.hh"
+#include "app/runner.hh"
+#include "sim/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        const auto options = coarse::app::parseOptions(args);
+        return coarse::app::runCli(options, std::cout);
+    } catch (const coarse::sim::FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
