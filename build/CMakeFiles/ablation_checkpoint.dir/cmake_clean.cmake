@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpoint.dir/bench/ablation_checkpoint.cc.o"
+  "CMakeFiles/ablation_checkpoint.dir/bench/ablation_checkpoint.cc.o.d"
+  "bench/ablation_checkpoint"
+  "bench/ablation_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

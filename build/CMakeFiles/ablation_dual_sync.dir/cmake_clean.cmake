@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dual_sync.dir/bench/ablation_dual_sync.cc.o"
+  "CMakeFiles/ablation_dual_sync.dir/bench/ablation_dual_sync.cc.o.d"
+  "bench/ablation_dual_sync"
+  "bench/ablation_dual_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dual_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

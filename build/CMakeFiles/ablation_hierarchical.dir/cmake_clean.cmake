@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hierarchical.dir/bench/ablation_hierarchical.cc.o"
+  "CMakeFiles/ablation_hierarchical.dir/bench/ablation_hierarchical.cc.o.d"
+  "bench/ablation_hierarchical"
+  "bench/ablation_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_partition_table.cc" "CMakeFiles/ablation_partition_table.dir/bench/ablation_partition_table.cc.o" "gcc" "CMakeFiles/ablation_partition_table.dir/bench/ablation_partition_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/coarse_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/coarse/CMakeFiles/coarse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/coarse_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/memdev/CMakeFiles/coarse_memdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/cci/CMakeFiles/coarse_cci.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/coarse_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/coarse_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coarse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

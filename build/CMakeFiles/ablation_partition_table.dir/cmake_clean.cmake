@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partition_table.dir/bench/ablation_partition_table.cc.o"
+  "CMakeFiles/ablation_partition_table.dir/bench/ablation_partition_table.cc.o.d"
+  "bench/ablation_partition_table"
+  "bench/ablation_partition_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_routing.dir/bench/ablation_routing.cc.o"
+  "CMakeFiles/ablation_routing.dir/bench/ablation_routing.cc.o.d"
+  "bench/ablation_routing"
+  "bench/ablation_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scalability.dir/bench/ablation_scalability.cc.o"
+  "CMakeFiles/ablation_scalability.dir/bench/ablation_scalability.cc.o.d"
+  "bench/ablation_scalability"
+  "bench/ablation_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

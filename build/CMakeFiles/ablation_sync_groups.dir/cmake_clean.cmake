@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_groups.dir/bench/ablation_sync_groups.cc.o"
+  "CMakeFiles/ablation_sync_groups.dir/bench/ablation_sync_groups.cc.o.d"
+  "bench/ablation_sync_groups"
+  "bench/ablation_sync_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_p2p_bandwidth.dir/bench/fig03_p2p_bandwidth.cc.o"
+  "CMakeFiles/fig03_p2p_bandwidth.dir/bench/fig03_p2p_bandwidth.cc.o.d"
+  "bench/fig03_p2p_bandwidth"
+  "bench/fig03_p2p_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_p2p_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

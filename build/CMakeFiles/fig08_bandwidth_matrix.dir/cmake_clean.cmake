@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_bandwidth_matrix.dir/bench/fig08_bandwidth_matrix.cc.o"
+  "CMakeFiles/fig08_bandwidth_matrix.dir/bench/fig08_bandwidth_matrix.cc.o.d"
+  "bench/fig08_bandwidth_matrix"
+  "bench/fig08_bandwidth_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_bandwidth_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

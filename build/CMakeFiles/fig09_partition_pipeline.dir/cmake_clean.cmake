@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_partition_pipeline.dir/bench/fig09_partition_pipeline.cc.o"
+  "CMakeFiles/fig09_partition_pipeline.dir/bench/fig09_partition_pipeline.cc.o.d"
+  "bench/fig09_partition_pipeline"
+  "bench/fig09_partition_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_partition_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_deadlock.dir/bench/fig10_deadlock.cc.o"
+  "CMakeFiles/fig10_deadlock.dir/bench/fig10_deadlock.cc.o.d"
+  "bench/fig10_deadlock"
+  "bench/fig10_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

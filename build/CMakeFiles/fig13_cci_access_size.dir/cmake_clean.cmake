@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cci_access_size.dir/bench/fig13_cci_access_size.cc.o"
+  "CMakeFiles/fig13_cci_access_size.dir/bench/fig13_cci_access_size.cc.o.d"
+  "bench/fig13_cci_access_size"
+  "bench/fig13_cci_access_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cci_access_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dma_bandwidth.dir/bench/fig14_dma_bandwidth.cc.o"
+  "CMakeFiles/fig14_dma_bandwidth.dir/bench/fig14_dma_bandwidth.cc.o.d"
+  "bench/fig14_dma_bandwidth"
+  "bench/fig14_dma_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dma_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

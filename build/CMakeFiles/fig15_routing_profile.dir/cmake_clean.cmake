@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_routing_profile.dir/bench/fig15_routing_profile.cc.o"
+  "CMakeFiles/fig15_routing_profile.dir/bench/fig15_routing_profile.cc.o.d"
+  "bench/fig15_routing_profile"
+  "bench/fig15_routing_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_routing_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_training_speedup.dir/bench/fig16_training_speedup.cc.o"
+  "CMakeFiles/fig16_training_speedup.dir/bench/fig16_training_speedup.cc.o.d"
+  "bench/fig16_training_speedup"
+  "bench/fig16_training_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_training_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_comm_time.dir/bench/fig17_comm_time.cc.o"
+  "CMakeFiles/fig17_comm_time.dir/bench/fig17_comm_time.cc.o.d"
+  "bench/fig17_comm_time"
+  "bench/fig17_comm_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_comm_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fabric_traffic.dir/bench/micro_fabric_traffic.cc.o"
+  "CMakeFiles/micro_fabric_traffic.dir/bench/micro_fabric_traffic.cc.o.d"
+  "bench/micro_fabric_traffic"
+  "bench/micro_fabric_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fabric_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_comm_fraction.dir/bench/motivation_comm_fraction.cc.o"
+  "CMakeFiles/motivation_comm_fraction.dir/bench/motivation_comm_fraction.cc.o.d"
+  "bench/motivation_comm_fraction"
+  "bench/motivation_comm_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_comm_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_machines.dir/bench/table1_machines.cc.o"
+  "CMakeFiles/table1_machines.dir/bench/table1_machines.cc.o.d"
+  "bench/table1_machines"
+  "bench/table1_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

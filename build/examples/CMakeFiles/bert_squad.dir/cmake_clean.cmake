@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_squad.dir/bert_squad.cpp.o"
+  "CMakeFiles/bert_squad.dir/bert_squad.cpp.o.d"
+  "bert_squad"
+  "bert_squad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_squad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpt2_pretrain.dir/gpt2_pretrain.cpp.o"
+  "CMakeFiles/gpt2_pretrain.dir/gpt2_pretrain.cpp.o.d"
+  "gpt2_pretrain"
+  "gpt2_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpt2_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpull_api.dir/pushpull_api.cpp.o"
+  "CMakeFiles/pushpull_api.dir/pushpull_api.cpp.o.d"
+  "pushpull_api"
+  "pushpull_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpull_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

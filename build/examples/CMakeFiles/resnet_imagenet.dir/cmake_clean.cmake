@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_imagenet.dir/resnet_imagenet.cpp.o"
+  "CMakeFiles/resnet_imagenet.dir/resnet_imagenet.cpp.o.d"
+  "resnet_imagenet"
+  "resnet_imagenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_imagenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_app.dir/options.cc.o"
+  "CMakeFiles/coarse_app.dir/options.cc.o.d"
+  "CMakeFiles/coarse_app.dir/runner.cc.o"
+  "CMakeFiles/coarse_app.dir/runner.cc.o.d"
+  "libcoarse_app.a"
+  "libcoarse_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/allreduce.cc" "src/baselines/CMakeFiles/coarse_baselines.dir/allreduce.cc.o" "gcc" "src/baselines/CMakeFiles/coarse_baselines.dir/allreduce.cc.o.d"
+  "/root/repo/src/baselines/allreduce_overlap.cc" "src/baselines/CMakeFiles/coarse_baselines.dir/allreduce_overlap.cc.o" "gcc" "src/baselines/CMakeFiles/coarse_baselines.dir/allreduce_overlap.cc.o.d"
+  "/root/repo/src/baselines/async_ps.cc" "src/baselines/CMakeFiles/coarse_baselines.dir/async_ps.cc.o" "gcc" "src/baselines/CMakeFiles/coarse_baselines.dir/async_ps.cc.o.d"
+  "/root/repo/src/baselines/cpu_ps.cc" "src/baselines/CMakeFiles/coarse_baselines.dir/cpu_ps.cc.o" "gcc" "src/baselines/CMakeFiles/coarse_baselines.dir/cpu_ps.cc.o.d"
+  "/root/repo/src/baselines/dense.cc" "src/baselines/CMakeFiles/coarse_baselines.dir/dense.cc.o" "gcc" "src/baselines/CMakeFiles/coarse_baselines.dir/dense.cc.o.d"
+  "/root/repo/src/baselines/phased_trainer.cc" "src/baselines/CMakeFiles/coarse_baselines.dir/phased_trainer.cc.o" "gcc" "src/baselines/CMakeFiles/coarse_baselines.dir/phased_trainer.cc.o.d"
+  "/root/repo/src/baselines/sharded_ps.cc" "src/baselines/CMakeFiles/coarse_baselines.dir/sharded_ps.cc.o" "gcc" "src/baselines/CMakeFiles/coarse_baselines.dir/sharded_ps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cci/CMakeFiles/coarse_cci.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/coarse_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/coarse_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/coarse_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/memdev/CMakeFiles/coarse_memdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coarse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

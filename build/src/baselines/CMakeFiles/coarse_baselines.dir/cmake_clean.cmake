@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_baselines.dir/allreduce.cc.o"
+  "CMakeFiles/coarse_baselines.dir/allreduce.cc.o.d"
+  "CMakeFiles/coarse_baselines.dir/allreduce_overlap.cc.o"
+  "CMakeFiles/coarse_baselines.dir/allreduce_overlap.cc.o.d"
+  "CMakeFiles/coarse_baselines.dir/async_ps.cc.o"
+  "CMakeFiles/coarse_baselines.dir/async_ps.cc.o.d"
+  "CMakeFiles/coarse_baselines.dir/cpu_ps.cc.o"
+  "CMakeFiles/coarse_baselines.dir/cpu_ps.cc.o.d"
+  "CMakeFiles/coarse_baselines.dir/dense.cc.o"
+  "CMakeFiles/coarse_baselines.dir/dense.cc.o.d"
+  "CMakeFiles/coarse_baselines.dir/phased_trainer.cc.o"
+  "CMakeFiles/coarse_baselines.dir/phased_trainer.cc.o.d"
+  "CMakeFiles/coarse_baselines.dir/sharded_ps.cc.o"
+  "CMakeFiles/coarse_baselines.dir/sharded_ps.cc.o.d"
+  "libcoarse_baselines.a"
+  "libcoarse_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cci/address_space.cc" "src/cci/CMakeFiles/coarse_cci.dir/address_space.cc.o" "gcc" "src/cci/CMakeFiles/coarse_cci.dir/address_space.cc.o.d"
+  "/root/repo/src/cci/coherent_cache.cc" "src/cci/CMakeFiles/coarse_cci.dir/coherent_cache.cc.o" "gcc" "src/cci/CMakeFiles/coarse_cci.dir/coherent_cache.cc.o.d"
+  "/root/repo/src/cci/directory.cc" "src/cci/CMakeFiles/coarse_cci.dir/directory.cc.o" "gcc" "src/cci/CMakeFiles/coarse_cci.dir/directory.cc.o.d"
+  "/root/repo/src/cci/port.cc" "src/cci/CMakeFiles/coarse_cci.dir/port.cc.o" "gcc" "src/cci/CMakeFiles/coarse_cci.dir/port.cc.o.d"
+  "/root/repo/src/cci/prototype_model.cc" "src/cci/CMakeFiles/coarse_cci.dir/prototype_model.cc.o" "gcc" "src/cci/CMakeFiles/coarse_cci.dir/prototype_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/coarse_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coarse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_cci.dir/address_space.cc.o"
+  "CMakeFiles/coarse_cci.dir/address_space.cc.o.d"
+  "CMakeFiles/coarse_cci.dir/coherent_cache.cc.o"
+  "CMakeFiles/coarse_cci.dir/coherent_cache.cc.o.d"
+  "CMakeFiles/coarse_cci.dir/directory.cc.o"
+  "CMakeFiles/coarse_cci.dir/directory.cc.o.d"
+  "CMakeFiles/coarse_cci.dir/port.cc.o"
+  "CMakeFiles/coarse_cci.dir/port.cc.o.d"
+  "CMakeFiles/coarse_cci.dir/prototype_model.cc.o"
+  "CMakeFiles/coarse_cci.dir/prototype_model.cc.o.d"
+  "libcoarse_cci.a"
+  "libcoarse_cci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_cci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_core.dir/dual_sync.cc.o"
+  "CMakeFiles/coarse_core.dir/dual_sync.cc.o.d"
+  "CMakeFiles/coarse_core.dir/engine.cc.o"
+  "CMakeFiles/coarse_core.dir/engine.cc.o.d"
+  "CMakeFiles/coarse_core.dir/partition.cc.o"
+  "CMakeFiles/coarse_core.dir/partition.cc.o.d"
+  "CMakeFiles/coarse_core.dir/profiler.cc.o"
+  "CMakeFiles/coarse_core.dir/profiler.cc.o.d"
+  "CMakeFiles/coarse_core.dir/proxy_sync.cc.o"
+  "CMakeFiles/coarse_core.dir/proxy_sync.cc.o.d"
+  "CMakeFiles/coarse_core.dir/session.cc.o"
+  "CMakeFiles/coarse_core.dir/session.cc.o.d"
+  "libcoarse_core.a"
+  "libcoarse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoarse_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/communicator.cc" "src/collective/CMakeFiles/coarse_collective.dir/communicator.cc.o" "gcc" "src/collective/CMakeFiles/coarse_collective.dir/communicator.cc.o.d"
+  "/root/repo/src/collective/hierarchical.cc" "src/collective/CMakeFiles/coarse_collective.dir/hierarchical.cc.o" "gcc" "src/collective/CMakeFiles/coarse_collective.dir/hierarchical.cc.o.d"
+  "/root/repo/src/collective/ring_builder.cc" "src/collective/CMakeFiles/coarse_collective.dir/ring_builder.cc.o" "gcc" "src/collective/CMakeFiles/coarse_collective.dir/ring_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/coarse_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coarse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_collective.dir/communicator.cc.o"
+  "CMakeFiles/coarse_collective.dir/communicator.cc.o.d"
+  "CMakeFiles/coarse_collective.dir/hierarchical.cc.o"
+  "CMakeFiles/coarse_collective.dir/hierarchical.cc.o.d"
+  "CMakeFiles/coarse_collective.dir/ring_builder.cc.o"
+  "CMakeFiles/coarse_collective.dir/ring_builder.cc.o.d"
+  "libcoarse_collective.a"
+  "libcoarse_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

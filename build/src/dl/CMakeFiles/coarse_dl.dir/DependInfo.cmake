@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/dataset.cc" "src/dl/CMakeFiles/coarse_dl.dir/dataset.cc.o" "gcc" "src/dl/CMakeFiles/coarse_dl.dir/dataset.cc.o.d"
+  "/root/repo/src/dl/gpu.cc" "src/dl/CMakeFiles/coarse_dl.dir/gpu.cc.o" "gcc" "src/dl/CMakeFiles/coarse_dl.dir/gpu.cc.o.d"
+  "/root/repo/src/dl/iteration.cc" "src/dl/CMakeFiles/coarse_dl.dir/iteration.cc.o" "gcc" "src/dl/CMakeFiles/coarse_dl.dir/iteration.cc.o.d"
+  "/root/repo/src/dl/model.cc" "src/dl/CMakeFiles/coarse_dl.dir/model.cc.o" "gcc" "src/dl/CMakeFiles/coarse_dl.dir/model.cc.o.d"
+  "/root/repo/src/dl/model_zoo.cc" "src/dl/CMakeFiles/coarse_dl.dir/model_zoo.cc.o" "gcc" "src/dl/CMakeFiles/coarse_dl.dir/model_zoo.cc.o.d"
+  "/root/repo/src/dl/optimizer.cc" "src/dl/CMakeFiles/coarse_dl.dir/optimizer.cc.o" "gcc" "src/dl/CMakeFiles/coarse_dl.dir/optimizer.cc.o.d"
+  "/root/repo/src/dl/quantize.cc" "src/dl/CMakeFiles/coarse_dl.dir/quantize.cc.o" "gcc" "src/dl/CMakeFiles/coarse_dl.dir/quantize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/coarse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_dl.dir/dataset.cc.o"
+  "CMakeFiles/coarse_dl.dir/dataset.cc.o.d"
+  "CMakeFiles/coarse_dl.dir/gpu.cc.o"
+  "CMakeFiles/coarse_dl.dir/gpu.cc.o.d"
+  "CMakeFiles/coarse_dl.dir/iteration.cc.o"
+  "CMakeFiles/coarse_dl.dir/iteration.cc.o.d"
+  "CMakeFiles/coarse_dl.dir/model.cc.o"
+  "CMakeFiles/coarse_dl.dir/model.cc.o.d"
+  "CMakeFiles/coarse_dl.dir/model_zoo.cc.o"
+  "CMakeFiles/coarse_dl.dir/model_zoo.cc.o.d"
+  "CMakeFiles/coarse_dl.dir/optimizer.cc.o"
+  "CMakeFiles/coarse_dl.dir/optimizer.cc.o.d"
+  "CMakeFiles/coarse_dl.dir/quantize.cc.o"
+  "CMakeFiles/coarse_dl.dir/quantize.cc.o.d"
+  "libcoarse_dl.a"
+  "libcoarse_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

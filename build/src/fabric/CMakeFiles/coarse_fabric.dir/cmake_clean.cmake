@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_fabric.dir/bandwidth.cc.o"
+  "CMakeFiles/coarse_fabric.dir/bandwidth.cc.o.d"
+  "CMakeFiles/coarse_fabric.dir/link.cc.o"
+  "CMakeFiles/coarse_fabric.dir/link.cc.o.d"
+  "CMakeFiles/coarse_fabric.dir/machine.cc.o"
+  "CMakeFiles/coarse_fabric.dir/machine.cc.o.d"
+  "CMakeFiles/coarse_fabric.dir/topology.cc.o"
+  "CMakeFiles/coarse_fabric.dir/topology.cc.o.d"
+  "CMakeFiles/coarse_fabric.dir/traffic.cc.o"
+  "CMakeFiles/coarse_fabric.dir/traffic.cc.o.d"
+  "libcoarse_fabric.a"
+  "libcoarse_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

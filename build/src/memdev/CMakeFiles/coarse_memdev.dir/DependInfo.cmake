@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memdev/cow_store.cc" "src/memdev/CMakeFiles/coarse_memdev.dir/cow_store.cc.o" "gcc" "src/memdev/CMakeFiles/coarse_memdev.dir/cow_store.cc.o.d"
+  "/root/repo/src/memdev/memory_device.cc" "src/memdev/CMakeFiles/coarse_memdev.dir/memory_device.cc.o" "gcc" "src/memdev/CMakeFiles/coarse_memdev.dir/memory_device.cc.o.d"
+  "/root/repo/src/memdev/ring_engine.cc" "src/memdev/CMakeFiles/coarse_memdev.dir/ring_engine.cc.o" "gcc" "src/memdev/CMakeFiles/coarse_memdev.dir/ring_engine.cc.o.d"
+  "/root/repo/src/memdev/sync_core.cc" "src/memdev/CMakeFiles/coarse_memdev.dir/sync_core.cc.o" "gcc" "src/memdev/CMakeFiles/coarse_memdev.dir/sync_core.cc.o.d"
+  "/root/repo/src/memdev/sync_group.cc" "src/memdev/CMakeFiles/coarse_memdev.dir/sync_group.cc.o" "gcc" "src/memdev/CMakeFiles/coarse_memdev.dir/sync_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cci/CMakeFiles/coarse_cci.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/coarse_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/coarse_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coarse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_memdev.dir/cow_store.cc.o"
+  "CMakeFiles/coarse_memdev.dir/cow_store.cc.o.d"
+  "CMakeFiles/coarse_memdev.dir/memory_device.cc.o"
+  "CMakeFiles/coarse_memdev.dir/memory_device.cc.o.d"
+  "CMakeFiles/coarse_memdev.dir/ring_engine.cc.o"
+  "CMakeFiles/coarse_memdev.dir/ring_engine.cc.o.d"
+  "CMakeFiles/coarse_memdev.dir/sync_core.cc.o"
+  "CMakeFiles/coarse_memdev.dir/sync_core.cc.o.d"
+  "CMakeFiles/coarse_memdev.dir/sync_group.cc.o"
+  "CMakeFiles/coarse_memdev.dir/sync_group.cc.o.d"
+  "libcoarse_memdev.a"
+  "libcoarse_memdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_memdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_sim.dir/event_queue.cc.o"
+  "CMakeFiles/coarse_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/coarse_sim.dir/logging.cc.o"
+  "CMakeFiles/coarse_sim.dir/logging.cc.o.d"
+  "CMakeFiles/coarse_sim.dir/stats.cc.o"
+  "CMakeFiles/coarse_sim.dir/stats.cc.o.d"
+  "libcoarse_sim.a"
+  "libcoarse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allreduce_overlap.dir/test_allreduce_overlap.cc.o"
+  "CMakeFiles/test_allreduce_overlap.dir/test_allreduce_overlap.cc.o.d"
+  "test_allreduce_overlap"
+  "test_allreduce_overlap.pdb"
+  "test_allreduce_overlap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allreduce_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

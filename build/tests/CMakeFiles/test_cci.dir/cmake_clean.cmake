@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cci.dir/test_cci.cc.o"
+  "CMakeFiles/test_cci.dir/test_cci.cc.o.d"
+  "test_cci"
+  "test_cci.pdb"
+  "test_cci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

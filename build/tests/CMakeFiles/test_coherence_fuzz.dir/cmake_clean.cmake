@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence_fuzz.dir/test_coherence_fuzz.cc.o"
+  "CMakeFiles/test_coherence_fuzz.dir/test_coherence_fuzz.cc.o.d"
+  "test_coherence_fuzz"
+  "test_coherence_fuzz.pdb"
+  "test_coherence_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

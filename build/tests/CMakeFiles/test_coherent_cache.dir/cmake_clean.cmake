@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherent_cache.dir/test_coherent_cache.cc.o"
+  "CMakeFiles/test_coherent_cache.dir/test_coherent_cache.cc.o.d"
+  "test_coherent_cache"
+  "test_coherent_cache.pdb"
+  "test_coherent_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherent_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_coherent_cache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dl.dir/test_dl.cc.o"
+  "CMakeFiles/test_dl.dir/test_dl.cc.o.d"
+  "test_dl"
+  "test_dl.pdb"
+  "test_dl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_sync.dir/test_dual_sync.cc.o"
+  "CMakeFiles/test_dual_sync.dir/test_dual_sync.cc.o.d"
+  "test_dual_sync"
+  "test_dual_sync.pdb"
+  "test_dual_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

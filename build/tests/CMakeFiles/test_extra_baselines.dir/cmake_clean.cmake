@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extra_baselines.dir/test_extra_baselines.cc.o"
+  "CMakeFiles/test_extra_baselines.dir/test_extra_baselines.cc.o.d"
+  "test_extra_baselines"
+  "test_extra_baselines.pdb"
+  "test_extra_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memdev.dir/test_memdev.cc.o"
+  "CMakeFiles/test_memdev.dir/test_memdev.cc.o.d"
+  "test_memdev"
+  "test_memdev.pdb"
+  "test_memdev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxy_sync.dir/test_proxy_sync.cc.o"
+  "CMakeFiles/test_proxy_sync.dir/test_proxy_sync.cc.o.d"
+  "test_proxy_sync"
+  "test_proxy_sync.pdb"
+  "test_proxy_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxy_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

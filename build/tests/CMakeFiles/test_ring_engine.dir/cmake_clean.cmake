@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_engine.dir/test_ring_engine.cc.o"
+  "CMakeFiles/test_ring_engine.dir/test_ring_engine.cc.o.d"
+  "test_ring_engine"
+  "test_ring_engine.pdb"
+  "test_ring_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_bandwidth[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_cci[1]_include.cmake")
+include("/root/repo/build/tests/test_coherent_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_collective[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchical[1]_include.cmake")
+include("/root/repo/build/tests/test_ring_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_memdev[1]_include.cmake")
+include("/root/repo/build/tests/test_ring_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_dl[1]_include.cmake")
+include("/root/repo/build/tests/test_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_dual_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_extra_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_allreduce_overlap[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_app[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarsesim.dir/coarsesim.cc.o"
+  "CMakeFiles/coarsesim.dir/coarsesim.cc.o.d"
+  "coarsesim"
+  "coarsesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarsesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
