@@ -27,7 +27,7 @@ BM_EventQueueScheduleRun(benchmark::State &state)
         coarse::sim::EventQueue queue;
         std::uint64_t sum = 0;
         for (std::size_t i = 0; i < count; ++i) {
-            queue.schedule(i * 10, [&sum, i] { sum += i; });
+            queue.post(i * 10, [&sum, i] { sum += i; });
         }
         queue.run();
         benchmark::DoNotOptimize(sum);
@@ -36,6 +36,51 @@ BM_EventQueueScheduleRun(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * count));
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+// The deprecated std::function shim, kept as a yardstick for the
+// migration win.
+void
+BM_EventQueueScheduleRunShim(benchmark::State &state)
+{
+    const auto count = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        coarse::sim::EventQueue queue;
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            queue.schedule(i * 10,
+                           std::function<void()>([&sum, i] { sum += i; }));
+        }
+        queue.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * count));
+}
+BENCHMARK(BM_EventQueueScheduleRunShim)->Arg(1000)->Arg(100000);
+
+// Pure intrusive hot path: one pre-allocated event re-arming itself,
+// the pattern trainers use for their per-iteration events.
+void
+BM_EventQueueIntrusiveRearm(benchmark::State &state)
+{
+    const auto count = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        coarse::sim::EventQueue queue;
+        std::uint64_t fired = 0;
+        coarse::sim::Event *self = nullptr;
+        coarse::sim::LambdaEvent event{[&] {
+            if (++fired < count)
+                queue.scheduleIn(*self, 10);
+        }};
+        self = &event;
+        queue.schedule(event, 10);
+        queue.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * count));
+}
+BENCHMARK(BM_EventQueueIntrusiveRearm)->Arg(100000);
 
 void
 BM_FabricTransfer(benchmark::State &state)

@@ -67,7 +67,7 @@ OverlapAllReduceTrainer::startIteration(std::uint32_t iter)
         const sim::Tick launch = fwdDone
             + sim::fromSeconds(bucket.readySeconds
                                * (1.0 + options_.computeSlowdown));
-        sim.events().schedule(
+        sim.events().post(
             launch, [this, bytes = bucket.bytes, ring, state,
                      tryFinish] {
                 comm_->allReduceTimed(bytes, ring,
@@ -77,7 +77,7 @@ OverlapAllReduceTrainer::startIteration(std::uint32_t iter)
                                       });
             });
     }
-    sim.events().schedule(computeEnd, [state, tryFinish] {
+    sim.events().post(computeEnd, [state, tryFinish] {
         state->second = true;
         tryFinish();
     });

@@ -104,9 +104,9 @@ AsyncPsTrainer::startIteration(WorkerLoop &loop)
         const sim::Tick compute =
             sim::fromSeconds(iteration_.forwardSeconds()
                              + iteration_.backwardSeconds());
-        sim.events().scheduleIn(compute, [this, &loop, iterStart,
-                                          gateWait, pullSec, k,
-                                          access] {
+        sim.events().postIn(compute, [this, &loop, iterStart,
+                                      gateWait, pullSec, k,
+                                      access] {
             auto &sim2 = machine_.topology().sim();
             // Measurement: the iteration is over for the worker.
             if (k >= warmup_) {
@@ -123,7 +123,7 @@ AsyncPsTrainer::startIteration(WorkerLoop &loop)
                 const double applySec =
                     static_cast<double>(model_.parameterBytes())
                     / server_->armReduceBytesPerSec();
-                machine_.topology().sim().events().scheduleIn(
+                machine_.topology().sim().events().postIn(
                     sim::fromSeconds(applySec), [this, &loop] {
                         ++loop.acked;
                         // Only a gated loop needs a kick; otherwise

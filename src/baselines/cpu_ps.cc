@@ -54,7 +54,7 @@ CpuPsTrainer::synchronize(std::uint32_t iter, std::function<void()> done)
     auto afterPushes = [this, bytes, &sim, pullAll] {
         const double sec = static_cast<double>(bytes)
             / options_.cpuReduceBytesPerSec;
-        sim.events().scheduleIn(sim::fromSeconds(sec), pullAll);
+        sim.events().postIn(sim::fromSeconds(sec), pullAll);
     };
 
     for (fabric::NodeId worker : workers) {

@@ -71,8 +71,8 @@ DenseTrainer::synchronize(std::uint32_t iter, std::function<void()> done)
         // write invalidates every worker's cached copy.
         const double sec = static_cast<double>(bytes)
             / server_->armReduceBytesPerSec();
-        sim.events().scheduleIn(sim::fromSeconds(sec), [this, bytes,
-                                                        pullAll] {
+        sim.events().postIn(sim::fromSeconds(sec), [this, bytes,
+                                                    pullAll] {
             directory_->acquireWrite(server_->node(), params_, 0,
                                      bytes, pullAll);
         });

@@ -16,14 +16,22 @@ void
 PhasedTrainer::startIteration(std::uint32_t iter)
 {
     auto &sim = machine_.topology().sim();
-    const sim::Tick start = sim.now();
-    const sim::Tick computeEnd = start
+    curIter_ = iter;
+    iterStart_ = sim.now();
+    iterComputeEnd_ = iterStart_
         + sim::fromSeconds(iteration_.forwardSeconds()
                            + iteration_.backwardSeconds());
-    sim.events().schedule(computeEnd, [this, iter, start, computeEnd] {
-        synchronize(iter, [this, iter, start, computeEnd] {
-            finishIteration(iter, start, computeEnd);
-        });
+    sim.events().schedule(computeEndEvent_, iterComputeEnd_);
+}
+
+void
+PhasedTrainer::onComputeEnd()
+{
+    const std::uint32_t iter = curIter_;
+    const sim::Tick start = iterStart_;
+    const sim::Tick computeEnd = iterComputeEnd_;
+    synchronize(iter, [this, iter, start, computeEnd] {
+        finishIteration(iter, start, computeEnd);
     });
 }
 

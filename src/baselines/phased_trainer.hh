@@ -18,6 +18,7 @@
 #include "dl/model.hh"
 #include "dl/trainer.hh"
 #include "fabric/machine.hh"
+#include "sim/event.hh"
 
 namespace coarse::baselines {
 
@@ -57,6 +58,8 @@ class PhasedTrainer : public dl::Trainer
 
   private:
     void startIteration(std::uint32_t iter);
+    /** Fires at the end of the backward pass; starts synchronize(). */
+    void onComputeEnd();
     void finishIteration(std::uint32_t iter, sim::Tick start,
                          sim::Tick computeEnd);
 
@@ -71,6 +74,14 @@ class PhasedTrainer : public dl::Trainer
     double measuredSeconds_ = 0.0;
     double measuredBlocked_ = 0.0;
     std::uint32_t measuredIters_ = 0;
+
+    // In-flight iteration context for the pre-allocated compute-end
+    // event; valid while computeEndEvent_ is armed or synchronizing.
+    std::uint32_t curIter_ = 0;
+    sim::Tick iterStart_ = 0;
+    sim::Tick iterComputeEnd_ = 0;
+    sim::MemberEvent<PhasedTrainer, &PhasedTrainer::onComputeEnd>
+        computeEndEvent_{*this, "phased.compute_end"};
 };
 
 } // namespace coarse::baselines

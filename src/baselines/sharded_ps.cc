@@ -85,11 +85,11 @@ ShardedPsTrainer::synchronize(std::uint32_t iter,
         for (std::size_t s = 0; s < shards_.size(); ++s) {
             const double sec = static_cast<double>(shardBytes(s))
                 / servers_[s]->armReduceBytesPerSec();
-            sim.events().scheduleIn(sim::fromSeconds(sec),
-                                    [applies, pullAll] {
-                                        if (--*applies == 0)
-                                            pullAll();
-                                    });
+            sim.events().postIn(sim::fromSeconds(sec),
+                                [applies, pullAll] {
+                                    if (--*applies == 0)
+                                        pullAll();
+                                });
         }
     };
 

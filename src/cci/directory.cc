@@ -41,7 +41,7 @@ Directory::control(fabric::NodeId from, fabric::NodeId to,
     controlMsgs_.inc();
     controlBytes_.inc(params_.controlBytes);
     if (from == to) {
-        topo_.sim().events().scheduleIn(0, std::move(next));
+        topo_.sim().events().postIn(0, std::move(next));
         return;
     }
     fabric::Message msg;

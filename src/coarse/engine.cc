@@ -407,7 +407,7 @@ CoarseEngine::runIterationBody(std::uint32_t iter)
         const sim::Tick ready = computeStart + fwdTicks
             + sim::fromSeconds(iteration_.gradReadySeconds(t));
         for (std::size_t w = 0; w < workers_.size(); ++w) {
-            sim.events().schedule(ready, [this, iter, w, t] {
+            sim.events().post(ready, [this, iter, w, t] {
                 pushTensor(iter, w, t);
             });
         }
@@ -415,56 +415,61 @@ CoarseEngine::runIterationBody(std::uint32_t iter)
 
     // GPU-synced tensors: a blocking worker-ring allreduce at the end
     // of the backward pass.
-    sim.events().schedule(iter_->computeEnd, [this, iter] {
-        if (plan_.gpuBytes == 0 || workers_.size() == 1) {
-            iter_->gpuSyncDone = true;
-            onWorkerPathDone(iter);
-            return;
+    sim.events().schedule(gpuSyncEvent_, iter_->computeEnd);
+}
+
+void
+CoarseEngine::startGpuSync()
+{
+    const std::uint32_t iter = iter_->iter;
+    if (plan_.gpuBytes == 0 || workers_.size() == 1) {
+        iter_->gpuSyncDone = true;
+        onWorkerPathDone(iter);
+        return;
+    }
+    coll::RingOptions ring;
+    ring.reduceBytesPerSec = gpu_.reduceBytesPerSec();
+    ring.rings = 2;
+    auto done = [this, iter] {
+        iter_->gpuSyncDone = true;
+        iter_->timeline.gpuSyncEnd =
+            machine_.topology().sim().now();
+        onWorkerPathDone(iter);
+    };
+    if (!options_.functionalData) {
+        workerComm_->allReduceTimed(plan_.gpuBytes, ring,
+                                    std::move(done));
+        return;
+    }
+    // Functional: fuse the GPU-set gradients into one buffer per
+    // worker, allreduce, then apply the updates.
+    auto fused = std::make_shared<std::vector<std::vector<float>>>();
+    fused->resize(workers_.size());
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+        for (std::size_t t = 0; t < plan_.splitTensor; ++t) {
+            const auto grad = makeGradient(w, t, iter);
+            (*fused)[w].insert((*fused)[w].end(), grad.begin(),
+                               grad.end());
         }
-        coll::RingOptions ring;
-        ring.reduceBytesPerSec = gpu_.reduceBytesPerSec();
-        ring.rings = 2;
-        auto done = [this, iter] {
-            iter_->gpuSyncDone = true;
-            iter_->timeline.gpuSyncEnd =
-                machine_.topology().sim().now();
-            onWorkerPathDone(iter);
-        };
-        if (!options_.functionalData) {
-            workerComm_->allReduceTimed(plan_.gpuBytes, ring,
-                                        std::move(done));
-            return;
+    }
+    std::vector<std::span<float>> buffers;
+    buffers.reserve(workers_.size());
+    for (auto &buf : *fused)
+        buffers.emplace_back(buf);
+    auto apply = [this, iter, fused, done] {
+        std::size_t offset = 0;
+        for (std::size_t t = 0; t < plan_.splitTensor; ++t) {
+            const std::size_t len = model_.tensors[t].elements;
+            std::vector<float> sum(
+                fused->front().begin() + offset,
+                fused->front().begin() + offset + len);
+            applyUpdate(iter, t, sum);
+            offset += len;
         }
-        // Functional: fuse the GPU-set gradients into one buffer per
-        // worker, allreduce, then apply the updates.
-        auto fused = std::make_shared<std::vector<std::vector<float>>>();
-        fused->resize(workers_.size());
-        for (std::size_t w = 0; w < workers_.size(); ++w) {
-            for (std::size_t t = 0; t < plan_.splitTensor; ++t) {
-                const auto grad = makeGradient(w, t, iter);
-                (*fused)[w].insert((*fused)[w].end(), grad.begin(),
-                                   grad.end());
-            }
-        }
-        std::vector<std::span<float>> buffers;
-        buffers.reserve(workers_.size());
-        for (auto &buf : *fused)
-            buffers.emplace_back(buf);
-        auto apply = [this, iter, fused, done] {
-            std::size_t offset = 0;
-            for (std::size_t t = 0; t < plan_.splitTensor; ++t) {
-                const std::size_t len = model_.tensors[t].elements;
-                std::vector<float> sum(
-                    fused->front().begin() + offset,
-                    fused->front().begin() + offset + len);
-                applyUpdate(iter, t, sum);
-                offset += len;
-            }
-            done();
-        };
-        workerComm_->allReduce(std::move(buffers), ring,
-                               std::move(apply));
-    });
+        done();
+    };
+    workerComm_->allReduce(std::move(buffers), ring,
+                           std::move(apply));
 }
 
 void
@@ -576,7 +581,13 @@ CoarseEngine::onWorkerPathDone(std::uint32_t iter)
     auto &sim = machine_.topology().sim();
     iter_->finishScheduled = true;
     const sim::Tick end = std::max(sim.now(), iter_->computeEnd);
-    sim.events().schedule(end, [this, iter] { finishIteration(iter); });
+    sim.events().schedule(finishEvent_, end);
+}
+
+void
+CoarseEngine::finishCurrentIteration()
+{
+    finishIteration(iter_->iter);
 }
 
 void

@@ -26,6 +26,7 @@
 #include "profiler.hh"
 #include "proxy_sync.hh"
 #include "routing.hh"
+#include "sim/event.hh"
 
 namespace coarse::core {
 
@@ -173,6 +174,10 @@ class CoarseEngine : public dl::Trainer
     void onShardSynced(const ShardKey &key,
                        const std::vector<float> &reduced);
     void onWorkerPathDone(std::uint32_t iter);
+    /** Fires at computeEnd: launch the GPU-ring sync of this iteration. */
+    void startGpuSync();
+    /** Fires when every sync path has drained: close the iteration. */
+    void finishCurrentIteration();
     void finishIteration(std::uint32_t iter);
     /** Restore from the latest checkpoint and replay. */
     void recoverFromFailure(std::uint32_t failedIter);
@@ -204,6 +209,12 @@ class CoarseEngine : public dl::Trainer
     std::unique_ptr<IterationState> iter_;
     std::vector<std::unique_ptr<WorkerState>> workers_;
     IterationTimeline timeline_;
+
+    /** Pre-allocated per-iteration events; re-armed every cycle. */
+    sim::MemberEvent<CoarseEngine, &CoarseEngine::startGpuSync>
+        gpuSyncEvent_{*this, "coarse.gpu_sync"};
+    sim::MemberEvent<CoarseEngine, &CoarseEngine::finishCurrentIteration>
+        finishEvent_{*this, "coarse.finish_iteration"};
 
     std::uint32_t totalIterations_ = 0;
     std::uint32_t warmup_ = 0;

@@ -184,7 +184,11 @@ Profiler::profilePathMeasured(fabric::NodeId client,
     static constexpr std::uint32_t kRepeats = 8;
     auto next = std::make_shared<std::function<void(std::size_t)>>();
     *next = [this, client, proxy, profile, sizes, doneShared,
-             next](std::size_t index) {
+             weakNext = std::weak_ptr(next)](std::size_t index) {
+        // The self-capture is weak so the closure does not own itself
+        // (a strong capture leaks the probe state). Every caller
+        // holds a strong reference, so the lock always succeeds.
+        auto next = weakNext.lock();
         if (index == sizes->size()) {
             (*doneShared)(*profile);
             return;
@@ -250,7 +254,11 @@ Profiler::profileClientMeasured(
     auto nextProxy =
         std::make_shared<std::function<void(std::size_t)>>();
     *nextProxy = [this, client, preferred, paths, proxyList,
-                  doneShared, nextProxy](std::size_t index) {
+                  doneShared,
+                  weakNext = std::weak_ptr(nextProxy)](
+                     std::size_t index) {
+        // Weak self-capture: see profilePathMeasured() above.
+        auto nextProxy = weakNext.lock();
         if (index == proxyList->size()) {
             (*doneShared)(
                 deriveProfile(client, std::move(*paths), preferred));

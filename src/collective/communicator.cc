@@ -76,8 +76,14 @@ Communicator::runRing(std::vector<std::span<float>> buffers,
     auto sendRound = std::make_shared<
         std::function<void(std::size_t, std::size_t)>>();
     *sendRound = [this, state, next, reversed, p, n, totalRounds,
-                  options, ringIndex, sendRound](std::size_t i,
-                                                 std::size_t k) {
+                  options, ringIndex,
+                  weakSend = std::weak_ptr(sendRound)](std::size_t i,
+                                                       std::size_t k) {
+        // The self-capture is weak so the closure does not own itself
+        // (a strong capture leaks the whole ring state). Every caller
+        // — the kickoff loop below or an in-flight continuation —
+        // holds a strong reference, so the lock always succeeds.
+        auto sendRound = weakSend.lock();
         const std::size_t seg =
             reversed ? (i + k) % p : (i + p - k % p) % p;
         const auto [begin, end] = segmentRange(n, p, seg);
@@ -117,7 +123,7 @@ Communicator::runRing(std::vector<std::span<float>> buffers,
                 const double sec = static_cast<double>((end - begin)
                                                        * sizeof(float))
                     / options.reduceBytesPerSec;
-                topo_.sim().events().scheduleIn(sim::fromSeconds(sec),
+                topo_.sim().events().postIn(sim::fromSeconds(sec),
                                                 proceed);
             } else {
                 proceed();
@@ -146,7 +152,7 @@ Communicator::allReduce(std::vector<std::span<float>> buffers,
     }
 
     if (p == 1 || n == 0) {
-        topo_.sim().events().scheduleIn(0, std::move(done));
+        topo_.sim().events().postIn(0, std::move(done));
         return;
     }
 
@@ -192,7 +198,10 @@ Communicator::runTimedRing(std::uint64_t sliceBytes,
         std::function<void(std::size_t, std::size_t)>>();
     *sendRound = [this, p, next, segBytes, totalRounds, options,
                   ringIndex, finished, doneShared,
-                  sendRound](std::size_t i, std::size_t k) {
+                  weakSend = std::weak_ptr(sendRound)](std::size_t i,
+                                                       std::size_t k) {
+        // Weak self-capture: see runRing() above.
+        auto sendRound = weakSend.lock();
         const std::size_t j = next(i);
         bytesMoved_.inc(segBytes);
         fabric::Message msg;
@@ -214,7 +223,7 @@ Communicator::runTimedRing(std::uint64_t sliceBytes,
             if (reducePhase && options.reduceBytesPerSec > 0) {
                 const double sec = static_cast<double>(segBytes)
                     / options.reduceBytesPerSec;
-                topo_.sim().events().scheduleIn(sim::fromSeconds(sec),
+                topo_.sim().events().postIn(sim::fromSeconds(sec),
                                                 proceed);
             } else {
                 proceed();
@@ -234,7 +243,7 @@ Communicator::allReduceTimed(std::uint64_t bytes,
 {
     const std::size_t p = ranks_.size();
     if (p == 1 || bytes == 0) {
-        topo_.sim().events().scheduleIn(0, std::move(done));
+        topo_.sim().events().postIn(0, std::move(done));
         return;
     }
     const std::size_t rings = std::max<std::size_t>(1, options.rings);
@@ -262,7 +271,7 @@ Communicator::broadcast(std::size_t root,
     if (root >= p || buffers.size() != p)
         sim::fatal("broadcast: bad root or buffer count");
     if (p == 1) {
-        topo_.sim().events().scheduleIn(0, std::move(done));
+        topo_.sim().events().postIn(0, std::move(done));
         return;
     }
 
@@ -279,8 +288,11 @@ Communicator::broadcast(std::size_t root,
     // v forwards to v + 2^k for strides below its own arrival stride.
     auto sendSubtree =
         std::make_shared<std::function<void(std::size_t)>>();
-    *sendSubtree = [this, p, real, options, finish, sendSubtree,
-                    held](std::size_t v) {
+    *sendSubtree = [this, p, real, options, finish, held,
+                    weakSend = std::weak_ptr(sendSubtree)](
+                       std::size_t v) {
+        // Weak self-capture: see runRing() above.
+        auto sendSubtree = weakSend.lock();
         std::size_t limit = p;
         if (v != 0)
             limit = v & (~v + 1); // lowest set bit of v
@@ -321,7 +333,7 @@ Communicator::reduce(std::size_t root,
     if (root >= p || buffers.size() != p)
         sim::fatal("reduce: bad root or buffer count");
     if (p == 1) {
-        topo_.sim().events().scheduleIn(0, std::move(done));
+        topo_.sim().events().postIn(0, std::move(done));
         return;
     }
 
@@ -357,7 +369,7 @@ Communicator::reduce(std::size_t root,
                 const double sec =
                     static_cast<double>(payload->size() * sizeof(float))
                     / options.reduceBytesPerSec;
-                topo_.sim().events().scheduleIn(sim::fromSeconds(sec),
+                topo_.sim().events().postIn(sim::fromSeconds(sec),
                                                 apply);
             } else {
                 apply();
@@ -394,7 +406,7 @@ Communicator::allGather(std::vector<std::span<const float>> segments,
                       + static_cast<std::ptrdiff_t>(offsets[i]));
     }
     if (p == 1) {
-        topo_.sim().events().scheduleIn(0, std::move(done));
+        topo_.sim().events().postIn(0, std::move(done));
         return;
     }
 
@@ -435,14 +447,16 @@ Communicator::barrier(const RingOptions &options,
 {
     const std::size_t p = ranks_.size();
     if (p == 1) {
-        topo_.sim().events().scheduleIn(0, std::move(done));
+        topo_.sim().events().postIn(0, std::move(done));
         return;
     }
     // Two passes around a control-message ring.
     auto hop = std::make_shared<std::function<void(std::size_t)>>();
     auto total = std::make_shared<std::size_t>(0);
-    *hop = [this, p, options, hop, total,
-            done = std::move(done)](std::size_t i) mutable {
+    *hop = [this, p, options, total, done = std::move(done),
+            weakHop = std::weak_ptr(hop)](std::size_t i) mutable {
+        // Weak self-capture: see runRing() above.
+        auto hop = weakHop.lock();
         if (*total == 2 * p) {
             done();
             return;

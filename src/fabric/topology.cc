@@ -228,7 +228,7 @@ Topology::send(Message msg, LinkMask mask)
         const sim::Tick latency = transfer->path.empty()
             ? 0
             : pathLatency(transfer->msg.src, transfer->msg.dst, mask);
-        sim_.events().scheduleIn(latency, [this, transfer] {
+        sim_.events().postIn(latency, [this, transfer] {
             deliver(transfer, 0);
         });
         return;
@@ -262,11 +262,9 @@ Topology::forwardPacket(const std::shared_ptr<Transfer> &transfer,
                       l.bandwidth(), efficiency, transfer->msg.rateCap);
     const sim::Tick arrival = sent + l.latency();
     const NodeId next = l.peerOf(at);
-    sim_.events().schedule(arrival,
-                           [this, transfer, hop, next, bytes] {
-                               forwardPacket(transfer, hop + 1, next,
-                                             bytes);
-                           });
+    sim_.events().post(arrival, [this, transfer, hop, next, bytes] {
+        forwardPacket(transfer, hop + 1, next, bytes);
+    });
 }
 
 void

@@ -69,7 +69,7 @@ RingEngine::allReduce(std::vector<std::span<float>> buffers,
             sim::fatal("RingEngine: buffers must have equal length");
     }
     if (p == 1 || n == 0) {
-        topo_.sim().events().scheduleIn(0, std::move(done));
+        topo_.sim().events().postIn(0, std::move(done));
         return;
     }
 
@@ -112,7 +112,7 @@ RingEngine::startChunk(const std::shared_ptr<Job> &job)
     }
     ++chunks_;
 
-    topo_.sim().events().scheduleIn(
+    topo_.sim().events().postIn(
         sim::fromSeconds(maxStage), [this, job] {
             for (std::size_t i = 0; i < devices_.size(); ++i)
                 startRound(job, i * (2 * (devices_.size() - 1) + 1));
@@ -175,8 +175,8 @@ RingEngine::startRound(const std::shared_ptr<Job> &job,
             const double sec =
                 static_cast<double>((end - begin) * sizeof(float))
                 / core.reduceBytesPerSec();
-            topo_.sim().events().scheduleIn(sim::fromSeconds(sec),
-                                            proceed);
+            topo_.sim().events().postIn(sim::fromSeconds(sec),
+                                        proceed);
         } else {
             proceed();
         }
@@ -204,7 +204,7 @@ RingEngine::finishChunk(const std::shared_ptr<Job> &job)
             core.dramSeconds(job->chunkLen * sizeof(float)));
     }
 
-    topo_.sim().events().scheduleIn(
+    topo_.sim().events().postIn(
         sim::fromSeconds(maxWriteback), [this, job] {
             job->chunkBegin += job->chunkLen;
             if (job->chunkBegin < job->elements) {

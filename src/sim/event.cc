@@ -1,0 +1,69 @@
+#include "event.hh"
+
+#include "event_queue.hh"
+#include "logging.hh"
+
+namespace coarse::sim {
+
+Event::~Event()
+{
+    // An armed event (or one with stale heap entries) is about to
+    // leave dangling pointers inside its queue; scrub them. This is
+    // O(pending) and only expected on teardown paths.
+    if ((armed_ || heapRefs_ != 0) && queue_ != nullptr)
+        queue_->purge(*this);
+}
+
+void
+PeriodicEvent::bind(Callback callback, void *owner)
+{
+    if (scheduled())
+        panic("PeriodicEvent: rebinding while armed");
+    callback_ = callback;
+    owner_ = owner;
+}
+
+void
+PeriodicEvent::setInterval(Tick interval)
+{
+    if (interval == 0)
+        panic("PeriodicEvent: interval must be positive");
+    interval_ = interval;
+}
+
+void
+PeriodicEvent::start(EventQueue &queue, EventPriority priority)
+{
+    startAt(queue, queue.now() + interval_, priority);
+}
+
+void
+PeriodicEvent::startAt(EventQueue &queue, Tick first,
+                       EventPriority priority)
+{
+    if (callback_ == nullptr)
+        panic("PeriodicEvent: starting without a callback");
+    if (interval_ == 0)
+        panic("PeriodicEvent: starting with a zero interval");
+    rearmPriority_ = priority;
+    queue.schedule(*this, first, priority);
+}
+
+void
+PeriodicEvent::stop()
+{
+    if (scheduled())
+        queue()->deschedule(*this);
+}
+
+void
+PeriodicEvent::fire()
+{
+    ++firings_;
+    // Re-arm first so the callback may stop() or retune the period.
+    queue()->schedule(*this, queue()->now() + interval_,
+                      rearmPriority_);
+    callback_(owner_);
+}
+
+} // namespace coarse::sim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Intrusive simulation events.
+ *
+ * An Event is a reusable, caller-owned object the EventQueue schedules
+ * by pointer: arming one costs a heap push and nothing else — no
+ * std::function capture, no shared_ptr control block. The lifecycle is
+ *
+ *     armed --(fires)--> idle --(schedule)--> armed --> ...
+ *
+ * and a generation counter makes cancellation safe: descheduling bumps
+ * the generation, so the entry still sitting in the queue's heap is
+ * recognized as stale and dropped when it surfaces, in O(1), without
+ * touching the heap's interior.
+ *
+ * Components pre-allocate their recurring events as members
+ * (MemberEvent binds a method, LambdaEvent a callable fixed at
+ * construction); dynamic one-shot work goes through the queue's
+ * slab-backed EventPool (see event_pool.hh) via EventQueue::post().
+ */
+
+#ifndef COARSE_SIM_EVENT_HH
+#define COARSE_SIM_EVENT_HH
+
+#include <cstdint>
+#include <utility>
+
+#include "ticks.hh"
+
+namespace coarse::sim {
+
+/** Scheduling priority; lower values execute first within a tick. */
+using EventPriority = std::int32_t;
+
+constexpr EventPriority kDefaultPriority = 0;
+
+class EventQueue;
+
+/**
+ * Base class for everything the EventQueue can schedule.
+ *
+ * Ownership rules: the scheduler never owns an Event. An Event must
+ * outlive any arming; destroying one that is still armed (or still
+ * referenced by a stale heap entry) purges it from its queue first,
+ * which is safe but O(pending) — drain or deschedule explicitly on
+ * hot teardown paths.
+ */
+class Event
+{
+  public:
+    Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    virtual ~Event();
+
+    /** True while armed (scheduled and not yet fired or cancelled). */
+    bool scheduled() const { return armed_; }
+
+    /** Tick this event is armed for (meaningful while scheduled()). */
+    Tick when() const { return when_; }
+
+    /** Priority of the current arming. */
+    EventPriority priority() const { return priority_; }
+
+    /** Short label for tracing. */
+    virtual const char *name() const { return "event"; }
+
+  protected:
+    /** Invoked by the queue when the event's tick arrives. */
+    virtual void fire() = 0;
+
+    /**
+     * Invoked by the queue after an external cancellation
+     * (EventQueue::deschedule or EventHandle::cancel). Pool-owned
+     * events override this to return themselves to their free list;
+     * caller-owned events need not care.
+     */
+    virtual void recycle() {}
+
+    /** Queue of the most recent arming (nullptr before the first). */
+    EventQueue *queue() const { return queue_; }
+
+  private:
+    friend class EventQueue;
+    friend class EventHandle;
+
+    Tick when_ = 0;
+    EventQueue *queue_ = nullptr;
+    /**
+     * Incremented whenever an arming ends (fire or deschedule). Heap
+     * entries snapshot the generation at arm time; a mismatch marks
+     * the entry stale. 32 bits suffice: a false match would need the
+     * same event re-armed 2^32 times while a stale reference to it
+     * still existed, which cannot happen because every arming adds a
+     * heap entry of its own.
+     */
+    std::uint32_t generation_ = 0;
+    EventPriority priority_ = kDefaultPriority;
+    /** Heap entries (live or stale) still pointing at this event. */
+    std::uint32_t heapRefs_ = 0;
+    bool armed_ = false;
+};
+
+/**
+ * Pre-allocatable member event: fires @c (owner.*MemFn)(). The
+ * canonical hot-path pattern — declare one as a class member, then
+ * re-arm it each cycle:
+ *
+ *     MemberEvent<Engine, &Engine::onComputeEnd> computeEnd_{*this};
+ *     ...
+ *     sim.events().schedule(computeEnd_, tick);
+ */
+template <class T, void (T::*MemFn)()>
+class MemberEvent final : public Event
+{
+  public:
+    explicit MemberEvent(T &owner, const char *label = "member")
+        : owner_(&owner), label_(label) {}
+
+    const char *name() const override { return label_; }
+
+  protected:
+    void fire() override { (owner_->*MemFn)(); }
+
+  private:
+    T *owner_;
+    const char *label_;
+};
+
+/**
+ * Event wrapping a callable fixed at construction time. The callable
+ * is stored once, inside the event, for the event's whole lifetime —
+ * re-arming is allocation free.
+ */
+template <class F>
+class LambdaEvent final : public Event
+{
+  public:
+    explicit LambdaEvent(F fn, const char *label = "lambda")
+        : fn_(std::move(fn)), label_(label) {}
+
+    const char *name() const override { return label_; }
+
+  protected:
+    void fire() override { fn_(); }
+
+  private:
+    F fn_;
+    const char *label_;
+};
+
+template <class F>
+LambdaEvent(F) -> LambdaEvent<F>;
+
+/**
+ * First-class repeating event: once started it re-arms itself every
+ * interval() ticks until stop() (or the end of the run). The re-arm
+ * happens before the callback runs, so the callback may stop() or
+ * retune setInterval() for the following period.
+ */
+class PeriodicEvent final : public Event
+{
+  public:
+    using Callback = void (*)(void *);
+
+    PeriodicEvent() = default;
+
+    PeriodicEvent(Callback callback, void *owner, Tick interval)
+        : callback_(callback), owner_(owner), interval_(interval) {}
+
+    /** (Re)bind the callback; only allowed while stopped. */
+    void bind(Callback callback, void *owner);
+
+    /** Change the period; takes effect from the next re-arm. */
+    void setInterval(Tick interval);
+
+    Tick interval() const { return interval_; }
+
+    /** Times the event has fired since construction. */
+    std::uint64_t firings() const { return firings_; }
+
+    /**
+     * Arm on @p queue with the first firing one interval from now.
+     * The priority applies to every subsequent firing too.
+     */
+    void start(EventQueue &queue,
+               EventPriority priority = kDefaultPriority);
+
+    /** Arm on @p queue with the first firing at absolute @p first. */
+    void startAt(EventQueue &queue, Tick first,
+                 EventPriority priority = kDefaultPriority);
+
+    /** Cancel the pending firing; idempotent. */
+    void stop();
+
+    const char *name() const override { return "periodic"; }
+
+  protected:
+    void fire() override;
+
+  private:
+    Callback callback_ = nullptr;
+    void *owner_ = nullptr;
+    Tick interval_ = 0;
+    std::uint64_t firings_ = 0;
+    EventPriority rearmPriority_ = kDefaultPriority;
+};
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_EVENT_HH

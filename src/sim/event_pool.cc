@@ -1,0 +1,77 @@
+#include "event_pool.hh"
+
+#include "event_queue.hh"
+
+namespace coarse::sim {
+
+// The event is sized and aligned to exactly two cache lines, with the
+// header, op pointer, and the first words of callable storage all in
+// the first line: a small capture makes the whole
+// acquire/schedule/fire/release cycle touch one line per event.
+static_assert(sizeof(PooledEvent) == 128
+              && alignof(PooledEvent) == 64,
+              "PooledEvent should be exactly two aligned cache lines");
+
+PooledEvent::~PooledEvent()
+{
+    // A callable may still be stored if the simulation was torn down
+    // with this event pending; destroy it without invoking.
+    if (op_ != nullptr)
+        op_(*this, Op::kDrop);
+}
+
+void
+PooledEvent::fire()
+{
+    op_(*this, Op::kRun);
+}
+
+void
+PooledEvent::recycle()
+{
+    // Cancelled before firing: discard the callable unrun.
+    op_(*this, Op::kDrop);
+    release();
+}
+
+void
+PooledEvent::release()
+{
+    op_ = nullptr;
+    // fire()/recycle() only ever run on the queue that armed the
+    // event, which is the queue whose pool handed it out.
+    queue()->pool_.put(this);
+}
+
+EventPool::~EventPool()
+{
+    // When every event is back on the free list, the per-event
+    // destructors are no-ops (no callable stored, nothing armed; a
+    // stale-entry purge would be irrelevant mid-teardown), so skip
+    // the walk over what may be megabytes of cold slab memory.
+    if (inUse_ == 0)
+        return;
+    // Only constructed events are destroyed: every slab is fully
+    // constructed except the newest, which is built up to bump_.
+    for (auto &slab : slabs_) {
+        PooledEvent *const begin = slab.get();
+        PooledEvent *const end =
+            begin + kSlabEvents == bumpEnd_ ? bump_
+                                            : begin + kSlabEvents;
+        for (PooledEvent *ev = begin; ev != end; ++ev)
+            ev->~PooledEvent();
+    }
+}
+
+void
+EventPool::grow()
+{
+    void *mem = ::operator new(kSlabEvents * sizeof(PooledEvent),
+                               std::align_val_t(alignof(PooledEvent)));
+    bump_ = static_cast<PooledEvent *>(mem);
+    bumpEnd_ = bump_ + kSlabEvents;
+    slabs_.emplace_back(bump_);
+    capacity_ += kSlabEvents;
+}
+
+} // namespace coarse::sim

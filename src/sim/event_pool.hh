@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Slab/free-list pool of one-shot events.
+ *
+ * The pool exists so dynamic one-shot work — "run this callable at
+ * tick T" — costs no allocation on the steady state: a PooledEvent is
+ * taken from the free list, the callable is constructed into the
+ * event's embedded storage (callables up to kInlineBytes never touch
+ * the heap), and the event returns to the free list the moment it
+ * fires or is cancelled. Slabs only grow when the number of
+ * *concurrently pending* one-shots exceeds every previous high-water
+ * mark; a steady simulation reuses the same events forever.
+ */
+
+#ifndef COARSE_SIM_EVENT_POOL_HH
+#define COARSE_SIM_EVENT_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "event.hh"
+
+namespace coarse::sim {
+
+class EventPool;
+
+/**
+ * A pool-owned one-shot event. Do not create these directly — they
+ * come from EventPool::acquire() and give themselves back when they
+ * fire or are cancelled. The embedded storage means a scheduled
+ * callable lives *inside* the event object, not behind a pointer.
+ *
+ * Layout is deliberate: the event is exactly two cache lines and
+ * 64-byte aligned, with the Event header, the op pointer, and the
+ * first 16 bytes of callable storage all in the first line. Pool
+ * traffic, not instruction count, dominates the schedule path when
+ * many one-shots are in flight, and a small capture (a this-pointer
+ * and a word or two — the common case) makes the whole
+ * acquire/schedule/fire/release cycle touch a single line per event.
+ */
+class alignas(64) PooledEvent final : public Event
+{
+  public:
+    /** Callables at most this large are stored inline. */
+    static constexpr std::size_t kInlineBytes = 80;
+
+    PooledEvent() = default;
+    ~PooledEvent() override;
+
+    const char *name() const override { return "one-shot"; }
+
+  protected:
+    void fire() override;
+    void recycle() override;
+
+  private:
+    friend class EventPool;
+
+    /** What opAs() should do with the stored callable. */
+    enum class Op { kRun, kDrop };
+
+    template <class Fn>
+    static constexpr bool kInlinable =
+        sizeof(Fn) <= kInlineBytes
+        && alignof(Fn) <= alignof(std::max_align_t);
+
+    template <class F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(
+            alignof(Fn) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+            "over-aligned callables are not supported by the event pool");
+        if constexpr (kInlinable<Fn>) {
+            new (static_cast<void *>(storage_)) Fn(std::forward<F>(fn));
+        } else {
+            // Oversized callable: heap block, pointer parked at the
+            // front of the inline storage.
+            Fn *mem = static_cast<Fn *>(::operator new(sizeof(Fn)));
+            new (mem) Fn(std::forward<F>(fn));
+            new (static_cast<void *>(storage_)) (Fn *)(mem);
+        }
+        op_ = &opAs<Fn>;
+    }
+
+    /**
+     * Type-erased operation on the stored callable; a single pointer
+     * covers both paths to keep the event small. kRun moves the
+     * callable out and frees the slot *before* invoking, so the
+     * callable may immediately re-post and reuse this very event.
+     * kDrop destroys it in place without invoking.
+     */
+    template <class Fn>
+    static void
+    opAs(PooledEvent &self, Op op)
+    {
+        Fn *stored;
+        if constexpr (kInlinable<Fn>) {
+            stored = std::launder(reinterpret_cast<Fn *>(self.storage_));
+        } else {
+            stored = *std::launder(
+                reinterpret_cast<Fn **>(self.storage_));
+        }
+        if (op == Op::kRun) {
+            Fn fn(std::move(*stored));
+            stored->~Fn();
+            if constexpr (!kInlinable<Fn>)
+                ::operator delete(stored);
+            self.release();
+            fn();
+        } else {
+            stored->~Fn();
+            if constexpr (!kInlinable<Fn>)
+                ::operator delete(stored);
+        }
+    }
+
+    /** Forget the (already destroyed) callable, rejoin the free list. */
+    void release();
+
+    void (*op_)(PooledEvent &, Op) = nullptr;
+    /**
+     * The free-list link overlays the callable storage: an event on
+     * the free list by definition holds no callable.
+     */
+    union {
+        PooledEvent *nextFree_ = nullptr;
+        alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    };
+};
+
+/**
+ * Grows in slabs, never shrinks, hands out events in LIFO order (the
+ * hottest event is the one most recently returned — its lines are
+ * still in cache). Slab memory is stable for the pool's lifetime, so
+ * stale heap entries may safely inspect a recycled event's generation.
+ */
+class EventPool
+{
+  public:
+    EventPool() = default;
+    ~EventPool();
+
+    EventPool(const EventPool &) = delete;
+    EventPool &operator=(const EventPool &) = delete;
+
+    /** Take an event and construct @p fn into it. */
+    template <class F>
+    PooledEvent *
+    acquire(F &&fn)
+    {
+        PooledEvent *ev;
+        if (freeList_ != nullptr) {
+            ev = freeList_;
+            freeList_ = ev->nextFree_;
+        } else {
+            // Slabs are raw memory; events are constructed on first
+            // use, right before emplace() fills the same cache line.
+            // Constructing a whole slab eagerly would write every
+            // event's line long before its first acquire, paying the
+            // cold-miss traffic twice.
+            if (bump_ == bumpEnd_)
+                grow();
+            ev = new (static_cast<void *>(bump_)) PooledEvent;
+            ++bump_;
+        }
+        ev->emplace(std::forward<F>(fn));
+        ++inUse_;
+        return ev;
+    }
+
+    /** Total events across all slabs (the high-water mark, rounded). */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Events currently out of the free list. */
+    std::size_t inUse() const { return inUse_; }
+
+  private:
+    friend class PooledEvent;
+
+    static constexpr std::size_t kSlabEvents = 256;
+
+    /** Frees a slab's raw storage (events destroyed by ~EventPool). */
+    struct SlabDeleter
+    {
+        void
+        operator()(PooledEvent *slab) const
+        {
+            ::operator delete(static_cast<void *>(slab),
+                              std::align_val_t(alignof(PooledEvent)));
+        }
+    };
+
+    void grow();
+
+    /** Return @p ev to the free list (its callable is already gone). */
+    void
+    put(PooledEvent *ev)
+    {
+        ev->nextFree_ = freeList_;
+        freeList_ = ev;
+        --inUse_;
+    }
+
+    std::vector<std::unique_ptr<PooledEvent, SlabDeleter>> slabs_;
+    PooledEvent *freeList_ = nullptr;
+    /** Next never-constructed slot in the newest slab. */
+    PooledEvent *bump_ = nullptr;
+    PooledEvent *bumpEnd_ = nullptr;
+    std::size_t capacity_ = 0;
+    std::size_t inUse_ = 0;
+};
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_EVENT_POOL_HH

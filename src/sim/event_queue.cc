@@ -7,49 +7,139 @@ namespace coarse::sim {
 bool
 EventHandle::pending() const
 {
-    return state_ != nullptr && !state_->cancelled && !state_->executed;
+    return event_ != nullptr && event_->armed_
+        && event_->generation_ == generation_;
 }
 
 void
 EventHandle::cancel()
 {
-    if (state_ != nullptr && !state_->executed)
-        state_->cancelled = true;
+    if (pending())
+        event_->queue_->deschedule(*event_);
+}
+
+void
+EventQueue::failPast(Tick when) const
+{
+    panic("EventQueue: scheduling event at tick ", when,
+          " in the past (now=", now_, ")");
+}
+
+void
+EventQueue::schedule(Event &event, Tick when, EventPriority priority)
+{
+    if (event.armed_)
+        panic("EventQueue: event '", event.name(),
+              "' is already scheduled (tick ", event.when_,
+              "); use reschedule()");
+    if (event.queue_ != nullptr && event.queue_ != this)
+        panic("EventQueue: event '", event.name(),
+              "' belongs to another queue");
+
+    armFresh(event, when, priority);
+}
+
+void
+EventQueue::popHeap()
+{
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0)
+        return;
+    // Sift the detached tail entry down from the root.
+    std::size_t at = 0;
+    for (;;) {
+        const std::size_t first = kHeapArity * at + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t end = std::min(first + kHeapArity, n);
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (earlier(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!earlier(heap_[best], last))
+            break;
+        heap_[at] = heap_[best];
+        at = best;
+    }
+    heap_[at] = last;
+}
+
+void
+EventQueue::reschedule(Event &event, Tick when, EventPriority priority)
+{
+    if (event.armed_) {
+        // Disarm in place: the old heap entry goes stale and is
+        // dropped lazily when it surfaces.
+        event.armed_ = false;
+        ++event.generation_;
+        --pending_;
+    }
+    schedule(event, when, priority);
+}
+
+void
+EventQueue::deschedule(Event &event)
+{
+    if (!event.armed_)
+        return;
+    event.armed_ = false;
+    ++event.generation_;
+    --pending_;
+    event.recycle();
+}
+
+void
+EventQueue::purge(Event &event)
+{
+    if (event.armed_) {
+        event.armed_ = false;
+        ++event.generation_;
+        --pending_;
+    }
+    if (event.heapRefs_ == 0)
+        return;
+    std::erase_if(heap_,
+                  [&event](const Entry &e) { return e.event == &event; });
+    // A fully sorted array is a valid d-ary heap; purge is a teardown
+    // path so the O(n log n) rebuild is acceptable.
+    std::sort(heap_.begin(), heap_.end(),
+              [](const Entry &a, const Entry &b) {
+                  return earlier(a, b);
+              });
+    event.heapRefs_ = 0;
 }
 
 EventHandle
 EventQueue::schedule(Tick when, std::function<void()> action,
                      EventPriority priority)
 {
-    if (when < now_) {
-        panic("EventQueue: scheduling event at tick ", when,
-              " in the past (now=", now_, ")");
-    }
+    checkFuture(when);
     if (!action)
         panic("EventQueue: scheduling empty action");
 
-    auto state = std::make_shared<EventHandle::State>();
-    queue_.push(Entry{when, priority, nextSequence_++, std::move(action),
-                      state});
-    ++pending_;
-    return EventHandle(std::move(state));
+    PooledEvent *ev = pool_.acquire(std::move(action));
+    schedule(*ev, when, priority);
+    return EventHandle(ev, ev->generation_);
 }
 
 bool
 EventQueue::popRunnable(Entry &out, Tick limit)
 {
-    while (!queue_.empty()) {
-        const Entry &top = queue_.top();
-        if (top.when > limit)
-            return false;
-        if (top.state->cancelled) {
-            --pending_;
-            queue_.pop();
+    while (!heap_.empty()) {
+        const Entry &top = heap_.front();
+        if (top.generation != top.event->generation_) {
+            // Cancelled or re-armed since this entry was pushed.
+            --top.event->heapRefs_;
+            popHeap();
             continue;
         }
-        out = std::move(const_cast<Entry &>(top));
-        queue_.pop();
-        --pending_;
+        if (top.when > limit)
+            return false;
+        out = top;
+        popHeap();
         return true;
     }
     return false;
@@ -61,15 +151,21 @@ EventQueue::run(Tick limit)
     std::uint64_t count = 0;
     Entry entry;
     while (popRunnable(entry, limit)) {
+        Event &ev = *entry.event;
         now_ = entry.when;
-        entry.state->executed = true;
-        entry.action();
+        // End this arming before firing so the event may re-arm (or,
+        // for pool events, release) itself from inside fire().
+        ev.armed_ = false;
+        ++ev.generation_;
+        --ev.heapRefs_;
+        --pending_;
         ++executed_;
         ++count;
+        ev.fire();
     }
     // Advance time to the limit only if it is a real horizon; draining
     // the queue leaves time at the last executed event.
-    if (limit != kMaxTick && now_ < limit && queue_.empty())
+    if (limit != kMaxTick && now_ < limit && pending_ == 0)
         now_ = limit;
     return count;
 }
@@ -80,10 +176,14 @@ EventQueue::step()
     Entry entry;
     if (!popRunnable(entry, kMaxTick))
         return false;
+    Event &ev = *entry.event;
     now_ = entry.when;
-    entry.state->executed = true;
-    entry.action();
+    ev.armed_ = false;
+    ++ev.generation_;
+    --ev.heapRefs_;
+    --pending_;
     ++executed_;
+    ev.fire();
     return true;
 }
 

@@ -1,35 +1,48 @@
 /**
  * @file
- * Discrete-event queue.
+ * Discrete-event queue over intrusive events.
  *
  * The queue orders events by (tick, priority, sequence number); the
  * sequence number makes execution order fully deterministic for events
- * scheduled at the same tick with the same priority.
+ * scheduled at the same tick with the same priority — including
+ * across cancellations and re-arms, because every arming draws a
+ * fresh sequence number.
+ *
+ * Three ways to schedule, fastest first:
+ *
+ *  1. schedule(Event &, Tick) — arm a caller-owned intrusive event
+ *     (see event.hh). Allocation free; the hot-path API.
+ *  2. post(Tick, callable) / postIn(Tick, callable) — one-shot work
+ *     backed by the queue's slab EventPool. Allocation free once the
+ *     pool is warm (callables up to PooledEvent::kInlineBytes live
+ *     inside the event).
+ *  3. schedule(Tick, std::function) — DEPRECATED shim kept for old
+ *     call sites and tests. Routes through the pool but still pays
+ *     the std::function indirection; do not use on hot paths.
  */
 
 #ifndef COARSE_SIM_EVENT_QUEUE_HH
 #define COARSE_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <string>
+#include <utility>
 #include <vector>
 
+#include "event.hh"
+#include "event_pool.hh"
 #include "ticks.hh"
 
 namespace coarse::sim {
 
-/** Scheduling priority; lower values execute first within a tick. */
-using EventPriority = std::int32_t;
-
-constexpr EventPriority kDefaultPriority = 0;
-
 /**
- * Handle to a scheduled event, used for cancellation. Handles are
- * cheap copyable tokens; cancelling an already-executed or
- * already-cancelled event is a no-op.
+ * Handle to an event scheduled through the deprecated
+ * std::function shim. A handle is a cheap two-word token
+ * (event pointer + arming generation); cancelling an already-executed
+ * or already-cancelled event is a no-op because the generation no
+ * longer matches. Handles must not outlive the queue that issued
+ * them.
  */
 class EventHandle
 {
@@ -37,7 +50,7 @@ class EventHandle
     EventHandle() = default;
 
     /** True if the handle refers to an event (executed or not). */
-    bool valid() const { return state_ != nullptr; }
+    bool valid() const { return event_ != nullptr; }
 
     /** True if the event has neither executed nor been cancelled. */
     bool pending() const;
@@ -48,16 +61,11 @@ class EventHandle
   private:
     friend class EventQueue;
 
-    struct State
-    {
-        bool cancelled = false;
-        bool executed = false;
-    };
+    EventHandle(Event *event, std::uint32_t generation)
+        : event_(event), generation_(generation) {}
 
-    explicit EventHandle(std::shared_ptr<State> state)
-        : state_(std::move(state)) {}
-
-    std::shared_ptr<State> state_;
+    Event *event_ = nullptr;
+    std::uint32_t generation_ = 0;
 };
 
 /**
@@ -77,29 +85,89 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return now_; }
 
+    /** @name Intrusive scheduling (allocation free) */
+    ///@{
+    /**
+     * Arm @p event to fire at absolute time @p when. Panics if the
+     * event is already armed (use reschedule() to move it) or if
+     * @p when is in the past.
+     */
+    void schedule(Event &event, Tick when,
+                  EventPriority priority = kDefaultPriority);
+
+    /** Arm @p event to fire @p delay ticks from now. */
+    void
+    scheduleIn(Event &event, Tick delay,
+               EventPriority priority = kDefaultPriority)
+    {
+        schedule(event, now_ + delay, priority);
+    }
+
+    /** Arm @p event at @p when, first disarming it if necessary. */
+    void reschedule(Event &event, Tick when,
+                    EventPriority priority = kDefaultPriority);
+
+    /**
+     * Cancel @p event's pending firing. No-op when not armed. A
+     * cancelled pool event returns to the pool; caller-owned events
+     * are merely disarmed and may be re-armed at will.
+     */
+    void deschedule(Event &event);
+    ///@}
+
+    /** @name Pooled one-shot scheduling */
+    ///@{
+    /**
+     * Run @p fn once at absolute time @p when. The callable moves
+     * into a pool-owned event: no allocation once the pool is warm
+     * and the callable fits PooledEvent::kInlineBytes.
+     */
+    template <class F>
+    void
+    post(Tick when, F &&fn, EventPriority priority = kDefaultPriority)
+    {
+        PooledEvent *ev = pool_.acquire(std::forward<F>(fn));
+        // A fresh pool event is idle by construction; arm it without
+        // the already-armed / foreign-queue checks schedule() does.
+        armFresh(*ev, when, priority);
+    }
+
+    /** Run @p fn once @p delay ticks from now. */
+    template <class F>
+    void
+    postIn(Tick delay, F &&fn,
+           EventPriority priority = kDefaultPriority)
+    {
+        post(now_ + delay, std::forward<F>(fn), priority);
+    }
+    ///@}
+
+    /** @name Deprecated std::function shim */
+    ///@{
     /**
      * Schedule @p action to run at absolute time @p when.
      *
-     * @param when Absolute tick; must be >= now().
-     * @param action Callback executed when the event fires.
-     * @param priority Tie-break among events at the same tick.
+     * @deprecated Old-style interface kept for migration; it pays a
+     * std::function per call. New code should pre-allocate an
+     * intrusive Event, or use post() for one-shot work.
      * @return A handle that can cancel the event.
      */
     EventHandle schedule(Tick when, std::function<void()> action,
                          EventPriority priority = kDefaultPriority);
 
-    /** Schedule @p action to run @p delay ticks from now. */
+    /** @deprecated Delay-relative variant of the shim above. */
     EventHandle
     scheduleIn(Tick delay, std::function<void()> action,
                EventPriority priority = kDefaultPriority)
     {
         return schedule(now_ + delay, std::move(action), priority);
     }
+    ///@}
 
-    /** Number of pending (non-cancelled) events. */
+    /** Number of pending (armed, not cancelled) events. */
     std::size_t pendingCount() const { return pending_; }
 
-    /** True when no events remain. */
+    /** True when no pending events remain. */
     bool empty() const { return pending_ == 0; }
 
     /**
@@ -116,33 +184,112 @@ class EventQueue
     /** Total number of events executed over the queue's lifetime. */
     std::uint64_t executedCount() const { return executed_; }
 
+    /** Size of the one-shot event pool (diagnostics). */
+    std::size_t poolCapacity() const { return pool_.capacity(); }
+
+    /** One-shot events currently checked out of the pool. */
+    std::size_t poolInUse() const { return pool_.inUse(); }
+
   private:
+    friend class Event;
+    friend class PooledEvent;
+
+    /**
+     * One arming in the heap. Packed to 32 bytes (two per cache line)
+     * because pop cost on large queues is dominated by memory
+     * traffic.
+     */
     struct Entry
     {
         Tick when;
-        EventPriority priority;
         std::uint64_t sequence;
-        std::function<void()> action;
-        std::shared_ptr<EventHandle::State> state;
+        Event *event;
+        std::uint32_t generation;
+        EventPriority priority;
     };
 
-    struct Later
+    /** Strict "a executes before b" total order. */
+    static bool
+    earlier(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.sequence > b.sequence;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.sequence < b.sequence;
+    }
 
-    /** Pop entries until a runnable (non-cancelled) one is found. */
+    /** Panic unless @p when is at or after now(). */
+    void
+    checkFuture(Tick when) const
+    {
+        if (when < now_) [[unlikely]]
+            failPast(when);
+    }
+
+    [[noreturn]] void failPast(Tick when) const;
+
+    /**
+     * Arm an event known to be idle: the tail of schedule() with the
+     * already-armed and foreign-queue panics hoisted out. Kept inline
+     * because this — together with EventPool::acquire() — is the
+     * whole per-post hot path.
+     */
+    void
+    armFresh(Event &event, Tick when, EventPriority priority)
+    {
+        checkFuture(when);
+        event.queue_ = this;
+        event.when_ = when;
+        event.priority_ = priority;
+        event.armed_ = true;
+        ++event.heapRefs_;
+        heap_.push_back(
+            Entry{when, nextSequence_++, &event, event.generation_,
+                  priority});
+        siftUp(heap_.size() - 1);
+        ++pending_;
+    }
+
+    /** Pop entries until a live (current-generation) one is found. */
     bool popRunnable(Entry &out, Tick limit);
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    /**
+     * The heap is 8-ary rather than binary: a third of the levels of
+     * a binary heap, so a pop on a large queue touches far fewer cold
+     * cache lines, and each node's eight children are 256 contiguous
+     * bytes that the hardware prefetcher streams in one go. Pop cost
+     * is what dominates once the queue outgrows L2.
+     */
+    static constexpr std::size_t kHeapArity = 8;
+
+    void
+    siftUp(std::size_t at)
+    {
+        Entry entry = heap_[at];
+        while (at > 0) {
+            const std::size_t parent = (at - 1) / kHeapArity;
+            if (!earlier(entry, heap_[parent]))
+                break;
+            heap_[at] = heap_[parent];
+            at = parent;
+        }
+        heap_[at] = entry;
+    }
+
+    /** Drop the top heap entry. */
+    void popHeap();
+
+    /** Remove every heap entry referencing @p event (see ~Event). */
+    void purge(Event &event);
+
+    /**
+     * Declaration order matters: pool_ sits after heap_ so pooled
+     * events are destroyed while the heap (which their destructors
+     * purge themselves from) is still alive.
+     */
+    std::vector<Entry> heap_;
+    EventPool pool_;
     Tick now_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t executed_ = 0;

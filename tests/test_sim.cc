@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -134,10 +136,294 @@ TEST(EventQueue, PendingCountTracksCancellations)
     auto b = queue.schedule(2, [] {});
     (void)b;
     EXPECT_EQ(queue.pendingCount(), 2u);
+    EXPECT_FALSE(queue.empty());
     a.cancel();
-    EXPECT_EQ(queue.pendingCount(), 2u); // lazily reaped
-    queue.run();
+    EXPECT_EQ(queue.pendingCount(), 1u); // cancel decrements eagerly
+    EXPECT_FALSE(queue.empty());
+    a.cancel(); // idempotent
+    EXPECT_EQ(queue.pendingCount(), 1u);
+    EXPECT_EQ(queue.run(), 1u);
     EXPECT_EQ(queue.pendingCount(), 0u);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, EmptyReflectsCancelledQueue)
+{
+    // A queue whose every event was cancelled must report empty even
+    // though stale heap entries have not surfaced yet.
+    EventQueue queue;
+    auto a = queue.schedule(5, [] {});
+    auto b = queue.schedule(6, [] {});
+    a.cancel();
+    b.cancel();
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.pendingCount(), 0u);
+    EXPECT_EQ(queue.run(), 0u);
+}
+
+struct FireCounter
+{
+    int fires = 0;
+    void bump() { ++fires; }
+};
+
+TEST(EventQueue, MemberEventFiresAndRearms)
+{
+    EventQueue queue;
+    FireCounter counter;
+    MemberEvent<FireCounter, &FireCounter::bump> event{counter, "bump"};
+    EXPECT_FALSE(event.scheduled());
+    queue.schedule(event, 10);
+    EXPECT_TRUE(event.scheduled());
+    EXPECT_EQ(event.when(), 10u);
+    EXPECT_STREQ(event.name(), "bump");
+    queue.run();
+    EXPECT_EQ(counter.fires, 1);
+    EXPECT_FALSE(event.scheduled());
+    // Same object re-arms with no allocation or reconstruction.
+    queue.schedule(event, 20);
+    queue.run();
+    EXPECT_EQ(counter.fires, 2);
+}
+
+TEST(EventQueue, ScheduleArmedEventPanics)
+{
+    EventQueue queue;
+    FireCounter counter;
+    MemberEvent<FireCounter, &FireCounter::bump> event{counter};
+    queue.schedule(event, 10);
+    EXPECT_THROW(queue.schedule(event, 20), PanicError);
+    queue.run();
+    EXPECT_EQ(counter.fires, 1);
+}
+
+TEST(EventQueue, RescheduleMovesPendingEvent)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    LambdaEvent moved{[&] { order.push_back(1); }};
+    LambdaEvent fixed{[&] { order.push_back(2); }};
+    queue.schedule(moved, 10);
+    queue.schedule(fixed, 20);
+    queue.reschedule(moved, 30); // 10 -> 30: now fires after `fixed`
+    EXPECT_EQ(queue.pendingCount(), 2u);
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+    EXPECT_EQ(queue.executedCount(), 2u);
+}
+
+TEST(EventQueue, DescheduleDisarmsIntrusiveEvent)
+{
+    EventQueue queue;
+    FireCounter counter;
+    MemberEvent<FireCounter, &FireCounter::bump> event{counter};
+    queue.schedule(event, 10);
+    queue.deschedule(event);
+    EXPECT_FALSE(event.scheduled());
+    EXPECT_EQ(queue.pendingCount(), 0u);
+    queue.deschedule(event); // idempotent
+    queue.run();
+    EXPECT_EQ(counter.fires, 0);
+    // The disarmed event is immediately reusable.
+    queue.schedule(event, 20);
+    queue.run();
+    EXPECT_EQ(counter.fires, 1);
+}
+
+TEST(EventQueue, EventMayRearmItselfFromFire)
+{
+    EventQueue queue;
+    int fires = 0;
+    Event *self = nullptr;
+    LambdaEvent event{[&] {
+        if (++fires < 3)
+            queue.scheduleIn(*self, 5);
+    }};
+    self = &event;
+    queue.schedule(event, 10);
+    queue.run();
+    EXPECT_EQ(fires, 3);
+    EXPECT_EQ(queue.now(), 20u);
+}
+
+TEST(EventQueue, DestroyingArmedEventPurgesQueue)
+{
+    EventQueue queue;
+    int fires = 0;
+    {
+        LambdaEvent doomed{[&] { ++fires; }};
+        queue.schedule(doomed, 10);
+        EXPECT_EQ(queue.pendingCount(), 1u);
+    } // armed event destroyed: must scrub its heap entry
+    EXPECT_EQ(queue.pendingCount(), 0u);
+    EXPECT_EQ(queue.run(), 0u);
+    EXPECT_EQ(fires, 0);
+}
+
+TEST(EventQueue, PeriodicEventFiresUntilStopped)
+{
+    EventQueue queue;
+    struct Ctx
+    {
+        EventQueue *queue;
+        PeriodicEvent *event;
+        int ticks = 0;
+    } ctx;
+    PeriodicEvent heartbeat([](void *opaque) {
+        auto *c = static_cast<Ctx *>(opaque);
+        if (++c->ticks == 4)
+            c->event->stop();
+    }, &ctx, 100);
+    ctx.queue = &queue;
+    ctx.event = &heartbeat;
+    heartbeat.start(queue);
+    queue.run();
+    EXPECT_EQ(ctx.ticks, 4);
+    EXPECT_EQ(heartbeat.firings(), 4u);
+    EXPECT_EQ(queue.now(), 400u);
+    EXPECT_FALSE(heartbeat.scheduled());
+}
+
+TEST(EventQueue, PeriodicEventRetunesInterval)
+{
+    EventQueue queue;
+    struct Ctx
+    {
+        PeriodicEvent *event;
+        std::vector<Tick> at;
+        EventQueue *queue;
+    } ctx;
+    PeriodicEvent event;
+    event.bind([](void *opaque) {
+        auto *c = static_cast<Ctx *>(opaque);
+        c->at.push_back(c->queue->now());
+        if (c->at.size() == 2)
+            c->event->setInterval(50); // from the next re-arm on
+        if (c->at.size() == 4)
+            c->event->stop();
+    }, &ctx);
+    event.setInterval(100);
+    ctx.event = &event;
+    ctx.queue = &queue;
+    event.startAt(queue, 10);
+    queue.run();
+    // 10, 110 (interval 100), then the retune: 110+100 was already
+    // armed before the callback ran, so 210, then 210+50.
+    EXPECT_EQ(ctx.at, (std::vector<Tick>{10, 110, 210, 260}));
+}
+
+TEST(EventQueue, PostedCallablesRecycleThroughPool)
+{
+    EventQueue queue;
+    int fired = 0;
+    // Sequential one-shots reuse the same pool slot: capacity stays
+    // at a single slab no matter how many are posted over time.
+    for (int i = 0; i < 1000; ++i) {
+        queue.postIn(1, [&fired] { ++fired; });
+        queue.run();
+    }
+    EXPECT_EQ(fired, 1000);
+    EXPECT_EQ(queue.poolInUse(), 0u);
+    EXPECT_LE(queue.poolCapacity(), 256u);
+}
+
+TEST(EventQueue, CancelledHandleReturnsEventToPool)
+{
+    EventQueue queue;
+    auto handle = queue.schedule(10, [] { FAIL() << "cancelled"; });
+    EXPECT_EQ(queue.poolInUse(), 1u);
+    handle.cancel();
+    EXPECT_EQ(queue.poolInUse(), 0u);
+    queue.run();
+}
+
+TEST(EventQueue, PostedEventMayPostFromCallback)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.post(10, [&] {
+        order.push_back(1);
+        queue.postIn(5, [&] { order.push_back(2); });
+    });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(queue.now(), 15u);
+}
+
+TEST(EventQueue, LargeCallablesFallBackToHeapStorage)
+{
+    EventQueue queue;
+    // Capture well past PooledEvent::kInlineBytes.
+    std::array<std::uint64_t, 32> payload{};
+    payload.fill(7);
+    std::uint64_t sum = 0;
+    queue.post(1, [payload, &sum] {
+        for (auto v : payload)
+            sum += v;
+    });
+    queue.run();
+    EXPECT_EQ(sum, 7u * 32u);
+    EXPECT_EQ(queue.poolInUse(), 0u);
+}
+
+/**
+ * Determinism stress: thousands of schedule/cancel/re-arm operations
+ * at heavily colliding (tick, priority) keys must execute in exactly
+ * the same order on every run.
+ */
+std::vector<std::uint64_t>
+stressRun()
+{
+    EventQueue queue;
+    Random rng(0xc0a45e);
+    std::vector<std::uint64_t> order;
+    std::vector<EventHandle> handles;
+    handles.reserve(10000);
+
+    // Interleaved one-shots: collide on 16 ticks x 3 priorities, and
+    // cancel a random earlier handle every fourth schedule.
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        const Tick when = 1000 + 10 * rng.uniformInt(0, 15);
+        const auto prio =
+            static_cast<EventPriority>(rng.uniformInt(0, 2)) - 1;
+        handles.push_back(queue.schedule(
+            when, [&order, i] { order.push_back(i); }, prio));
+        if (i % 4 == 0)
+            handles[rng.uniformInt(0, i)].cancel();
+    }
+
+    // Intrusive events re-armed (moved) several times before firing,
+    // landing on the same colliding ticks.
+    FireCounter counter;
+    std::vector<
+        std::unique_ptr<MemberEvent<FireCounter, &FireCounter::bump>>>
+        members;
+    for (int m = 0; m < 64; ++m) {
+        members.push_back(std::make_unique<
+                          MemberEvent<FireCounter, &FireCounter::bump>>(
+            counter));
+        queue.schedule(*members.back(),
+                       1000 + 10 * rng.uniformInt(0, 15));
+    }
+    for (int moves = 0; moves < 256; ++moves) {
+        auto &event = *members[rng.uniformInt(0, members.size() - 1)];
+        queue.reschedule(event, 1000 + 10 * rng.uniformInt(0, 15));
+    }
+
+    queue.run();
+    order.push_back(queue.executedCount());
+    order.push_back(counter.fires);
+    order.push_back(queue.now());
+    return order;
+}
+
+TEST(EventQueue, DeterministicUnderScheduleCancelRearmStress)
+{
+    const auto first = stressRun();
+    const auto second = stressRun();
+    EXPECT_EQ(first, second);
+    // ~1/4 of 10000 one-shots were cancelled; all members fired.
+    EXPECT_GT(first.size(), 7000u);
 }
 
 TEST(Logging, FatalThrowsFatalError)

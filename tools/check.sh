@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite
+# in the default configuration, then again under AddressSanitizer and
+# UndefinedBehaviorSanitizer (COARSE_SANITIZE=address|undefined).
+#
+# Usage: tools/check.sh [--fast]
+#   --fast  skip the sanitizer passes (default build + ctest only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run_suite() {
+    local dir=$1
+    shift
+    echo "== ${dir}: configure ($*)"
+    cmake -B "${dir}" -S . "$@"
+    echo "== ${dir}: build"
+    cmake --build "${dir}" -j "${jobs}"
+    echo "== ${dir}: ctest"
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_suite build
+if [[ "${fast}" == 0 ]]; then
+    run_suite build-asan -DCOARSE_SANITIZE=address
+    run_suite build-ubsan -DCOARSE_SANITIZE=undefined
+fi
+echo "All checks passed."
