@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation: end-to-end recovery time from a *detected* proxy crash
+ * versus snapshot cadence (paper §IV-A fault tolerance).
+ *
+ * Unlike ablation_checkpoint (which replays a known worker failure),
+ * this drives the full detection-recovery loop: a memory device
+ * fail-stops mid-training, the heartbeat monitor notices via missed
+ * acks, the engine rebuilds the sync rings and routing tables around
+ * the hole, rolls parameters back to the last CoW snapshot, and
+ * replays. Sparser checkpoints do not change detection latency — only
+ * the replay window grows.
+ */
+
+#include <cstdio>
+
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "fault/fault.hh"
+#include "fault/injector.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+constexpr std::uint32_t kIters = 12;
+
+struct Outcome
+{
+    double totalSeconds = 0.0;
+    std::uint32_t replayed = 0;
+    double detectionMs = 0.0;
+    double recoveryMs = 0.0;
+};
+
+/** Fault-free run: measures the clean wall time and the crash tick. */
+coarse::sim::Tick
+cleanEndTick(std::uint32_t checkpointEvery, double *seconds)
+{
+    coarse::sim::Simulation sim;
+    auto machine = coarse::fabric::makeAwsV100(sim);
+    coarse::core::CoarseOptions options;
+    options.checkpointEveryIters = checkpointEvery;
+    coarse::core::CoarseEngine engine(
+        *machine, coarse::dl::makeBertBase(), 2, options);
+    engine.run(kIters, 0);
+    *seconds = coarse::sim::toSeconds(sim.now());
+    return sim.now();
+}
+
+Outcome
+runWithCrash(std::uint32_t checkpointEvery, coarse::sim::Tick crashAt)
+{
+    coarse::sim::Simulation sim;
+    auto machine = coarse::fabric::makeAwsV100(sim);
+    coarse::core::CoarseOptions options;
+    options.checkpointEveryIters = checkpointEvery;
+    options.heartbeats = true;
+    coarse::core::CoarseEngine engine(
+        *machine, coarse::dl::makeBertBase(), 2, options);
+
+    coarse::fault::FaultSchedule schedule;
+    coarse::fault::FaultSpec crash;
+    crash.kind = coarse::fault::FaultKind::ProxyCrash;
+    crash.at = crashAt;
+    crash.target = 1;
+    schedule.faults.push_back(crash);
+    coarse::fault::FaultInjector injector(sim, schedule,
+                                          engine.faultHooks());
+    injector.arm();
+
+    engine.run(kIters, 0);
+
+    Outcome out;
+    out.totalSeconds = coarse::sim::toSeconds(sim.now());
+    out.replayed = engine.iterationsReplayed();
+    out.detectionMs = engine.detectionLatency().mean() * 1e3;
+    out.recoveryMs = engine.recoveryTime().mean() * 1e3;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: proxy-crash recovery time vs snapshot "
+                "cadence\n(bert_base on aws_v100, %u iterations, "
+                "memory device 1 fail-stops mid-run,\n heartbeat "
+                "detection at 500us cadence / 250us timeout)\n\n",
+                kIters);
+    std::printf("%-18s %12s %12s %9s %14s %14s\n", "checkpoint every",
+                "clean (s)", "faulty (s)", "replayed",
+                "detection (ms)", "recovery (ms)");
+    for (std::uint32_t every : {1u, 2u, 4u, 8u}) {
+        double cleanSeconds = 0.0;
+        const auto end = cleanEndTick(every, &cleanSeconds);
+        const auto out = runWithCrash(every, end / 2);
+        std::printf("%-18u %12.3f %12.3f %9u %14.3f %14.3f\n", every,
+                    cleanSeconds, out.totalSeconds, out.replayed,
+                    out.detectionMs, out.recoveryMs);
+    }
+    std::printf("\nDetection latency is set by the heartbeat cadence "
+                "and rollback/re-pull cost by the\nmodel size — "
+                "neither depends on the snapshot interval. Sparser "
+                "snapshots only\nlengthen the replay window (the "
+                "faulty-run wall time), while CoW keeps the\n"
+                "steady-state checkpoint cost flat\n");
+    return 0;
+}

@@ -60,6 +60,13 @@ parseOptions(const std::vector<std::string> &args)
             options.workersPerMemDevice = parseUint(arg, value());
         } else if (arg == "--checkpoint-every") {
             options.checkpointEvery = parseUint(arg, value());
+        } else if (arg == "--fault-schedule") {
+            options.faultSchedule = value();
+        } else if (arg == "--fault-seed") {
+            options.faultSeed = parseUint(arg, value());
+            options.randomFaults = true;
+        } else if (arg == "--fault-count") {
+            options.faultCount = parseUint(arg, value());
         } else if (arg == "--no-routing") {
             options.routing = false;
         } else if (arg == "--no-partitioning") {
@@ -89,6 +96,10 @@ parseOptions(const std::vector<std::string> &args)
         sim::fatal("coarsesim: --nodes must be at least 1");
     if (options.format != "table" && options.format != "csv")
         sim::fatal("coarsesim: --format must be table or csv");
+    if (!options.faultSchedule.empty() && options.randomFaults) {
+        sim::fatal("coarsesim: --fault-schedule and --fault-seed are "
+                   "mutually exclusive");
+    }
     if (options.batch == 0)
         options.batch = defaultBatch(options.model);
     return options;
@@ -112,6 +123,14 @@ usage: coarsesim [options]
   --nodes N             server nodes (1)
   --share N             workers per memory device (1)
   --checkpoint-every N  snapshot parameters every N iterations (off)
+  --fault-schedule S    inject faults (COARSE only), entries split
+                        by ';': kind@TIME[+DUR][:key=val,...] with
+                        kind in {link-degrade, link-flap, proxy-crash,
+                        gpu-straggler}, keys target=N factor=F
+                        period=TIME, units ns/us/ms/s, e.g.
+                        "link-degrade@1ms+4ms:target=2,factor=0.25"
+  --fault-seed N        inject a seeded random fault storm instead
+  --fault-count N       faults in the random storm (8)
   --no-routing          disable Lat/Bw tensor routing
   --no-partitioning     disable tensor partitioning
   --no-dual-sync        synchronize everything through the proxies

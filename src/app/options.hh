@@ -30,6 +30,12 @@ struct Options
     bool compressGradients = false;
     bool dataLoading = false;
     std::uint32_t checkpointEvery = 0;
+    /** Declarative fault schedule (see fault::parseFaultSchedule). */
+    std::string faultSchedule;
+    /** Draw a seeded random fault storm instead. */
+    bool randomFaults = false;
+    std::uint32_t faultSeed = 0;
+    std::uint32_t faultCount = 8;
     bool dumpStats = false;
     /** "table" (default) or "csv". */
     std::string format = "table";

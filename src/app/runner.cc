@@ -12,6 +12,8 @@
 #include "coarse/engine.hh"
 #include "dl/model_zoo.hh"
 #include "fabric/machine.hh"
+#include "fault/fault.hh"
+#include "fault/injector.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -38,7 +40,16 @@ runOne(const Options &options, const std::string &scheme)
                                        machineOptions);
     const auto model = dl::makeModel(options.model);
 
+    const bool wantFaults =
+        !options.faultSchedule.empty() || options.randomFaults;
+    if (wantFaults && scheme != "COARSE") {
+        sim::fatal("coarsesim: fault injection requires --scheme "
+                   "COARSE (the baselines have no recovery path)");
+    }
+
     std::unique_ptr<dl::Trainer> trainer;
+    std::unique_ptr<fault::FaultInjector> injector;
+    const core::CoarseEngine *coarseEngine = nullptr;
     if (scheme == "DENSE") {
         trainer = std::make_unique<baselines::DenseTrainer>(
             *machine, model, options.batch);
@@ -62,8 +73,37 @@ runOne(const Options &options, const std::string &scheme)
         coarseOptions.compressGradients = options.compressGradients;
         coarseOptions.dataLoading = options.dataLoading;
         coarseOptions.checkpointEveryIters = options.checkpointEvery;
-        trainer = std::make_unique<core::CoarseEngine>(
+        if (wantFaults) {
+            coarseOptions.heartbeats = true;
+            // Recovery needs a rollback floor under the fault storm.
+            if (coarseOptions.checkpointEveryIters == 0)
+                coarseOptions.checkpointEveryIters = 1;
+        }
+        auto engine = std::make_unique<core::CoarseEngine>(
             *machine, model, options.batch, coarseOptions);
+        if (wantFaults) {
+            fault::FaultSchedule schedule;
+            if (!options.faultSchedule.empty()) {
+                schedule =
+                    fault::parseFaultSchedule(options.faultSchedule);
+            } else {
+                sim::Random rng(options.faultSeed);
+                fault::RandomFaultOptions rfo;
+                rfo.faults = options.faultCount;
+                rfo.links = static_cast<std::uint32_t>(
+                    machine->topology().linkCount());
+                rfo.proxies = static_cast<std::uint32_t>(
+                    machine->memDevices().size());
+                rfo.workers = static_cast<std::uint32_t>(
+                    machine->workers().size());
+                schedule = fault::randomFaultSchedule(rng, rfo);
+            }
+            injector = std::make_unique<fault::FaultInjector>(
+                simulation, std::move(schedule), engine->faultHooks());
+            injector->arm();
+        }
+        coarseEngine = engine.get();
+        trainer = std::move(engine);
     } else {
         sim::fatal("coarsesim: unknown scheme '", scheme,
                    "' (expected DENSE, Sharded-PS, CPU-PS, Async-PS, "
@@ -82,10 +122,20 @@ runOne(const Options &options, const std::string &scheme)
     }
 
     if (options.dumpStats) {
+        std::ostringstream oss;
         sim::StatGroup fabricStats("fabric");
         machine->topology().attachStats(fabricStats);
-        std::ostringstream oss;
         fabricStats.dump(oss);
+        if (coarseEngine) {
+            sim::StatGroup engineStats("coarse");
+            coarseEngine->attachStats(engineStats);
+            engineStats.dump(oss);
+        }
+        if (injector) {
+            sim::StatGroup faultStats("faults");
+            injector->attachStats(faultStats);
+            faultStats.dump(oss);
+        }
         outcome.statsDump = oss.str();
     }
     return outcome;

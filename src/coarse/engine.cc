@@ -77,6 +77,23 @@ CoarseEngine::CoarseEngine(fabric::Machine &machine, dl::ModelSpec model,
         }
         workers_.push_back(std::move(state));
     }
+    workerSlowdown_.assign(workers_.size(), 1.0);
+
+    if (options_.heartbeats) {
+        const fabric::NodeId monitorNode = machine_.hostCpus().empty()
+            ? machine_.workers().front()
+            : machine_.hostCpus().front();
+        fault::HeartbeatMonitor::Params params;
+        params.interval =
+            sim::fromSeconds(options_.heartbeatIntervalSeconds);
+        params.timeout =
+            sim::fromSeconds(options_.heartbeatTimeoutSeconds);
+        monitor_ = std::make_unique<fault::HeartbeatMonitor>(
+            machine_.topology(), monitorNode, machine_.memDevices(),
+            params,
+            [this](std::size_t i) { return proxyDeadSince_[i] == 0; },
+            [this](std::size_t i) { onProxyDead(i); });
+    }
 
     if (options_.functionalData) {
         for (auto &device : devices_) {
@@ -124,10 +141,26 @@ CoarseEngine::buildDevices()
                          model_.name + ".optimizer");
     }
 
+    proxyAlive_.assign(devices_.size(), true);
+    proxyDeadSince_.assign(devices_.size(), 0);
+
+    rebuildSyncService();
+}
+
+void
+CoarseEngine::rebuildSyncService()
+{
+    if (service_ && !service_->idle()) {
+        sim::panic("CoarseEngine: rebuilding the sync service with "
+                   "shards still in flight");
+    }
+
     std::vector<memdev::MemoryDevice *> raw;
     raw.reserve(devices_.size());
-    for (auto &device : devices_)
-        raw.push_back(device.get());
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (proxyAlive_[d])
+            raw.push_back(devices_[d].get());
+    }
 
     memdev::SyncScheduleOptions schedule;
     schedule.groups = std::min<std::size_t>(
@@ -145,24 +178,85 @@ CoarseEngine::buildDevices()
     });
 }
 
+std::vector<fabric::NodeId>
+CoarseEngine::aliveProxies() const
+{
+    std::vector<fabric::NodeId> nodes;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (proxyAlive_[d])
+            nodes.push_back(machine_.memDevices()[d]);
+    }
+    return nodes;
+}
+
+std::size_t
+CoarseEngine::aliveProxyCount() const
+{
+    std::size_t count = 0;
+    for (const bool alive : proxyAlive_)
+        count += alive ? 1 : 0;
+    return count;
+}
+
+memdev::MemoryDevice &
+CoarseEngine::firstAliveDevice()
+{
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (proxyAlive_[d])
+            return *devices_[d];
+    }
+    sim::fatal("CoarseEngine: every memory device has failed");
+}
+
+fabric::NodeId
+CoarseEngine::proxyFor(fabric::NodeId workerNode)
+{
+    const auto &proxies = machine_.memDevices();
+    const fabric::NodeId paired = machine_.pairedMemDevice(workerNode);
+    for (std::size_t d = 0; d < proxies.size(); ++d) {
+        if (proxies[d] == paired && proxyAlive_[d])
+            return paired;
+    }
+    // The paired device is gone: fall back to the closest alive one
+    // (lowest index breaks latency ties deterministically).
+    auto &topo = machine_.topology();
+    fabric::NodeId best = fabric::kInvalidNode;
+    sim::Tick bestLatency = 0;
+    for (std::size_t d = 0; d < proxies.size(); ++d) {
+        if (!proxyAlive_[d])
+            continue;
+        const sim::Tick latency =
+            topo.pathLatency(workerNode, proxies[d], fabric::kNoNvLink);
+        if (best == fabric::kInvalidNode || latency < bestLatency) {
+            best = proxies[d];
+            bestLatency = latency;
+        }
+    }
+    if (best == fabric::kInvalidNode)
+        sim::fatal("CoarseEngine: every memory device has failed");
+    return best;
+}
+
 void
 CoarseEngine::profileAndPlan()
 {
     ++profileRuns_;
     routing_.clear();
 
-    const auto &proxies = machine_.memDevices();
+    // Dead proxies are excluded wholesale: the profiler never probes
+    // them, so the rebuilt routing tables cannot select them.
+    const std::vector<fabric::NodeId> proxies = aliveProxies();
     std::uint64_t shardBytes = 2 << 20;
     for (std::size_t w = 0; w < machine_.workers().size(); ++w) {
         const fabric::NodeId worker = machine_.workers()[w];
         if (options_.tensorRouting) {
             ClientProfile profile = profiler_->profileClient(
-                worker, proxies, machine_.pairedMemDevice(worker));
+                worker, proxies, proxyFor(worker));
             routing_.push_back(profile.routing);
             shardBytes = profile.shardBytes;
         } else {
             RoutingTable table;
-            table.latProxy = machine_.pairedMemDevice(worker);
+            table.latProxy = proxyFor(worker);
             table.bwProxy = table.latProxy;
             table.thresholdBytes = 0;
             routing_.push_back(table);
@@ -293,8 +387,10 @@ CoarseEngine::applyUpdate(std::uint32_t iter, std::size_t tensorIdx,
     optimizers_[tensorIdx]->apply(updated, avg);
     for (auto &worker : workers_)
         worker->weights[tensorIdx] = updated;
-    for (auto &device : devices_)
-        device->store().put(tensorIdx, updated);
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (proxyAlive_[d])
+            devices_[d]->store().put(tensorIdx, updated);
+    }
 }
 
 void
@@ -310,7 +406,7 @@ CoarseEngine::fetchBatch(std::function<void()> done)
         batchesFetched_.inc();
         batchBytesFetched_.inc(batchBytes);
         fabric::Message msg;
-        msg.src = machine_.pairedMemDevice(worker->node);
+        msg.src = proxyFor(worker->node);
         msg.dst = worker->node;
         msg.bytes = batchBytes;
         msg.onDelivered = [pending, doneShared] {
@@ -324,9 +420,12 @@ CoarseEngine::fetchBatch(std::function<void()> done)
 void
 CoarseEngine::startIteration(std::uint32_t iter)
 {
-    if (options_.reprofileEveryIters != 0 && iter != 0
-        && iter % options_.reprofileEveryIters == 0)
+    const bool periodic = options_.reprofileEveryIters != 0 && iter != 0
+        && iter % options_.reprofileEveryIters == 0;
+    if (periodic || reprofilePending_) {
+        reprofilePending_ = false;
         profileAndPlan();
+    }
 
     iterationAnchor_ = machine_.topology().sim().now();
 
@@ -388,10 +487,13 @@ CoarseEngine::runIterationBody(std::uint32_t iter)
     // The anchor was taken before any input-batch fetch, so a
     // blocking fetch counts against this iteration's time.
     iter_->start = iterationAnchor_;
+    // Data-parallel training paces at the slowest worker: a straggler
+    // stretches the whole step's compute phase.
+    const double slowdown = computeSlowdown();
     const sim::Tick fwdTicks =
-        sim::fromSeconds(iteration_.forwardSeconds());
+        sim::fromSeconds(iteration_.forwardSeconds() * slowdown);
     const sim::Tick bwdTicks =
-        sim::fromSeconds(iteration_.backwardSeconds());
+        sim::fromSeconds(iteration_.backwardSeconds() * slowdown);
     const sim::Tick computeStart = sim.now();
     iter_->computeEnd = computeStart + fwdTicks + bwdTicks;
     iter_->timeline.start = iter_->start;
@@ -405,7 +507,7 @@ CoarseEngine::runIterationBody(std::uint32_t iter)
         iter_->outstandingSyncs += shards.size();
         iter_->shardsLeft[t] = static_cast<std::uint32_t>(shards.size());
         const sim::Tick ready = computeStart + fwdTicks
-            + sim::fromSeconds(iteration_.gradReadySeconds(t));
+            + sim::fromSeconds(iteration_.gradReadySeconds(t) * slowdown);
         for (std::size_t w = 0; w < workers_.size(); ++w) {
             sim.events().post(ready, [this, iter, w, t] {
                 pushTensor(iter, w, t);
@@ -607,10 +709,21 @@ CoarseEngine::finishIteration(std::uint32_t iter)
         ++measuredIters_;
     }
 
+    // Proxy deaths detected during this iteration trigger recovery at
+    // the boundary, where the sync service is guaranteed idle. The
+    // iteration's own results are discarded by the rollback, so it is
+    // neither checkpointed nor treated as progress.
+    if (!pendingProxyRecovery_.empty()) {
+        recoverFromProxyFailure(iter);
+        return;
+    }
+
     if (options_.checkpointEveryIters != 0
         && (iter + 1) % options_.checkpointEveryIters == 0) {
-        for (auto &device : devices_)
-            latestSnapshot_ = device->store().snapshot();
+        for (std::size_t d = 0; d < devices_.size(); ++d) {
+            if (proxyAlive_[d])
+                latestSnapshot_ = devices_[d]->store().snapshot();
+        }
         lastCheckpointIteration_ = iter + 1;
         checkpointedOptimizers_.clear();
         for (const auto &optimizer : optimizers_)
@@ -623,8 +736,12 @@ CoarseEngine::finishIteration(std::uint32_t iter)
         return;
     }
 
-    if (iter + 1 < totalIterations_)
+    if (iter + 1 < totalIterations_) {
         startIteration(iter + 1);
+    } else if (monitor_ && monitor_->running()) {
+        // Training is done; stop probing so the event queue drains.
+        monitor_->stop();
+    }
 }
 
 void
@@ -633,14 +750,18 @@ CoarseEngine::recoverFromFailure(std::uint32_t failedIter)
     ++failures_;
     replayed_ += failedIter + 1 - lastCheckpointIteration_;
 
-    // Roll every replica back to the latest durable checkpoint —
+    // Roll every live replica back to the latest durable checkpoint —
     // parameters and server-side optimizer state together.
-    for (auto &device : devices_)
-        device->store().restore(latestSnapshot_);
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (!proxyAlive_[d])
+            continue;
+        devices_[d]->store().restore(latestSnapshot_);
+        rollbackBytes_.inc(model_.parameterBytes());
+    }
     for (std::size_t t = 0; t < optimizers_.size(); ++t)
         optimizers_[t]->restoreState(checkpointedOptimizers_[t]);
     if (options_.functionalData) {
-        auto &store = devices_.front()->store();
+        auto &store = firstAliveDevice().store();
         for (auto &worker : workers_) {
             for (std::size_t t = 0; t < model_.tensors.size(); ++t)
                 worker->weights[t] = *store.get(t);
@@ -653,12 +774,160 @@ CoarseEngine::recoverFromFailure(std::uint32_t failedIter)
     auto pending = std::make_shared<std::size_t>(workers_.size());
     for (auto &worker : workers_) {
         fabric::Message msg;
-        msg.src = machine_.pairedMemDevice(worker->node);
+        msg.src = proxyFor(worker->node);
         msg.dst = worker->node;
         msg.bytes = model_.parameterBytes();
         msg.onDelivered = [this, pending] {
             if (--*pending == 0)
                 startIteration(lastCheckpointIteration_);
+        };
+        topo.send(std::move(msg), fabric::kNoNvLink);
+    }
+}
+
+void
+CoarseEngine::crashProxy(std::size_t idx)
+{
+    if (idx >= devices_.size())
+        sim::fatal("CoarseEngine: crashProxy: no memory device ", idx);
+    if (!options_.heartbeats) {
+        sim::fatal("CoarseEngine: a proxy crash was injected but "
+                   "heartbeats are disabled, so the failure would "
+                   "never be detected (set CoarseOptions::heartbeats)");
+    }
+    if (!proxyAlive_[idx] || proxyDeadSince_[idx] != 0)
+        return; // already dead
+    std::size_t survivors = 0;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (proxyAlive_[d] && proxyDeadSince_[d] == 0)
+            ++survivors;
+    }
+    if (survivors <= 1) {
+        sim::fatal("CoarseEngine: crashing memory device ", idx,
+                   " would kill the last alive proxy; training cannot "
+                   "recover from total parameter loss");
+    }
+    // Tick 0 means "healthy"; a crash at tick 0 is clamped to tick 1.
+    proxyDeadSince_[idx] =
+        std::max<sim::Tick>(1, machine_.topology().sim().now());
+}
+
+void
+CoarseEngine::setWorkerSlowdown(std::size_t idx, double factor)
+{
+    if (idx >= workerSlowdown_.size())
+        sim::fatal("CoarseEngine: setWorkerSlowdown: no worker ", idx);
+    if (factor < 1.0) {
+        sim::fatal("CoarseEngine: straggler factor must be >= 1.0, "
+                   "got ", factor);
+    }
+    workerSlowdown_[idx] = factor;
+}
+
+double
+CoarseEngine::computeSlowdown() const
+{
+    double slowdown = 1.0;
+    for (const double factor : workerSlowdown_)
+        slowdown = std::max(slowdown, factor);
+    return slowdown;
+}
+
+fault::FaultHooks
+CoarseEngine::faultHooks()
+{
+    fault::FaultHooks hooks;
+    auto &topo = machine_.topology();
+    hooks.degradeLink = [this, &topo](std::uint32_t link,
+                                      double factor) {
+        if (link >= topo.linkCount())
+            sim::fatal("CoarseEngine: degradeLink: no link ", link);
+        topo.link(link).setDegradeFactor(factor);
+        noteFabricFault();
+    };
+    hooks.restoreLink = [this, &topo](std::uint32_t link) {
+        if (link >= topo.linkCount())
+            sim::fatal("CoarseEngine: restoreLink: no link ", link);
+        topo.link(link).setDegradeFactor(1.0);
+        noteFabricFault();
+    };
+    hooks.crashProxy = [this](std::uint32_t idx) { crashProxy(idx); };
+    hooks.slowWorker = [this](std::uint32_t idx, double factor) {
+        setWorkerSlowdown(idx, factor);
+    };
+    hooks.restoreWorker = [this](std::uint32_t idx) {
+        setWorkerSlowdown(idx, 1.0);
+    };
+    return hooks;
+}
+
+void
+CoarseEngine::onProxyDead(std::size_t idx)
+{
+    auto &sim = machine_.topology().sim();
+    if (proxyDeadSince_.at(idx) == 0) {
+        sim::panic("CoarseEngine: proxy ", idx,
+                   " declared dead while healthy");
+    }
+    detectionLatency_.sample(
+        sim::toSeconds(sim.now() - proxyDeadSince_[idx]));
+    if (pendingProxyRecovery_.empty())
+        recoveryStartTick_ = sim.now();
+    pendingProxyRecovery_.push_back(idx);
+}
+
+void
+CoarseEngine::recoverFromProxyFailure(std::uint32_t failedIter)
+{
+    ++failures_;
+    for (const std::size_t idx : pendingProxyRecovery_)
+        proxyAlive_[idx] = false;
+    pendingProxyRecovery_.clear();
+    if (aliveProxyCount() == 0)
+        sim::fatal("CoarseEngine: every memory device has failed");
+    replayed_ += failedIter + 1 - lastCheckpointIteration_;
+
+    // 1. Rebuild the sync rings over the surviving fleet (the service
+    //    is idle here: recovery runs at the iteration boundary).
+    rebuildSyncService();
+
+    // 2. Roll the survivors back to the last durable checkpoint.
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (!proxyAlive_[d])
+            continue;
+        devices_[d]->store().restore(latestSnapshot_);
+        rollbackBytes_.inc(model_.parameterBytes());
+    }
+    for (std::size_t t = 0; t < optimizers_.size(); ++t)
+        optimizers_[t]->restoreState(checkpointedOptimizers_[t]);
+    if (options_.functionalData) {
+        auto &store = firstAliveDevice().store();
+        for (auto &worker : workers_) {
+            for (std::size_t t = 0; t < model_.tensors.size(); ++t)
+                worker->weights[t] = *store.get(t);
+        }
+    }
+
+    // 3. Re-profile around the hole: routing tables and the dual-sync
+    //    split are rebuilt over the alive proxies only.
+    profileAndPlan();
+
+    // 4. Workers re-pull the rolled-back parameters from their (newly
+    //    routed) proxies, then replay from the checkpoint.
+    auto &topo = machine_.topology();
+    auto pending = std::make_shared<std::size_t>(workers_.size());
+    for (auto &worker : workers_) {
+        fabric::Message msg;
+        msg.src = proxyFor(worker->node);
+        msg.dst = worker->node;
+        msg.bytes = model_.parameterBytes();
+        msg.onDelivered = [this, pending] {
+            if (--*pending != 0)
+                return;
+            auto &sim = machine_.topology().sim();
+            recoveryTime_.sample(
+                sim::toSeconds(sim.now() - recoveryStartTick_));
+            startIteration(lastCheckpointIteration_);
         };
         topo.send(std::move(msg), fabric::kNoNvLink);
     }
@@ -681,6 +950,17 @@ CoarseEngine::attachStats(sim::StatGroup &group) const
         return static_cast<double>(failures_);
     });
     devices_.front()->store().attachStats(group.subgroup("store"));
+
+    sim::StatGroup &recovery = group.subgroup("recovery");
+    recovery.addDistribution("detection_latency_seconds",
+                             detectionLatency_);
+    recovery.addDistribution("recovery_seconds", recoveryTime_);
+    recovery.addCounter("rollback_bytes", rollbackBytes_);
+    recovery.addFormula("alive_proxies", [this] {
+        return static_cast<double>(aliveProxyCount());
+    });
+    if (monitor_)
+        monitor_->attachStats(group.subgroup("heartbeat"));
 }
 
 dl::TrainingReport
@@ -695,6 +975,8 @@ CoarseEngine::run(std::uint32_t iterations, std::uint32_t warmup)
     measuredIters_ = 0;
 
     auto &sim = machine_.topology().sim();
+    if (monitor_ && !monitor_->running())
+        monitor_->start();
     startIteration(0);
     sim.run();
 

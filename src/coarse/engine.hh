@@ -21,6 +21,8 @@
 #include "dl/trainer.hh"
 #include "dual_sync.hh"
 #include "fabric/machine.hh"
+#include "fault/heartbeat.hh"
+#include "fault/injector.hh"
 #include "memdev/memory_device.hh"
 #include "partition.hh"
 #include "profiler.hh"
@@ -119,6 +121,16 @@ struct CoarseOptions
     bool dataPrefetch = true;
     /** Memory-device hardware configuration. */
     memdev::MemoryDeviceParams deviceParams = {};
+    /**
+     * Run a heartbeat monitor over the proxy fleet so fail-stop proxy
+     * crashes are *detected* (via missed acks) rather than known by
+     * construction. Required when fault injection may crash a proxy.
+     */
+    bool heartbeats = false;
+    /** Probe cadence of the heartbeat monitor. */
+    double heartbeatIntervalSeconds = 500e-6;
+    /** Missed-ack deadline before a proxy is declared dead. */
+    double heartbeatTimeoutSeconds = 250e-6;
 };
 
 /**
@@ -158,6 +170,43 @@ class CoarseEngine : public dl::Trainer
     void attachStats(sim::StatGroup &group) const;
     ///@}
 
+    /** @name Fault injection & recovery */
+    ///@{
+    /**
+     * Hooks a FaultInjector drives against this engine: link
+     * degradation feeds the fabric (and flags a re-profile), proxy
+     * crashes feed the heartbeat detector, stragglers stretch worker
+     * compute. The hooks are valid for the engine's lifetime.
+     */
+    fault::FaultHooks faultHooks();
+
+    /**
+     * Fail-stop memory device @p idx at the current tick. The crash
+     * is silent: only the heartbeat monitor's missed acks reveal it,
+     * so CoarseOptions::heartbeats must be enabled.
+     */
+    void crashProxy(std::size_t idx);
+
+    /** Multiply worker @p idx's compute time by @p factor (>= 1). */
+    void setWorkerSlowdown(std::size_t idx, double factor);
+
+    /** Flag that the fabric changed: re-profile before next iteration. */
+    void noteFabricFault() { reprofilePending_ = true; }
+
+    std::size_t aliveProxyCount() const;
+    bool proxyAlive(std::size_t idx) const { return proxyAlive_.at(idx); }
+
+    /** Crash-to-detection latency samples (seconds). */
+    const sim::Distribution &detectionLatency() const
+    {
+        return detectionLatency_;
+    }
+    /** Detection-to-resume recovery time samples (seconds). */
+    const sim::Distribution &recoveryTime() const { return recoveryTime_; }
+    /** Parameter bytes restored from snapshots during recovery. */
+    const sim::Counter &rollbackBytes() const { return rollbackBytes_; }
+    ///@}
+
   private:
     struct WorkerState;
     struct IterationState;
@@ -181,6 +230,23 @@ class CoarseEngine : public dl::Trainer
     void finishIteration(std::uint32_t iter);
     /** Restore from the latest checkpoint and replay. */
     void recoverFromFailure(std::uint32_t failedIter);
+    /** (Re)create the proxy sync service over the alive devices. */
+    void rebuildSyncService();
+    /** Nodes of the memory devices still alive, in fleet order. */
+    std::vector<fabric::NodeId> aliveProxies() const;
+    /** First alive memory device (authoritative parameter replica). */
+    memdev::MemoryDevice &firstAliveDevice();
+    /**
+     * The proxy worker @p workerNode pairs with: its locality-paired
+     * device while that is alive, else the closest alive device.
+     */
+    fabric::NodeId proxyFor(fabric::NodeId workerNode);
+    /** Heartbeat verdict: proxy @p idx stopped acking. */
+    void onProxyDead(std::size_t idx);
+    /** Rebuild service + routing around dead proxies, then replay. */
+    void recoverFromProxyFailure(std::uint32_t failedIter);
+    /** Effective compute-time multiplier (slowest worker wins). */
+    double computeSlowdown() const;
     std::vector<float> makeGradient(std::size_t workerIdx,
                                     std::size_t tensorIdx,
                                     std::uint32_t iter) const;
@@ -227,6 +293,23 @@ class CoarseEngine : public dl::Trainer
     memdev::SnapshotId latestSnapshot_ = 0;
     /** Optimizer state captured with the latest checkpoint. */
     std::vector<dl::Optimizer::State> checkpointedOptimizers_;
+
+    // Fault-tolerance state.
+    std::unique_ptr<fault::HeartbeatMonitor> monitor_;
+    /** Per memory device: has recovery excluded it yet? */
+    std::vector<bool> proxyAlive_;
+    /** Tick the device fail-stopped (0 = healthy). */
+    std::vector<sim::Tick> proxyDeadSince_;
+    /** Detected-dead proxies awaiting the iteration-boundary recovery. */
+    std::vector<std::size_t> pendingProxyRecovery_;
+    /** A fabric fault invalidated the routing tables. */
+    bool reprofilePending_ = false;
+    /** Per-worker compute-time multiplier (straggler injection). */
+    std::vector<double> workerSlowdown_;
+    sim::Tick recoveryStartTick_ = 0;
+    sim::Distribution detectionLatency_;
+    sim::Distribution recoveryTime_;
+    sim::Counter rollbackBytes_;
 
     // Input-pipeline state (options_.dataLoading).
     /** Wall anchor of the iteration being started (set before any

@@ -69,6 +69,16 @@ Link::Link(LinkId id, NodeId a, NodeId b, LinkParams params)
         sim::fatal("Link ", id, ": self-loop on node ", a);
 }
 
+void
+Link::setDegradeFactor(double factor)
+{
+    if (factor <= 0.0 || factor > 1.0) {
+        sim::fatal("Link ", id_, ": degrade factor out of (0, 1]: ",
+                   factor);
+    }
+    degrade_ = factor;
+}
+
 NodeId
 Link::peerOf(NodeId from) const
 {

@@ -96,6 +96,16 @@ class Link
     /** The node opposite @p from on this link. */
     NodeId peerOf(NodeId from) const;
 
+    /**
+     * Health multiplier applied to the effective bandwidth of both
+     * directions. 1.0 is a healthy link; fault injection lowers it to
+     * model partial degradation (and restores it afterwards). Must
+     * stay in (0, 1] — a dead link is modelled as a proxy crash, not
+     * a zero-bandwidth link.
+     */
+    void setDegradeFactor(double factor);
+    double degradeFactor() const { return degrade_; }
+
     /** Direction pipe carrying traffic out of @p from. */
     LinkDirection &directionFrom(NodeId from);
     const LinkDirection &directionFrom(NodeId from) const;
@@ -111,6 +121,7 @@ class Link
     NodeId a_;
     NodeId b_;
     LinkParams params_;
+    double degrade_ = 1.0;
     LinkDirection aToB_;
     LinkDirection bToA_;
 };

@@ -165,8 +165,11 @@ Topology::pathBandwidth(NodeId src, NodeId dst, std::uint64_t size,
     if (path.empty())
         return std::numeric_limits<double>::infinity();
     double bottleneck = std::numeric_limits<double>::infinity();
-    for (LinkId lid : path)
-        bottleneck = std::min(bottleneck, links_[lid]->bandwidth().at(size));
+    for (LinkId lid : path) {
+        const Link &l = *links_[lid];
+        bottleneck = std::min(bottleneck,
+                              l.bandwidth().at(size) * l.degradeFactor());
+    }
     return bottleneck * pairEfficiency(src, dst);
 }
 
@@ -255,8 +258,10 @@ Topology::forwardPacket(const std::shared_ptr<Transfer> &transfer,
     }
     Link &l = *links_[transfer->path[hop]];
     LinkDirection &pipe = l.directionFrom(at);
-    const double efficiency =
-        l.kind() == LinkKind::SerialBus ? transfer->efficiency : 1.0;
+    // Pair efficiency applies only to serial-bus hops; the degrade
+    // factor (fault injection) applies to any hop kind.
+    const double efficiency = l.degradeFactor()
+        * (l.kind() == LinkKind::SerialBus ? transfer->efficiency : 1.0);
     const sim::Tick sent =
         pipe.transmit(sim_.now(), bytes, transfer->msg.flowBytes,
                       l.bandwidth(), efficiency, transfer->msg.rateCap);

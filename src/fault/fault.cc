@@ -1,0 +1,304 @@
+#include "fault.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sim/logging.hh"
+
+namespace coarse::fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LinkDegrade:
+        return "link-degrade";
+      case FaultKind::LinkFlap:
+        return "link-flap";
+      case FaultKind::ProxyCrash:
+        return "proxy-crash";
+      case FaultKind::GpuStraggler:
+        return "gpu-straggler";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+FaultKind
+parseKind(const std::string &entry, const std::string &name)
+{
+    for (FaultKind kind :
+         {FaultKind::LinkDegrade, FaultKind::LinkFlap,
+          FaultKind::ProxyCrash, FaultKind::GpuStraggler}) {
+        if (name == faultKindName(kind))
+            return kind;
+    }
+    sim::fatal("fault schedule: unknown fault kind '", name, "' in '",
+               entry, "' (expected link-degrade, link-flap, "
+               "proxy-crash, or gpu-straggler)");
+}
+
+sim::Tick
+parseTime(const std::string &entry, const std::string &token)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(token, &pos);
+    } catch (const std::exception &) {
+        sim::fatal("fault schedule: bad time '", token, "' in '", entry,
+                   "'");
+    }
+    if (value < 0.0)
+        sim::fatal("fault schedule: negative time '", token, "' in '",
+                   entry, "'");
+    const std::string unit = token.substr(pos);
+    double scale = 0.0;
+    if (unit == "ns")
+        scale = 1e-9;
+    else if (unit == "us")
+        scale = 1e-6;
+    else if (unit == "ms")
+        scale = 1e-3;
+    else if (unit == "s")
+        scale = 1.0;
+    else
+        sim::fatal("fault schedule: time '", token, "' in '", entry,
+                   "' needs a unit (ns, us, ms, s)");
+    return sim::fromSeconds(value * scale);
+}
+
+double
+parseDouble(const std::string &entry, const std::string &token)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(token, &pos);
+    } catch (const std::exception &) {
+        pos = token.size() + 1; // force the error below
+    }
+    if (pos != token.size())
+        sim::fatal("fault schedule: bad number '", token, "' in '",
+                   entry, "'");
+    return value;
+}
+
+std::uint32_t
+parseTarget(const std::string &entry, const std::string &token)
+{
+    const double value = parseDouble(entry, token);
+    const auto target = static_cast<std::uint32_t>(value);
+    if (value < 0.0 || static_cast<double>(target) != value)
+        sim::fatal("fault schedule: target '", token, "' in '", entry,
+                   "' must be a non-negative integer");
+    return target;
+}
+
+FaultSpec
+parseEntry(const std::string &raw)
+{
+    const std::string entry = trim(raw);
+    const auto at = entry.find('@');
+    if (at == std::string::npos)
+        sim::fatal("fault schedule: '", entry,
+                   "' is missing '@TIME' (syntax: "
+                   "kind@TIME[+DURATION][:key=value,...])");
+
+    FaultSpec f;
+    f.kind = parseKind(entry, entry.substr(0, at));
+    if (f.kind == FaultKind::GpuStraggler)
+        f.severity = 2.0;
+
+    std::string rest = entry.substr(at + 1);
+    std::string opts;
+    if (const auto colon = rest.find(':'); colon != std::string::npos) {
+        opts = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+    }
+    if (const auto plus = rest.find('+'); plus != std::string::npos) {
+        f.duration = parseTime(entry, trim(rest.substr(plus + 1)));
+        rest = rest.substr(0, plus);
+    }
+    f.at = parseTime(entry, trim(rest));
+
+    bool haveTarget = false;
+    std::size_t begin = 0;
+    while (!opts.empty() && begin <= opts.size()) {
+        auto end = opts.find(',', begin);
+        if (end == std::string::npos)
+            end = opts.size();
+        const std::string pair = trim(opts.substr(begin, end - begin));
+        begin = end + 1;
+        if (pair.empty())
+            continue;
+        const auto eq = pair.find('=');
+        if (eq == std::string::npos)
+            sim::fatal("fault schedule: option '", pair, "' in '", entry,
+                       "' is not key=value");
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (key == "target") {
+            f.target = parseTarget(entry, value);
+            haveTarget = true;
+        } else if (key == "factor") {
+            f.severity = parseDouble(entry, value);
+        } else if (key == "period") {
+            f.flapPeriod = parseTime(entry, value);
+        } else {
+            sim::fatal("fault schedule: unknown key '", key, "' in '",
+                       entry, "' (expected target, factor, period)");
+        }
+    }
+    if (!haveTarget)
+        sim::fatal("fault schedule: '", entry,
+                   "' needs a target=N option");
+    validateFaultSpec(f);
+    return f;
+}
+
+} // namespace
+
+void
+validateFaultSpec(const FaultSpec &f)
+{
+    switch (f.kind) {
+      case FaultKind::LinkDegrade:
+      case FaultKind::LinkFlap:
+        if (f.severity <= 0.0 || f.severity >= 1.0)
+            sim::fatal(faultKindName(f.kind),
+                       ": factor must be in (0, 1), got ", f.severity);
+        if (f.kind == FaultKind::LinkFlap && f.flapPeriod == 0)
+            sim::fatal("link-flap needs a period=TIME option");
+        if (f.kind == FaultKind::LinkFlap && f.duration == 0)
+            sim::fatal("link-flap needs a +DURATION window");
+        break;
+      case FaultKind::ProxyCrash:
+        if (f.duration != 0)
+            sim::fatal("proxy-crash is fail-stop (permanent); "
+                       "drop the +DURATION");
+        break;
+      case FaultKind::GpuStraggler:
+        if (f.severity < 1.0)
+            sim::fatal("gpu-straggler: factor must be >= 1, got ",
+                       f.severity);
+        break;
+    }
+}
+
+FaultSchedule
+parseFaultSchedule(const std::string &spec)
+{
+    FaultSchedule schedule;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        auto end = spec.find(';', begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string entry = trim(spec.substr(begin, end - begin));
+        begin = end + 1;
+        if (!entry.empty())
+            schedule.faults.push_back(parseEntry(entry));
+        if (end == spec.size())
+            break;
+    }
+    if (schedule.empty())
+        sim::fatal("fault schedule: '", spec, "' contains no faults");
+    return schedule;
+}
+
+FaultSchedule
+randomFaultSchedule(sim::Random &rng, const RandomFaultOptions &options)
+{
+    if (options.horizon == 0)
+        sim::fatal("randomFaultSchedule: horizon must be positive");
+
+    FaultSchedule out;
+    const sim::Tick lo = std::max<sim::Tick>(1, options.horizon / 10);
+    const sim::Tick span = options.horizon > lo
+        ? options.horizon - lo : sim::Tick(1);
+
+    std::vector<FaultKind> kinds;
+    if (options.links > 0) {
+        kinds.push_back(FaultKind::LinkDegrade);
+        kinds.push_back(FaultKind::LinkFlap);
+    }
+    if (options.workers > 0)
+        kinds.push_back(FaultKind::GpuStraggler);
+
+    for (std::size_t i = 0; i < options.faults && !kinds.empty(); ++i) {
+        FaultSpec f;
+        f.kind = kinds[rng.uniformInt(0, kinds.size() - 1)];
+        f.at = lo + rng.uniformInt(0, span - 1);
+        f.duration = std::max<sim::Tick>(1, options.horizon / 50)
+            + rng.uniformInt(0, options.horizon / 10);
+        switch (f.kind) {
+          case FaultKind::LinkDegrade:
+            f.target = static_cast<std::uint32_t>(
+                rng.uniformInt(0, options.links - 1));
+            f.severity = rng.uniformReal(0.1, 0.9);
+            break;
+          case FaultKind::LinkFlap:
+            f.target = static_cast<std::uint32_t>(
+                rng.uniformInt(0, options.links - 1));
+            f.severity = rng.uniformReal(0.1, 0.9);
+            f.flapPeriod = std::max<sim::Tick>(
+                2, f.duration / (2 + rng.uniformInt(0, 6)));
+            break;
+          case FaultKind::GpuStraggler:
+            f.target = static_cast<std::uint32_t>(
+                rng.uniformInt(0, options.workers - 1));
+            f.severity = rng.uniformReal(1.1, 3.0);
+            break;
+          case FaultKind::ProxyCrash:
+            break; // drawn separately below
+        }
+        validateFaultSpec(f);
+        out.faults.push_back(f);
+    }
+
+    // Proxy crashes hit distinct targets and always leave at least one
+    // device alive, so recovery stays possible.
+    std::uint32_t crashes = options.proxies > 1
+        ? std::min(options.maxProxyCrashes, options.proxies - 1)
+        : 0;
+    std::vector<std::uint32_t> targets(options.proxies);
+    for (std::uint32_t i = 0; i < options.proxies; ++i)
+        targets[i] = i;
+    for (std::uint32_t c = 0; c < crashes; ++c) {
+        const auto j =
+            c + rng.uniformInt(0, options.proxies - 1 - c);
+        std::swap(targets[c], targets[j]);
+        FaultSpec f;
+        f.kind = FaultKind::ProxyCrash;
+        f.target = targets[c];
+        f.at = lo + rng.uniformInt(0, span - 1);
+        out.faults.push_back(f);
+    }
+
+    std::sort(out.faults.begin(), out.faults.end(),
+              [](const FaultSpec &a, const FaultSpec &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.kind != b.kind)
+                      return static_cast<int>(a.kind)
+                          < static_cast<int>(b.kind);
+                  return a.target < b.target;
+              });
+    return out;
+}
+
+} // namespace coarse::fault

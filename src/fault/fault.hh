@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fault model: what can break, when, and how badly.
+ *
+ * The simulator's fault-tolerance story (paper §IV-A) needs failures
+ * to recover from. A FaultSchedule is a deterministic list of fault
+ * events — link degradation and flapping in the fabric, fail-stop
+ * proxy (memory-device) crashes, straggling worker GPUs — either
+ * written declaratively (CLI / file syntax) or drawn from a seeded
+ * sim::Random so chaos runs are reproducible bit for bit.
+ */
+
+#ifndef COARSE_FAULT_FAULT_HH
+#define COARSE_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/ticks.hh"
+
+namespace coarse::fault {
+
+/** Kinds of injectable faults. */
+enum class FaultKind
+{
+    /** A link's effective bandwidth drops to a fraction of nominal. */
+    LinkDegrade,
+    /** A link oscillates between degraded and healthy. */
+    LinkFlap,
+    /** A memory device / proxy fail-stops (permanent). */
+    ProxyCrash,
+    /** A worker GPU's compute slows by a multiplier. */
+    GpuStraggler,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::LinkDegrade;
+    /** Injection time (absolute simulated tick). */
+    sim::Tick at = 0;
+    /** Active window for transient faults (0 = permanent). */
+    sim::Tick duration = 0;
+    /**
+     * Severity. LinkDegrade/LinkFlap: remaining bandwidth fraction in
+     * (0, 1). GpuStraggler: compute-time multiplier >= 1. Ignored for
+     * ProxyCrash.
+     */
+    double severity = 0.5;
+    /** Component index: link id, proxy index, or worker index. */
+    std::uint32_t target = 0;
+    /** LinkFlap only: length of one down/up cycle. */
+    sim::Tick flapPeriod = 0;
+};
+
+/** A deterministic fault schedule. */
+struct FaultSchedule
+{
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+    std::size_t size() const { return faults.size(); }
+};
+
+/**
+ * Parse a declarative schedule.
+ *
+ * Grammar (entries separated by ';'):
+ *
+ *   kind@TIME[+DURATION][:key=value,...]
+ *
+ * with kind in {link-degrade, link-flap, proxy-crash, gpu-straggler},
+ * TIME/DURATION as a float plus unit (ns | us | ms | s), and keys
+ * target=N (required), factor=F (severity), period=TIME (flap cycle).
+ *
+ * Example:
+ *   "link-degrade@1ms+4ms:target=2,factor=0.25;proxy-crash@6ms:target=1"
+ *
+ * Throws sim::FatalError naming the offending token on bad input.
+ */
+FaultSchedule parseFaultSchedule(const std::string &spec);
+
+/**
+ * Check a spec's invariants (factor ranges, flap window). Throws
+ * sim::FatalError on violation. The parser runs this on every entry;
+ * FaultInjector::arm() re-runs it on hand-built schedules.
+ */
+void validateFaultSpec(const FaultSpec &spec);
+
+/** Knobs for randomFaultSchedule(). */
+struct RandomFaultOptions
+{
+    /** Faults land uniformly in [horizon/10, horizon). */
+    sim::Tick horizon = sim::fromSeconds(1.0);
+    /** Transient faults (degrades, flaps, stragglers) to draw. */
+    std::size_t faults = 8;
+    /** Targetable component counts (0 disables that fault class). */
+    std::uint32_t links = 0;
+    std::uint32_t proxies = 0;
+    std::uint32_t workers = 0;
+    /** Proxy crashes to add on top (distinct targets). */
+    std::uint32_t maxProxyCrashes = 1;
+};
+
+/**
+ * Draw a seeded random fault storm. Deterministic: the same Random
+ * state and options always produce the same schedule.
+ */
+FaultSchedule randomFaultSchedule(sim::Random &rng,
+                                  const RandomFaultOptions &options);
+
+} // namespace coarse::fault
+
+#endif // COARSE_FAULT_FAULT_HH

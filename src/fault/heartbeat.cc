@@ -1,0 +1,113 @@
+#include "heartbeat.hh"
+
+#include "sim/logging.hh"
+
+namespace coarse::fault {
+
+HeartbeatMonitor::HeartbeatMonitor(
+    fabric::Topology &topo, fabric::NodeId monitorNode,
+    std::vector<fabric::NodeId> proxies, Params params,
+    std::function<bool(std::size_t)> alive,
+    std::function<void(std::size_t)> onDead)
+    : topo_(topo), monitorNode_(monitorNode),
+      proxies_(std::move(proxies)), params_(params),
+      alive_(std::move(alive)), onDead_(std::move(onDead))
+{
+    if (proxies_.empty())
+        sim::fatal("HeartbeatMonitor: no proxies to watch");
+    if (params_.interval == 0 || params_.timeout == 0)
+        sim::fatal("HeartbeatMonitor: interval and timeout must be "
+                   "positive");
+    if (!alive_ || !onDead_)
+        sim::fatal("HeartbeatMonitor: alive and onDead callbacks are "
+                   "required");
+    // A deadline shorter than the probe round trip would declare
+    // perfectly healthy proxies dead.
+    for (fabric::NodeId proxy : proxies_) {
+        const sim::Tick rtt =
+            2 * topo_.pathLatency(monitorNode_, proxy, fabric::kNoNvLink);
+        if (params_.timeout <= rtt) {
+            sim::fatal("HeartbeatMonitor: timeout ", params_.timeout,
+                       " <= round trip ", rtt, " to ",
+                       topo_.nodeName(proxy),
+                       " would false-positive on a healthy proxy");
+        }
+    }
+    probes_.resize(proxies_.size());
+}
+
+void
+HeartbeatMonitor::start()
+{
+    if (running_)
+        sim::fatal("HeartbeatMonitor: already running");
+    running_ = true;
+    for (std::size_t i = 0; i < proxies_.size(); ++i)
+        beat(i);
+}
+
+void
+HeartbeatMonitor::stop()
+{
+    running_ = false;
+}
+
+void
+HeartbeatMonitor::beat(std::size_t i)
+{
+    if (!running_ || !probes_[i].watching)
+        return;
+
+    Probe &probe = probes_[i];
+    ++probe.epoch;
+    probe.acked = false;
+    beatsSent_.inc();
+    const std::uint64_t epoch = probe.epoch;
+
+    // Zero-byte probe out; a live proxy immediately replies with a
+    // zero-byte ack. Neither reserves link pipes (latency-only path).
+    fabric::Message msg;
+    msg.src = monitorNode_;
+    msg.dst = proxies_[i];
+    msg.bytes = 0;
+    msg.onDelivered = [this, i, epoch] {
+        if (!alive_(i))
+            return; // a crashed proxy never acks
+        fabric::Message ack;
+        ack.src = proxies_[i];
+        ack.dst = monitorNode_;
+        ack.bytes = 0;
+        ack.onDelivered = [this, i, epoch] {
+            if (!running_ || !probes_[i].watching)
+                return;
+            if (probes_[i].epoch != epoch)
+                return; // a later beat superseded this probe
+            probes_[i].acked = true;
+            acksReceived_.inc();
+        };
+        topo_.send(std::move(ack), fabric::kNoNvLink);
+    };
+    topo_.send(std::move(msg), fabric::kNoNvLink);
+
+    auto &events = topo_.sim().events();
+    events.postIn(params_.timeout, [this, i, epoch] {
+        if (!running_ || !probes_[i].watching)
+            return;
+        if (probes_[i].epoch != epoch || probes_[i].acked)
+            return;
+        timeoutsFired_.inc();
+        probes_[i].watching = false;
+        onDead_(i);
+    });
+    events.postIn(params_.interval, [this, i] { beat(i); });
+}
+
+void
+HeartbeatMonitor::attachStats(sim::StatGroup &group) const
+{
+    group.addCounter("beats_sent", beatsSent_);
+    group.addCounter("acks_received", acksReceived_);
+    group.addCounter("timeouts_fired", timeoutsFired_);
+}
+
+} // namespace coarse::fault

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Proxy liveness detection via periodic heartbeats (paper §IV-A).
+ *
+ * A monitor node (a host CPU when the machine has one) sends a
+ * zero-byte probe to every proxy each interval; a live proxy replies
+ * immediately and a missing reply past the timeout declares the proxy
+ * dead — exactly once. Zero-byte messages ride the fabric's
+ * latency-only path, so probing never perturbs the timing of training
+ * transfers, and because everything runs on the deterministic event
+ * queue, detection latency is reproducible bit for bit.
+ */
+
+#ifndef COARSE_FAULT_HEARTBEAT_HH
+#define COARSE_FAULT_HEARTBEAT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fabric/topology.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace coarse::fault {
+
+/**
+ * Watches a proxy fleet and reports fail-stop crashes.
+ */
+class HeartbeatMonitor
+{
+  public:
+    struct Params
+    {
+        /** Probe cadence per proxy. */
+        sim::Tick interval = sim::fromMicroseconds(500);
+        /** Reply deadline; must exceed the probe round trip. */
+        sim::Tick timeout = sim::fromMicroseconds(250);
+    };
+
+    /**
+     * @param topo Fabric shared with the rest of the system.
+     * @param monitorNode Node the probes originate from.
+     * @param proxies Proxy nodes to watch, in fleet order.
+     * @param params Cadence and deadline.
+     * @param alive Predicate: does proxy @p i's hardware still
+     *        respond? Consulted at probe-delivery time.
+     * @param onDead Fired exactly once per proxy, at the tick its
+     *        timeout expires.
+     */
+    HeartbeatMonitor(fabric::Topology &topo, fabric::NodeId monitorNode,
+                     std::vector<fabric::NodeId> proxies, Params params,
+                     std::function<bool(std::size_t)> alive,
+                     std::function<void(std::size_t)> onDead);
+
+    /** Begin probing every watched proxy. */
+    void start();
+
+    /**
+     * Stop probing. Probe and timeout events already in the queue
+     * drain as no-ops, so the queue empties naturally after the last
+     * armed interval.
+     */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /** True while proxy @p i has not been declared dead. */
+    bool watching(std::size_t i) const { return probes_.at(i).watching; }
+
+    /** @name Stats */
+    ///@{
+    const sim::Counter &beatsSent() const { return beatsSent_; }
+    const sim::Counter &acksReceived() const { return acksReceived_; }
+    const sim::Counter &timeoutsFired() const { return timeoutsFired_; }
+    void attachStats(sim::StatGroup &group) const;
+    ///@}
+
+  private:
+    struct Probe
+    {
+        bool watching = true;
+        std::uint64_t epoch = 0;
+        bool acked = false;
+    };
+
+    void beat(std::size_t i);
+
+    fabric::Topology &topo_;
+    fabric::NodeId monitorNode_;
+    std::vector<fabric::NodeId> proxies_;
+    Params params_;
+    std::function<bool(std::size_t)> alive_;
+    std::function<void(std::size_t)> onDead_;
+
+    bool running_ = false;
+    std::vector<Probe> probes_;
+
+    sim::Counter beatsSent_;
+    sim::Counter acksReceived_;
+    sim::Counter timeoutsFired_;
+};
+
+} // namespace coarse::fault
+
+#endif // COARSE_FAULT_HEARTBEAT_HH

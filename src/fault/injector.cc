@@ -1,0 +1,121 @@
+#include "injector.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace coarse::fault {
+
+FaultInjector::FaultInjector(sim::Simulation &sim, FaultSchedule schedule,
+                             FaultHooks hooks)
+    : sim_(sim), schedule_(std::move(schedule)), hooks_(std::move(hooks))
+{
+}
+
+void
+FaultInjector::requireHook(const FaultSpec &spec, bool present) const
+{
+    if (!present)
+        sim::fatal("FaultInjector: schedule contains ",
+                   faultKindName(spec.kind),
+                   " but no matching hook is installed");
+}
+
+void
+FaultInjector::arm()
+{
+    if (armed_)
+        sim::fatal("FaultInjector: arm() called twice");
+    armed_ = true;
+    for (const FaultSpec &spec : schedule_.faults) {
+        validateFaultSpec(spec);
+        armOne(spec);
+    }
+}
+
+void
+FaultInjector::armOne(const FaultSpec &spec)
+{
+    auto &events = sim_.events();
+    const sim::Tick at = std::max(sim_.now(), spec.at);
+    const std::uint32_t target = spec.target;
+    const double severity = spec.severity;
+
+    switch (spec.kind) {
+      case FaultKind::LinkDegrade: {
+        requireHook(spec, bool(hooks_.degradeLink));
+        if (spec.duration > 0)
+            requireHook(spec, bool(hooks_.restoreLink));
+        events.post(at, [this, target, severity] {
+            injected_.inc();
+            linkDegrades_.inc();
+            hooks_.degradeLink(target, severity);
+        });
+        if (spec.duration > 0) {
+            events.post(at + spec.duration, [this, target] {
+                hooks_.restoreLink(target);
+            });
+        }
+        break;
+      }
+      case FaultKind::LinkFlap: {
+        requireHook(spec, bool(hooks_.degradeLink)
+                              && bool(hooks_.restoreLink));
+        // Down for half a period, up for the other half, ending
+        // restored no later than the end of the fault window.
+        const sim::Tick end = at + spec.duration;
+        for (sim::Tick t = at; t < end; t += spec.flapPeriod) {
+            const bool first = t == at;
+            events.post(t, [this, target, severity, first] {
+                if (first) {
+                    injected_.inc();
+                    linkFlaps_.inc();
+                }
+                hooks_.degradeLink(target, severity);
+            });
+            const sim::Tick up = std::min(t + spec.flapPeriod / 2, end);
+            events.post(up, [this, target] {
+                hooks_.restoreLink(target);
+            });
+        }
+        break;
+      }
+      case FaultKind::ProxyCrash: {
+        requireHook(spec, bool(hooks_.crashProxy));
+        events.post(at, [this, target] {
+            injected_.inc();
+            proxyCrashes_.inc();
+            hooks_.crashProxy(target);
+        });
+        break;
+      }
+      case FaultKind::GpuStraggler: {
+        requireHook(spec, bool(hooks_.slowWorker));
+        if (spec.duration > 0)
+            requireHook(spec, bool(hooks_.restoreWorker));
+        events.post(at, [this, target, severity] {
+            injected_.inc();
+            stragglers_.inc();
+            hooks_.slowWorker(target, severity);
+        });
+        if (spec.duration > 0) {
+            events.post(at + spec.duration, [this, target] {
+                hooks_.restoreWorker(target);
+            });
+        }
+        break;
+      }
+    }
+}
+
+void
+FaultInjector::attachStats(sim::StatGroup &group) const
+{
+    group.addCounter("faults_injected", injected_);
+    group.addCounter("link_degrades", linkDegrades_);
+    group.addCounter("link_flaps", linkFlaps_);
+    group.addCounter("proxy_crashes", proxyCrashes_);
+    group.addCounter("gpu_stragglers", stragglers_);
+}
+
+} // namespace coarse::fault

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * FaultInjector: turns a FaultSchedule into event-queue activity.
+ *
+ * The injector owns no simulated component. Instead the embedding
+ * system hands it a set of hooks — degrade/restore a fabric link,
+ * fail-stop a proxy, slow down a worker GPU — and arm() posts one
+ * event per scheduled fault transition. Everything is driven by the
+ * deterministic event queue, so a fault storm replays identically
+ * run after run.
+ */
+
+#ifndef COARSE_FAULT_INJECTOR_HH
+#define COARSE_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "fault.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace coarse::fault {
+
+/**
+ * Per-component callbacks the injector drives. A hook may be left
+ * empty only if no schedule entry needs it; arm() fails loudly
+ * otherwise.
+ */
+struct FaultHooks
+{
+    /** Cut link @p link to @p factor of nominal bandwidth. */
+    std::function<void(std::uint32_t link, double factor)> degradeLink;
+    /** Heal link @p link back to nominal bandwidth. */
+    std::function<void(std::uint32_t link)> restoreLink;
+    /** Fail-stop memory device / proxy @p proxy (permanent). */
+    std::function<void(std::uint32_t proxy)> crashProxy;
+    /** Multiply worker @p worker's compute time by @p factor (>= 1). */
+    std::function<void(std::uint32_t worker, double factor)> slowWorker;
+    /** Return worker @p worker to nominal speed. */
+    std::function<void(std::uint32_t worker)> restoreWorker;
+};
+
+/**
+ * Posts a fault schedule into a simulation's event queue.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(sim::Simulation &sim, FaultSchedule schedule,
+                  FaultHooks hooks);
+
+    /**
+     * Post every scheduled fault (and its restore transition) into
+     * the event queue. Call once, before the run starts. Faults whose
+     * time is already past fire at the current tick.
+     */
+    void arm();
+
+    const FaultSchedule &schedule() const { return schedule_; }
+
+    /** @name Stats (incremented when the fault fires, not at arm) */
+    ///@{
+    const sim::Counter &faultsInjected() const { return injected_; }
+    const sim::Counter &linkDegrades() const { return linkDegrades_; }
+    const sim::Counter &linkFlaps() const { return linkFlaps_; }
+    const sim::Counter &proxyCrashes() const { return proxyCrashes_; }
+    const sim::Counter &gpuStragglers() const { return stragglers_; }
+    void attachStats(sim::StatGroup &group) const;
+    ///@}
+
+  private:
+    void armOne(const FaultSpec &spec);
+    void requireHook(const FaultSpec &spec, bool present) const;
+
+    sim::Simulation &sim_;
+    FaultSchedule schedule_;
+    FaultHooks hooks_;
+    bool armed_ = false;
+
+    sim::Counter injected_;
+    sim::Counter linkDegrades_;
+    sim::Counter linkFlaps_;
+    sim::Counter proxyCrashes_;
+    sim::Counter stragglers_;
+};
+
+} // namespace coarse::fault
+
+#endif // COARSE_FAULT_INJECTOR_HH

@@ -148,6 +148,7 @@ EventQueue::popRunnable(Entry &out, Tick limit)
 std::uint64_t
 EventQueue::run(Tick limit)
 {
+    TickScope tickScope(&now_);
     std::uint64_t count = 0;
     Entry entry;
     while (popRunnable(entry, limit)) {
@@ -173,6 +174,7 @@ EventQueue::run(Tick limit)
 bool
 EventQueue::step()
 {
+    TickScope tickScope(&now_);
     Entry entry;
     if (!popRunnable(entry, kMaxTick))
         return false;

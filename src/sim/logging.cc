@@ -69,6 +69,40 @@ setLogLevel(LogLevel level)
 
 namespace detail {
 
+namespace {
+
+const std::uint64_t *&
+activeTickStorage()
+{
+    thread_local const std::uint64_t *tick = nullptr;
+    return tick;
+}
+
+} // namespace
+
+const std::uint64_t *
+activeTick()
+{
+    return activeTickStorage();
+}
+
+void
+setActiveTick(const std::uint64_t *tick)
+{
+    activeTickStorage() = tick;
+}
+
+std::string
+decorate(std::string message)
+{
+    if (const std::uint64_t *tick = activeTick()) {
+        message += " (at tick ";
+        message += std::to_string(*tick);
+        message += ")";
+    }
+    return message;
+}
+
 void
 emitLog(LogLevel level, const std::string &component,
         const std::string &message)

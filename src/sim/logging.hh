@@ -12,6 +12,7 @@
 #ifndef COARSE_SIM_LOGGING_HH
 #define COARSE_SIM_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -57,14 +58,46 @@ concat(Args &&...args)
     return oss.str();
 }
 
+/** The event queue's current tick, or nullptr outside of event dispatch. */
+const std::uint64_t *activeTick();
+void setActiveTick(const std::uint64_t *tick);
+
+/** Append " (at tick N)" to @p message while an event queue is active. */
+std::string decorate(std::string message);
+
 } // namespace detail
+
+/**
+ * RAII marker that an event queue is dispatching: fatal() and panic()
+ * messages raised inside the scope carry the simulated tick, which
+ * pinpoints *when* an error fired — essential once fault injection
+ * makes errors time-dependent. Scopes nest; the innermost wins.
+ */
+class TickScope
+{
+  public:
+    explicit TickScope(const std::uint64_t *tick)
+        : previous_(detail::activeTick())
+    {
+        detail::setActiveTick(tick);
+    }
+
+    ~TickScope() { detail::setActiveTick(previous_); }
+
+    TickScope(const TickScope &) = delete;
+    TickScope &operator=(const TickScope &) = delete;
+
+  private:
+    const std::uint64_t *previous_;
+};
 
 /** Report an unrecoverable user error. Always throws FatalError. */
 template <typename... Args>
 [[noreturn]] void
 fatal(Args &&...args)
 {
-    throw FatalError(detail::concat(std::forward<Args>(args)...));
+    throw FatalError(
+        detail::decorate(detail::concat(std::forward<Args>(args)...)));
 }
 
 /** Report an internal invariant violation. Always throws PanicError. */
@@ -72,7 +105,8 @@ template <typename... Args>
 [[noreturn]] void
 panic(Args &&...args)
 {
-    throw PanicError(detail::concat(std::forward<Args>(args)...));
+    throw PanicError(
+        detail::decorate(detail::concat(std::forward<Args>(args)...)));
 }
 
 /**

@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: schedule parsing, the injector's
+ * event-queue behaviour, link degradation in the fabric, heartbeat
+ * detection, and the engine's proxy-crash recovery loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "fault/fault.hh"
+#include "fault/heartbeat.hh"
+#include "fault/injector.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse;
+using namespace coarse::fault;
+using coarse::sim::FatalError;
+using coarse::sim::Simulation;
+
+TEST(FaultSchedule, ParsesDeclarativeSyntax)
+{
+    const auto schedule = parseFaultSchedule(
+        "link-degrade@1ms+4ms:target=2,factor=0.25;"
+        "proxy-crash@6ms:target=1;"
+        "gpu-straggler@2.5ms+1ms:target=0,factor=2.0;"
+        "link-flap@500us+2ms:target=3,factor=0.5,period=200us");
+    ASSERT_EQ(schedule.size(), 4u);
+
+    const FaultSpec &degrade = schedule.faults[0];
+    EXPECT_EQ(degrade.kind, FaultKind::LinkDegrade);
+    EXPECT_EQ(degrade.at, sim::fromSeconds(1e-3));
+    EXPECT_EQ(degrade.duration, sim::fromSeconds(4e-3));
+    EXPECT_EQ(degrade.target, 2u);
+    EXPECT_DOUBLE_EQ(degrade.severity, 0.25);
+
+    const FaultSpec &crash = schedule.faults[1];
+    EXPECT_EQ(crash.kind, FaultKind::ProxyCrash);
+    EXPECT_EQ(crash.at, sim::fromSeconds(6e-3));
+    EXPECT_EQ(crash.duration, 0u);
+    EXPECT_EQ(crash.target, 1u);
+
+    const FaultSpec &straggler = schedule.faults[2];
+    EXPECT_EQ(straggler.kind, FaultKind::GpuStraggler);
+    EXPECT_DOUBLE_EQ(straggler.severity, 2.0);
+
+    const FaultSpec &flap = schedule.faults[3];
+    EXPECT_EQ(flap.kind, FaultKind::LinkFlap);
+    EXPECT_EQ(flap.flapPeriod, sim::fromSeconds(200e-6));
+}
+
+TEST(FaultSchedule, MalformedEntriesAreFatal)
+{
+    // Missing @TIME.
+    EXPECT_THROW(parseFaultSchedule("link-degrade:target=0"),
+                 FatalError);
+    // Unknown kind.
+    EXPECT_THROW(parseFaultSchedule("gpu-melt@1ms:target=0"),
+                 FatalError);
+    // Time without a unit.
+    EXPECT_THROW(parseFaultSchedule("proxy-crash@12:target=0"),
+                 FatalError);
+    // Missing the required target.
+    EXPECT_THROW(parseFaultSchedule("proxy-crash@1ms"), FatalError);
+    // Degrade factor outside (0, 1).
+    EXPECT_THROW(
+        parseFaultSchedule("link-degrade@1ms:target=0,factor=1.5"),
+        FatalError);
+    // Flap without a period.
+    EXPECT_THROW(
+        parseFaultSchedule("link-flap@1ms+2ms:target=0,factor=0.5"),
+        FatalError);
+    // Proxy crash is fail-stop: a duration is a contradiction.
+    EXPECT_THROW(parseFaultSchedule("proxy-crash@1ms+2ms:target=0"),
+                 FatalError);
+    // Empty schedule.
+    EXPECT_THROW(parseFaultSchedule(";;"), FatalError);
+}
+
+TEST(FaultSchedule, RandomStormIsDeterministic)
+{
+    RandomFaultOptions options;
+    options.horizon = sim::fromSeconds(10e-3);
+    options.faults = 12;
+    options.links = 6;
+    options.proxies = 4;
+    options.workers = 4;
+    options.maxProxyCrashes = 2;
+
+    sim::Random rngA(42);
+    sim::Random rngB(42);
+    const auto a = randomFaultSchedule(rngA, options);
+    const auto b = randomFaultSchedule(rngB, options);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.size(), options.faults + 2);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.faults[i].kind, b.faults[i].kind) << i;
+        EXPECT_EQ(a.faults[i].at, b.faults[i].at) << i;
+        EXPECT_EQ(a.faults[i].duration, b.faults[i].duration) << i;
+        EXPECT_EQ(a.faults[i].target, b.faults[i].target) << i;
+        EXPECT_DOUBLE_EQ(a.faults[i].severity, b.faults[i].severity)
+            << i;
+    }
+
+    // A different seed draws a different storm.
+    sim::Random rngC(43);
+    const auto c = randomFaultSchedule(rngC, options);
+    bool anyDiffers = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        anyDiffers = anyDiffers || a.faults[i].at != c.faults[i].at;
+    EXPECT_TRUE(anyDiffers);
+
+    // Proxy crashes never hit the same device twice and leave at
+    // least one alive.
+    std::vector<std::uint32_t> crashed;
+    for (const FaultSpec &f : a.faults) {
+        if (f.kind == FaultKind::ProxyCrash)
+            crashed.push_back(f.target);
+    }
+    ASSERT_EQ(crashed.size(), 2u);
+    EXPECT_NE(crashed[0], crashed[1]);
+}
+
+TEST(FaultInjector, FiresHooksAtScheduledTicks)
+{
+    Simulation sim;
+    struct Call
+    {
+        std::string what;
+        sim::Tick at;
+        std::uint32_t target;
+    };
+    std::vector<Call> calls;
+
+    FaultHooks hooks;
+    hooks.degradeLink = [&](std::uint32_t link, double) {
+        calls.push_back({"degrade", sim.now(), link});
+    };
+    hooks.restoreLink = [&](std::uint32_t link) {
+        calls.push_back({"restore", sim.now(), link});
+    };
+    hooks.crashProxy = [&](std::uint32_t proxy) {
+        calls.push_back({"crash", sim.now(), proxy});
+    };
+    hooks.slowWorker = [&](std::uint32_t worker, double) {
+        calls.push_back({"slow", sim.now(), worker});
+    };
+    hooks.restoreWorker = [&](std::uint32_t worker) {
+        calls.push_back({"unslow", sim.now(), worker});
+    };
+
+    FaultInjector injector(
+        sim,
+        parseFaultSchedule("link-degrade@1ms+2ms:target=5,factor=0.5;"
+                           "gpu-straggler@2ms+2ms:target=1,factor=3;"
+                           "proxy-crash@5ms:target=0"),
+        std::move(hooks));
+    injector.arm();
+    sim.run();
+
+    ASSERT_EQ(calls.size(), 5u);
+    EXPECT_EQ(calls[0].what, "degrade");
+    EXPECT_EQ(calls[0].at, sim::fromSeconds(1e-3));
+    EXPECT_EQ(calls[0].target, 5u);
+    EXPECT_EQ(calls[1].what, "slow");
+    EXPECT_EQ(calls[1].at, sim::fromSeconds(2e-3));
+    EXPECT_EQ(calls[2].what, "restore");
+    EXPECT_EQ(calls[2].at, sim::fromSeconds(3e-3));
+    EXPECT_EQ(calls[3].what, "unslow");
+    EXPECT_EQ(calls[3].at, sim::fromSeconds(4e-3));
+    EXPECT_EQ(calls[4].what, "crash");
+    EXPECT_EQ(calls[4].at, sim::fromSeconds(5e-3));
+
+    EXPECT_EQ(injector.faultsInjected().value(), 3u);
+    EXPECT_EQ(injector.linkDegrades().value(), 1u);
+    EXPECT_EQ(injector.gpuStragglers().value(), 1u);
+    EXPECT_EQ(injector.proxyCrashes().value(), 1u);
+
+    EXPECT_THROW(injector.arm(), FatalError); // arm() is one-shot
+}
+
+TEST(FaultInjector, FlapTogglesTheLinkAndEndsRestored)
+{
+    Simulation sim;
+    int downs = 0;
+    int ups = 0;
+    bool degraded = false;
+
+    FaultHooks hooks;
+    hooks.degradeLink = [&](std::uint32_t, double) {
+        ++downs;
+        degraded = true;
+    };
+    hooks.restoreLink = [&](std::uint32_t) {
+        ++ups;
+        degraded = false;
+    };
+
+    // 2 ms window, 1 ms period: two full down/up cycles.
+    FaultInjector injector(
+        sim,
+        parseFaultSchedule(
+            "link-flap@1ms+2ms:target=0,factor=0.5,period=1ms"),
+        std::move(hooks));
+    injector.arm();
+    sim.run();
+
+    EXPECT_EQ(downs, 2);
+    EXPECT_EQ(ups, 2);
+    EXPECT_FALSE(degraded); // the window always ends healthy
+    EXPECT_EQ(injector.faultsInjected().value(), 1u);
+    EXPECT_EQ(injector.linkFlaps().value(), 1u);
+}
+
+TEST(FaultInjector, MissingHookIsFatal)
+{
+    Simulation sim;
+    FaultHooks hooks; // all empty
+    FaultInjector injector(
+        sim, parseFaultSchedule("proxy-crash@1ms:target=0"),
+        std::move(hooks));
+    EXPECT_THROW(injector.arm(), FatalError);
+}
+
+TEST(LinkDegrade, SlowsTransfersAndPathBandwidth)
+{
+    Simulation sim;
+    fabric::Topology topo(sim);
+    const auto a = topo.addNode(fabric::NodeKind::Gpu, "a");
+    const auto b = topo.addNode(fabric::NodeKind::MemoryDevice, "b");
+    fabric::LinkParams params;
+    params.bandwidth = fabric::BandwidthCurve::flat(fabric::gbps(10.0));
+    const auto link = topo.addLink(a, b, params);
+
+    const std::uint64_t bytes = 10 << 20;
+    const double healthy = topo.pathBandwidth(a, b, bytes);
+
+    sim::Tick healthyArrival = 0;
+    {
+        fabric::Message msg;
+        msg.src = a;
+        msg.dst = b;
+        msg.bytes = bytes;
+        msg.onDelivered = [&] { healthyArrival = sim.now(); };
+        topo.send(msg);
+        sim.run();
+    }
+
+    topo.link(link).setDegradeFactor(0.5);
+    EXPECT_DOUBLE_EQ(topo.pathBandwidth(a, b, bytes), healthy * 0.5);
+
+    const sim::Tick degradeStart = sim.now();
+    sim::Tick degradedArrival = 0;
+    {
+        fabric::Message msg;
+        msg.src = a;
+        msg.dst = b;
+        msg.bytes = bytes;
+        msg.onDelivered = [&] { degradedArrival = sim.now(); };
+        topo.send(msg);
+        sim.run();
+    }
+
+    // Serialization dominates at 10 MiB, so halving the bandwidth
+    // roughly doubles the delivery time.
+    const double healthySeconds = sim::toSeconds(healthyArrival);
+    const double degradedSeconds =
+        sim::toSeconds(degradedArrival - degradeStart);
+    EXPECT_GT(degradedSeconds, 1.9 * healthySeconds);
+    EXPECT_LT(degradedSeconds, 2.1 * healthySeconds);
+
+    // Restore heals the link completely.
+    topo.link(link).setDegradeFactor(1.0);
+    EXPECT_DOUBLE_EQ(topo.pathBandwidth(a, b, bytes), healthy);
+
+    // Out-of-range factors are rejected.
+    EXPECT_THROW(topo.link(link).setDegradeFactor(0.0), FatalError);
+    EXPECT_THROW(topo.link(link).setDegradeFactor(1.5), FatalError);
+}
+
+TEST(Heartbeat, DetectsACrashWithoutFalsePositives)
+{
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    auto &topo = machine->topology();
+
+    std::vector<bool> dead(machine->memDevices().size(), false);
+    std::vector<std::size_t> declared;
+    sim::Tick detectedAt = 0;
+
+    HeartbeatMonitor::Params params;
+    params.interval = sim::fromMicroseconds(50);
+    params.timeout = sim::fromMicroseconds(25);
+    HeartbeatMonitor monitor(
+        topo, machine->workers().front(), machine->memDevices(), params,
+        [&](std::size_t i) { return !dead[i]; },
+        [&](std::size_t i) {
+            declared.push_back(i);
+            detectedAt = sim.now();
+        });
+
+    const sim::Tick crashTick = sim::fromMicroseconds(400);
+    sim.events().post(crashTick, [&] { dead[1] = true; });
+
+    monitor.start();
+    sim.run(sim::fromMicroseconds(1000));
+    monitor.stop();
+    sim.run(); // drain the leftover probe events
+
+    ASSERT_EQ(declared.size(), 1u);
+    EXPECT_EQ(declared[0], 1u);
+    EXPECT_FALSE(monitor.watching(1));
+    EXPECT_TRUE(monitor.watching(0));
+    EXPECT_EQ(monitor.timeoutsFired().value(), 1u);
+
+    // Detection happens after the crash, within one probe interval
+    // plus the timeout (plus the probe's own flight time).
+    EXPECT_GT(detectedAt, crashTick);
+    EXPECT_LE(detectedAt,
+              crashTick + params.interval + params.timeout
+                  + sim::fromMicroseconds(10));
+
+    EXPECT_GT(monitor.beatsSent().value(), 0u);
+    EXPECT_GT(monitor.acksReceived().value(), 0u);
+}
+
+TEST(Heartbeat, RejectsSubRoundTripTimeout)
+{
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    HeartbeatMonitor::Params params;
+    params.interval = sim::fromMicroseconds(50);
+    params.timeout = 1; // one picosecond: below any round trip
+    EXPECT_THROW(HeartbeatMonitor(machine->topology(),
+                                  machine->workers().front(),
+                                  machine->memDevices(), params,
+                                  [](std::size_t) { return true; },
+                                  [](std::size_t) {}),
+                 FatalError);
+}
+
+coarse::dl::ModelSpec
+tinyModel()
+{
+    return coarse::dl::makeSynthetic(
+        "tiny", {512, 1 << 20, 2048, (3 << 20) / 4, 256}, 2e9,
+        1 << 20);
+}
+
+core::CoarseOptions
+faultTolerantOptions()
+{
+    core::CoarseOptions options;
+    options.functionalData = true;
+    options.learningRate = 0.5;
+    options.checkpointEveryIters = 2;
+    return options;
+}
+
+TEST(EngineFaults, RecoversFromProxyCrashWithIdenticalWeights)
+{
+    const std::uint32_t iters = 6;
+
+    // Fault-free reference run (same checkpoint cadence, no monitor).
+    Simulation cleanSim;
+    auto cleanMachine = fabric::makeSdscP100(cleanSim);
+    core::CoarseEngine clean(*cleanMachine, tinyModel(), 4,
+                             faultTolerantOptions());
+    const auto cleanReport = clean.run(iters, 0);
+    ASSERT_FALSE(cleanReport.deadlocked);
+    const sim::Tick cleanEnd = cleanSim.now();
+
+    // Faulty run: proxy 1 fail-stops ~40% into training.
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    auto options = faultTolerantOptions();
+    options.heartbeats = true;
+    options.heartbeatIntervalSeconds = 20e-6;
+    options.heartbeatTimeoutSeconds = 10e-6;
+    core::CoarseEngine engine(*machine, tinyModel(), 4, options);
+
+    FaultSchedule schedule;
+    FaultSpec crash;
+    crash.kind = FaultKind::ProxyCrash;
+    crash.at = cleanEnd * 2 / 5;
+    crash.target = 1;
+    schedule.faults.push_back(crash);
+    FaultInjector injector(sim, schedule, engine.faultHooks());
+    injector.arm();
+
+    const auto report = engine.run(iters, 0);
+    ASSERT_FALSE(report.deadlocked);
+
+    // The crash was detected, recovered from, and accounted.
+    EXPECT_EQ(injector.proxyCrashes().value(), 1u);
+    EXPECT_EQ(engine.failuresRecovered(), 1u);
+    EXPECT_GT(engine.iterationsReplayed(), 0u);
+    EXPECT_EQ(engine.aliveProxyCount(), 1u);
+    EXPECT_TRUE(engine.proxyAlive(0));
+    EXPECT_FALSE(engine.proxyAlive(1));
+    ASSERT_EQ(engine.detectionLatency().count(), 1u);
+    EXPECT_GT(engine.detectionLatency().mean(), 0.0);
+    ASSERT_EQ(engine.recoveryTime().count(), 1u);
+    EXPECT_GT(engine.recoveryTime().mean(), 0.0);
+    EXPECT_GT(engine.rollbackBytes().value(), 0u);
+
+    // Routing was rebuilt around the dead device: no worker may route
+    // any tensor size to proxy 1.
+    const auto deadNode = machine->memDevices()[1];
+    for (std::size_t w = 0; w < machine->workers().size(); ++w) {
+        const auto &table = engine.routingTableOf(w);
+        EXPECT_NE(table.latProxy, deadNode) << "worker " << w;
+        EXPECT_NE(table.bwProxy, deadNode) << "worker " << w;
+    }
+
+    // Recovery is exact: the final parameter state matches the
+    // fault-free run bit for bit (two-worker sums are order-proof).
+    const auto model = tinyModel();
+    for (std::size_t t = 0; t < model.tensors.size(); ++t) {
+        const auto &expect = clean.weights(0, t);
+        const auto &got = engine.weights(0, t);
+        ASSERT_EQ(expect.size(), got.size());
+        for (std::size_t e = 0; e < expect.size(); e += 61)
+            ASSERT_EQ(expect[e], got[e]) << "tensor " << t << " elem "
+                                         << e;
+    }
+}
+
+TEST(EngineFaults, StragglerStretchesIterations)
+{
+    Simulation baseSim;
+    auto baseMachine = fabric::makeSdscP100(baseSim);
+    core::CoarseEngine base(*baseMachine, tinyModel(), 4, {});
+    const auto baseReport = base.run(4, 0);
+
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    core::CoarseEngine engine(*machine, tinyModel(), 4, {});
+    engine.setWorkerSlowdown(0, 2.0);
+    const auto report = engine.run(4, 0);
+
+    // Twice-as-slow compute on one worker paces the whole data-
+    // parallel step: iterations get strictly slower, and at least
+    // compute-bound portions double.
+    EXPECT_GT(report.iterationSeconds, baseReport.iterationSeconds);
+    EXPECT_GE(report.iterationSeconds,
+              2.0 * baseReport.computeSeconds);
+}
+
+TEST(EngineFaults, LinkFaultTriggersReprofile)
+{
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    core::CoarseEngine engine(*machine, tinyModel(), 4, {});
+    EXPECT_EQ(engine.profileRuns(), 1u);
+
+    FaultInjector injector(
+        sim,
+        parseFaultSchedule("link-degrade@1us:target=0,factor=0.5"),
+        engine.faultHooks());
+    injector.arm();
+    engine.run(3, 0);
+
+    // The degrade landed before iteration 1, so the engine re-ran the
+    // profiler at the next iteration boundary.
+    EXPECT_GE(engine.profileRuns(), 2u);
+}
+
+TEST(EngineFaults, ProxyCrashWithoutHeartbeatsIsFatal)
+{
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    core::CoarseEngine engine(*machine, tinyModel(), 4, {});
+    EXPECT_THROW(engine.crashProxy(1), FatalError);
+}
+
+TEST(EngineFaults, CrashingTheLastProxyIsFatal)
+{
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    auto options = faultTolerantOptions();
+    options.heartbeats = true;
+    options.heartbeatIntervalSeconds = 20e-6;
+    options.heartbeatTimeoutSeconds = 10e-6;
+    core::CoarseEngine engine(*machine, tinyModel(), 4, options);
+    engine.crashProxy(0);
+    EXPECT_THROW(engine.crashProxy(1), FatalError);
+}
+
+} // namespace

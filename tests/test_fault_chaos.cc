@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Deterministic chaos testing: a seeded random fault storm — link
+ * degradation, flapping, stragglers, and a proxy crash — over a full
+ * functional training run must (a) complete, (b) converge to exactly
+ * the fault-free parameter state, and (c) replay byte-identically when
+ * the same seed is used again.
+ *
+ * Registered under the `chaos` ctest label; tools/check.sh runs the
+ * label under AddressSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "fault/fault.hh"
+#include "fault/injector.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace coarse;
+using coarse::sim::Simulation;
+
+coarse::dl::ModelSpec
+tinyModel()
+{
+    return coarse::dl::makeSynthetic(
+        "tiny", {512, 1 << 20, 2048, (3 << 20) / 4, 256}, 2e9,
+        1 << 20);
+}
+
+core::CoarseOptions
+chaosOptions(bool heartbeats)
+{
+    core::CoarseOptions options;
+    options.functionalData = true;
+    options.learningRate = 0.5;
+    options.checkpointEveryIters = 2;
+    if (heartbeats) {
+        options.heartbeats = true;
+        options.heartbeatIntervalSeconds = 20e-6;
+        options.heartbeatTimeoutSeconds = 10e-6;
+    }
+    return options;
+}
+
+constexpr std::uint32_t kIters = 6;
+
+/** Everything a chaos run produces that determinism must cover. */
+struct ChaosOutcome
+{
+    std::vector<std::vector<float>> weights; // worker 0, per tensor
+    sim::Tick endTick = 0;
+    std::uint32_t failures = 0;
+    std::uint32_t replayed = 0;
+    std::uint64_t faultsInjected = 0;
+    bool deadlocked = false;
+};
+
+ChaosOutcome
+runStorm(std::uint64_t seed)
+{
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    core::CoarseEngine engine(*machine, tinyModel(), 4,
+                              chaosOptions(/*heartbeats=*/true));
+
+    // The storm spans the whole (fault-free) training window, so any
+    // iteration may be hit.
+    fault::RandomFaultOptions rfo;
+    rfo.horizon = sim::fromSeconds(1.5e-3);
+    rfo.faults = 6;
+    rfo.links = static_cast<std::uint32_t>(
+        machine->topology().linkCount());
+    rfo.proxies =
+        static_cast<std::uint32_t>(machine->memDevices().size());
+    rfo.workers =
+        static_cast<std::uint32_t>(machine->workers().size());
+    rfo.maxProxyCrashes = 1;
+
+    sim::Random rng(seed);
+    fault::FaultInjector injector(
+        sim, fault::randomFaultSchedule(rng, rfo),
+        engine.faultHooks());
+    injector.arm();
+
+    ChaosOutcome out;
+    const auto report = engine.run(kIters, 0);
+    out.deadlocked = report.deadlocked;
+    out.endTick = sim.now();
+    out.failures = engine.failuresRecovered();
+    out.replayed = engine.iterationsReplayed();
+    out.faultsInjected = injector.faultsInjected().value();
+
+    const auto model = tinyModel();
+    for (std::size_t t = 0; t < model.tensors.size(); ++t)
+        out.weights.push_back(engine.weights(0, t));
+    return out;
+}
+
+TEST(FaultChaos, StormConvergesToTheFaultFreeState)
+{
+    // Fault-free reference.
+    Simulation cleanSim;
+    auto cleanMachine = fabric::makeSdscP100(cleanSim);
+    core::CoarseEngine clean(*cleanMachine, tinyModel(), 4,
+                             chaosOptions(/*heartbeats=*/false));
+    const auto cleanReport = clean.run(kIters, 0);
+    ASSERT_FALSE(cleanReport.deadlocked);
+
+    const ChaosOutcome storm = runStorm(/*seed=*/7);
+    ASSERT_FALSE(storm.deadlocked);
+    EXPECT_GT(storm.faultsInjected, 0u);
+
+    // Faults cost time, never correctness: with two workers every
+    // gradient sum is a single commutative float add, so the final
+    // weights must match the clean run bit for bit — even across a
+    // rollback-and-replay recovery.
+    const auto model = tinyModel();
+    ASSERT_EQ(storm.weights.size(), model.tensors.size());
+    for (std::size_t t = 0; t < model.tensors.size(); ++t) {
+        const auto &expect = clean.weights(0, t);
+        const auto &got = storm.weights[t];
+        ASSERT_EQ(expect.size(), got.size());
+        for (std::size_t e = 0; e < expect.size(); ++e)
+            ASSERT_EQ(expect[e], got[e])
+                << "tensor " << t << " elem " << e;
+    }
+}
+
+TEST(FaultChaos, SameSeedReplaysByteIdentically)
+{
+    const ChaosOutcome a = runStorm(/*seed=*/7);
+    const ChaosOutcome b = runStorm(/*seed=*/7);
+
+    ASSERT_FALSE(a.deadlocked);
+    ASSERT_FALSE(b.deadlocked);
+    EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.replayed, b.replayed);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    ASSERT_EQ(a.weights.size(), b.weights.size());
+    for (std::size_t t = 0; t < a.weights.size(); ++t) {
+        ASSERT_EQ(a.weights[t].size(), b.weights[t].size());
+        for (std::size_t e = 0; e < a.weights[t].size(); ++e)
+            ASSERT_EQ(a.weights[t][e], b.weights[t][e])
+                << "tensor " << t << " elem " << e;
+    }
+}
+
+TEST(FaultChaos, OtherSeedsConvergeToo)
+{
+    Simulation cleanSim;
+    auto cleanMachine = fabric::makeSdscP100(cleanSim);
+    core::CoarseEngine clean(*cleanMachine, tinyModel(), 4,
+                             chaosOptions(/*heartbeats=*/false));
+    clean.run(kIters, 0);
+
+    const ChaosOutcome storm = runStorm(/*seed=*/1234);
+    ASSERT_FALSE(storm.deadlocked);
+    for (std::size_t t = 0; t < storm.weights.size(); ++t) {
+        const auto &expect = clean.weights(0, t);
+        for (std::size_t e = 0; e < expect.size(); e += 31)
+            ASSERT_EQ(expect[e], storm.weights[t][e])
+                << "tensor " << t << " elem " << e;
+    }
+}
+
+} // namespace

@@ -91,6 +91,74 @@ TEST(CowStore, DropCheckpoint)
     EXPECT_THROW(store.dropCheckpoint(snap), FatalError);
 }
 
+TEST(CowStore, RestoreToPreWriteSnapshotDropsLaterKeys)
+{
+    // A snapshot taken before a key existed must not resurrect it:
+    // restore replaces the live set wholesale.
+    CowStore store;
+    store.put(1, {1.0f});
+    const SnapshotId snap = store.snapshot();
+    store.put(2, {7.0f}); // written only after the snapshot
+    ASSERT_TRUE(store.contains(2));
+    store.restore(snap);
+    EXPECT_TRUE(store.contains(1));
+    EXPECT_FALSE(store.contains(2));
+    EXPECT_THROW(store.get(2), FatalError);
+}
+
+TEST(CowStore, DoubleRestoreIsIdempotent)
+{
+    CowStore store;
+    store.put(1, {1.0f});
+    const SnapshotId snap = store.snapshot();
+    store.put(1, {9.0f});
+    store.restore(snap);
+    const auto copiedAfterFirst = store.bytesCopied().value();
+    store.restore(snap); // same checkpoint again
+    EXPECT_EQ((*store.get(1))[0], 1.0f);
+    // Restoring is pointer rewiring, never a data copy.
+    EXPECT_EQ(store.bytesCopied().value(), copiedAfterFirst);
+}
+
+TEST(CowStore, SnapshotAfterRestoreForksTheLineage)
+{
+    // checkpoint A -> diverge -> restore A -> diverge differently ->
+    // checkpoint B. Both checkpoints stay readable and distinct, so a
+    // recovery can itself be checkpointed (crash during replay).
+    CowStore store;
+    store.put(1, {1.0f});
+    const SnapshotId snapA = store.snapshot();
+    store.put(1, {2.0f});
+    store.restore(snapA);
+    store.put(1, {3.0f});
+    const SnapshotId snapB = store.snapshot();
+    EXPECT_NE(snapA, snapB);
+    EXPECT_EQ((*store.checkpoint(snapA).at(1))[0], 1.0f);
+    EXPECT_EQ((*store.checkpoint(snapB).at(1))[0], 3.0f);
+    store.restore(snapA);
+    EXPECT_EQ((*store.get(1))[0], 1.0f);
+    store.restore(snapB);
+    EXPECT_EQ((*store.get(1))[0], 3.0f);
+}
+
+TEST(CowStore, RewriteAfterRestoreDedupsAgainstRestoredVersion)
+{
+    // After a rollback, the replayed iteration recomputes the same
+    // updates; writing a value identical to the restored one must be
+    // absorbed, not copied — that is the CoW dedup the paper's
+    // fault-tolerance cost argument rests on.
+    CowStore store;
+    store.put(1, {4.0f, 5.0f});
+    const SnapshotId snap = store.snapshot();
+    store.put(1, {6.0f, 7.0f});
+    store.restore(snap);
+    const auto absorbed = store.writesAbsorbed().value();
+    const auto versions = store.versionsCreated().value();
+    EXPECT_FALSE(store.put(1, {4.0f, 5.0f})); // identical to restored
+    EXPECT_EQ(store.writesAbsorbed().value(), absorbed + 1);
+    EXPECT_EQ(store.versionsCreated().value(), versions);
+}
+
 TEST(SyncCore, CombineAddsBuffers)
 {
     SyncCore core;

@@ -61,6 +61,44 @@ TEST(EventQueue, SameTickUsesPriorityThenFifo)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
+TEST(EventQueue, FatalInsideRunCarriesTheTick)
+{
+    EventQueue queue;
+    queue.schedule(1234, [] { fatal("boom"); });
+    try {
+        queue.run();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("boom"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("(at tick 1234)"),
+                  std::string::npos);
+    }
+}
+
+TEST(EventQueue, PanicInsideStepCarriesTheTick)
+{
+    EventQueue queue;
+    queue.schedule(77, [] { panic("bug"); });
+    try {
+        queue.step();
+        FAIL() << "expected PanicError";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("(at tick 77)"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, FatalOutsideAnyRunHasNoTickStamp)
+{
+    try {
+        fatal("standalone");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(std::string(e.what()), "standalone");
+    }
+}
+
 TEST(EventQueue, CancelPreventsExecution)
 {
     EventQueue queue;

@@ -26,6 +26,11 @@ run_suite() {
 run_suite build
 if [[ "${fast}" == 0 ]]; then
     run_suite build-asan -DCOARSE_SANITIZE=address
+    # The chaos storm tests allocate and roll back aggressively; run
+    # them again explicitly under ASan so leaks in the recovery path
+    # cannot hide behind a passing default build.
+    echo "== build-asan: ctest -L chaos"
+    ctest --test-dir build-asan -L chaos --output-on-failure -j "${jobs}"
     run_suite build-ubsan -DCOARSE_SANITIZE=undefined
 fi
 echo "All checks passed."
