@@ -67,6 +67,8 @@ parseOptions(const std::vector<std::string> &args)
             options.randomFaults = true;
         } else if (arg == "--fault-count") {
             options.faultCount = parseUint(arg, value());
+        } else if (arg == "--full-rollback") {
+            options.fullRollback = true;
         } else if (arg == "--no-routing") {
             options.routing = false;
         } else if (arg == "--no-partitioning") {
@@ -131,6 +133,8 @@ usage: coarsesim [options]
                         "link-degrade@1ms+4ms:target=2,factor=0.25"
   --fault-seed N        inject a seeded random fault storm instead
   --fault-count N       faults in the random storm (8)
+  --full-rollback       restore the whole model on proxy failure
+                        instead of only the dead proxy's shard
   --no-routing          disable Lat/Bw tensor routing
   --no-partitioning     disable tensor partitioning
   --no-dual-sync        synchronize everything through the proxies

@@ -36,6 +36,8 @@ struct Options
     bool randomFaults = false;
     std::uint32_t faultSeed = 0;
     std::uint32_t faultCount = 8;
+    /** Disable partial rollback: restore the full model on failure. */
+    bool fullRollback = false;
     bool dumpStats = false;
     /** "table" (default) or "csv". */
     std::string format = "table";

@@ -73,6 +73,7 @@ runOne(const Options &options, const std::string &scheme)
         coarseOptions.compressGradients = options.compressGradients;
         coarseOptions.dataLoading = options.dataLoading;
         coarseOptions.checkpointEveryIters = options.checkpointEvery;
+        coarseOptions.recovery.partialRollback = !options.fullRollback;
         if (wantFaults) {
             coarseOptions.heartbeats = true;
             // Recovery needs a rollback floor under the fault storm.

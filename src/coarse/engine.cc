@@ -8,14 +8,6 @@
 
 namespace coarse::core {
 
-/** Per-worker functional state. */
-struct CoarseEngine::WorkerState
-{
-    fabric::NodeId node = fabric::kInvalidNode;
-    /** Functional-mode weights, one vector per tensor. */
-    std::vector<std::vector<float>> weights;
-};
-
 /** Book-keeping for the iteration in flight. */
 struct CoarseEngine::IterationState
 {
@@ -115,6 +107,11 @@ CoarseEngine::CoarseEngine(fabric::Machine &machine, dl::ModelSpec model,
     checkpointedOptimizers_.clear();
     for (const auto &optimizer : optimizers_)
         checkpointedOptimizers_.push_back(optimizer->saveState());
+    appliedThrough_.assign(model_.tensors.size(), 0);
+    checkpointAppliedThrough_.assign(model_.tensors.size(), 0);
+
+    recovery_ = std::make_unique<RecoveryManager>(*this,
+                                                  options_.recovery);
 
     profileAndPlan();
 }
@@ -143,6 +140,7 @@ CoarseEngine::buildDevices()
 
     proxyAlive_.assign(devices_.size(), true);
     proxyDeadSince_.assign(devices_.size(), 0);
+    faultHistory_.reset(devices_.size());
 
     rebuildSyncService();
 }
@@ -244,14 +242,24 @@ CoarseEngine::profileAndPlan()
     routing_.clear();
 
     // Dead proxies are excluded wholesale: the profiler never probes
-    // them, so the rebuilt routing tables cannot select them.
+    // them, so the rebuilt routing tables cannot select them. Alive
+    // proxies with a fault history (crashes nearby, flapping links,
+    // missed pull deadlines) are penalized rather than excluded: the
+    // profiler sees their paths as slower, so ties — and eventually
+    // outright wins — resolve away from them *before* they fail.
     const std::vector<fabric::NodeId> proxies = aliveProxies();
+    std::map<fabric::NodeId, double> penalties;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        const double penalty = faultHistory_.penalty(d);
+        if (proxyAlive_[d] && penalty > 1.0)
+            penalties[machine_.memDevices()[d]] = penalty;
+    }
     std::uint64_t shardBytes = 2 << 20;
     for (std::size_t w = 0; w < machine_.workers().size(); ++w) {
         const fabric::NodeId worker = machine_.workers()[w];
         if (options_.tensorRouting) {
             ClientProfile profile = profiler_->profileClient(
-                worker, proxies, proxyFor(worker));
+                worker, proxies, proxyFor(worker), penalties);
             routing_.push_back(profile.routing);
             shardBytes = profile.shardBytes;
         } else {
@@ -337,6 +345,40 @@ CoarseEngine::profileAndPlan()
         proxyBytes += model_.tensors[t].bytes();
     plan_.proxyBytes = proxyBytes;
     plan_.gpuBytes = n - proxyBytes;
+
+    // This plan consumed the fault scores; halve them so a proxy that
+    // stays healthy earns its traffic back over subsequent re-plans.
+    faultHistory_.decay();
+}
+
+std::vector<bool>
+CoarseEngine::proxyOwnedTensors(std::size_t idx) const
+{
+    std::vector<bool> owned(model_.tensors.size(), false);
+    const fabric::NodeId node = machine_.memDevices().at(idx);
+    for (std::size_t t = plan_.splitTensor; t < model_.tensors.size();
+         ++t) {
+        const std::uint64_t bytes = model_.tensors[t].bytes();
+        for (const RoutingTable &table : routing_) {
+            if (table.route(bytes) == node) {
+                owned[t] = true;
+                break;
+            }
+        }
+    }
+    return owned;
+}
+
+std::uint64_t
+CoarseEngine::plannedProxyBytes(std::size_t idx) const
+{
+    const std::vector<bool> owned = proxyOwnedTensors(idx);
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < owned.size(); ++t) {
+        if (owned[t])
+            total += model_.tensors[t].bytes();
+    }
+    return total;
 }
 
 const RoutingTable &
@@ -376,7 +418,18 @@ void
 CoarseEngine::applyUpdate(std::uint32_t iter, std::size_t tensorIdx,
                           const std::vector<float> &summedGrad)
 {
-    (void)iter;
+    // Replay catch-up: a tensor that survived a partial rollback
+    // already holds this update, and re-applying it would diverge
+    // from the fault-free trajectory. Skips are exact because the
+    // whole pipeline is deterministic per (worker, tensor, iter).
+    if (iter < appliedThrough_[tensorIdx])
+        return;
+    if (iter != appliedThrough_[tensorIdx]) {
+        sim::panic("CoarseEngine: tensor ", tensorIdx, " jumped from "
+                   "iteration ", appliedThrough_[tensorIdx], " to ",
+                   iter);
+    }
+    appliedThrough_[tensorIdx] = iter + 1;
     // Average the summed gradient, then let the server-side
     // optimizer apply its rule to the master copy.
     const float scale = 1.0f / static_cast<float>(workers_.size());
@@ -709,12 +762,18 @@ CoarseEngine::finishIteration(std::uint32_t iter)
         ++measuredIters_;
     }
 
+    // Timed mode has no per-tensor updates; progress is uniform.
+    if (!options_.functionalData) {
+        for (auto &applied : appliedThrough_)
+            applied = std::max(applied, iter + 1);
+    }
+
     // Proxy deaths detected during this iteration trigger recovery at
     // the boundary, where the sync service is guaranteed idle. The
     // iteration's own results are discarded by the rollback, so it is
     // neither checkpointed nor treated as progress.
-    if (!pendingProxyRecovery_.empty()) {
-        recoverFromProxyFailure(iter);
+    if (recovery_->detectionsPending()) {
+        recovery_->onIterationBoundary(iter);
         return;
     }
 
@@ -728,6 +787,7 @@ CoarseEngine::finishIteration(std::uint32_t iter)
         checkpointedOptimizers_.clear();
         for (const auto &optimizer : optimizers_)
             checkpointedOptimizers_.push_back(optimizer->saveState());
+        checkpointAppliedThrough_ = appliedThrough_;
         ++checkpoints_;
     }
 
@@ -751,15 +811,19 @@ CoarseEngine::recoverFromFailure(std::uint32_t failedIter)
     replayed_ += failedIter + 1 - lastCheckpointIteration_;
 
     // Roll every live replica back to the latest durable checkpoint —
-    // parameters and server-side optimizer state together.
+    // parameters and server-side optimizer state together. A worker
+    // loss invalidates the whole model (every in-flight gradient came
+    // from the lost rank), so this path is always a full rollback.
+    recovery_->rollbackBytes_.inc(model_.parameterBytes());
+    recovery_->full_.inc();
     for (std::size_t d = 0; d < devices_.size(); ++d) {
         if (!proxyAlive_[d])
             continue;
         devices_[d]->store().restore(latestSnapshot_);
-        rollbackBytes_.inc(model_.parameterBytes());
     }
     for (std::size_t t = 0; t < optimizers_.size(); ++t)
         optimizers_[t]->restoreState(checkpointedOptimizers_[t]);
+    appliedThrough_ = checkpointAppliedThrough_;
     if (options_.functionalData) {
         auto &store = firstAliveDevice().store();
         for (auto &worker : workers_) {
@@ -842,7 +906,16 @@ CoarseEngine::faultHooks()
                                       double factor) {
         if (link >= topo.linkCount())
             sim::fatal("CoarseEngine: degradeLink: no link ", link);
-        topo.link(link).setDegradeFactor(factor);
+        fabric::Link &l = topo.link(link);
+        l.setDegradeFactor(factor);
+        // Suspicion accrues to the proxies touching the flapping
+        // link, so the re-profile this fault triggers already routes
+        // around them.
+        for (std::size_t d = 0; d < devices_.size(); ++d) {
+            const fabric::NodeId node = machine_.memDevices()[d];
+            if (l.endpointA() == node || l.endpointB() == node)
+                faultHistory_.recordLinkFault(d);
+        }
         noteFabricFault();
     };
     hooks.restoreLink = [this, &topo](std::uint32_t link) {
@@ -864,73 +937,7 @@ CoarseEngine::faultHooks()
 void
 CoarseEngine::onProxyDead(std::size_t idx)
 {
-    auto &sim = machine_.topology().sim();
-    if (proxyDeadSince_.at(idx) == 0) {
-        sim::panic("CoarseEngine: proxy ", idx,
-                   " declared dead while healthy");
-    }
-    detectionLatency_.sample(
-        sim::toSeconds(sim.now() - proxyDeadSince_[idx]));
-    if (pendingProxyRecovery_.empty())
-        recoveryStartTick_ = sim.now();
-    pendingProxyRecovery_.push_back(idx);
-}
-
-void
-CoarseEngine::recoverFromProxyFailure(std::uint32_t failedIter)
-{
-    ++failures_;
-    for (const std::size_t idx : pendingProxyRecovery_)
-        proxyAlive_[idx] = false;
-    pendingProxyRecovery_.clear();
-    if (aliveProxyCount() == 0)
-        sim::fatal("CoarseEngine: every memory device has failed");
-    replayed_ += failedIter + 1 - lastCheckpointIteration_;
-
-    // 1. Rebuild the sync rings over the surviving fleet (the service
-    //    is idle here: recovery runs at the iteration boundary).
-    rebuildSyncService();
-
-    // 2. Roll the survivors back to the last durable checkpoint.
-    for (std::size_t d = 0; d < devices_.size(); ++d) {
-        if (!proxyAlive_[d])
-            continue;
-        devices_[d]->store().restore(latestSnapshot_);
-        rollbackBytes_.inc(model_.parameterBytes());
-    }
-    for (std::size_t t = 0; t < optimizers_.size(); ++t)
-        optimizers_[t]->restoreState(checkpointedOptimizers_[t]);
-    if (options_.functionalData) {
-        auto &store = firstAliveDevice().store();
-        for (auto &worker : workers_) {
-            for (std::size_t t = 0; t < model_.tensors.size(); ++t)
-                worker->weights[t] = *store.get(t);
-        }
-    }
-
-    // 3. Re-profile around the hole: routing tables and the dual-sync
-    //    split are rebuilt over the alive proxies only.
-    profileAndPlan();
-
-    // 4. Workers re-pull the rolled-back parameters from their (newly
-    //    routed) proxies, then replay from the checkpoint.
-    auto &topo = machine_.topology();
-    auto pending = std::make_shared<std::size_t>(workers_.size());
-    for (auto &worker : workers_) {
-        fabric::Message msg;
-        msg.src = proxyFor(worker->node);
-        msg.dst = worker->node;
-        msg.bytes = model_.parameterBytes();
-        msg.onDelivered = [this, pending] {
-            if (--*pending != 0)
-                return;
-            auto &sim = machine_.topology().sim();
-            recoveryTime_.sample(
-                sim::toSeconds(sim.now() - recoveryStartTick_));
-            startIteration(lastCheckpointIteration_);
-        };
-        topo.send(std::move(msg), fabric::kNoNvLink);
-    }
+    recovery_->onProxyDead(idx);
 }
 
 void
@@ -952,10 +959,9 @@ CoarseEngine::attachStats(sim::StatGroup &group) const
     devices_.front()->store().attachStats(group.subgroup("store"));
 
     sim::StatGroup &recovery = group.subgroup("recovery");
-    recovery.addDistribution("detection_latency_seconds",
-                             detectionLatency_);
-    recovery.addDistribution("recovery_seconds", recoveryTime_);
-    recovery.addCounter("rollback_bytes", rollbackBytes_);
+    recovery_->attachStats(recovery);
+    recovery.addCounter("fault_history_events",
+                        faultHistory_.eventsRecorded());
     recovery.addFormula("alive_proxies", [this] {
         return static_cast<double>(aliveProxyCount());
     });

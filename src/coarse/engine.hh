@@ -27,6 +27,7 @@
 #include "partition.hh"
 #include "profiler.hh"
 #include "proxy_sync.hh"
+#include "recovery.hh"
 #include "routing.hh"
 #include "sim/event.hh"
 
@@ -131,6 +132,8 @@ struct CoarseOptions
     double heartbeatIntervalSeconds = 500e-6;
     /** Missed-ack deadline before a proxy is declared dead. */
     double heartbeatTimeoutSeconds = 250e-6;
+    /** Recovery state-machine tuning (partial rollback, retries). */
+    RecoveryOptions recovery = {};
 };
 
 /**
@@ -196,19 +199,55 @@ class CoarseEngine : public dl::Trainer
     std::size_t aliveProxyCount() const;
     bool proxyAlive(std::size_t idx) const { return proxyAlive_.at(idx); }
 
+    /** The recovery state machine (stats, episode introspection). */
+    const RecoveryManager &recovery() const { return *recovery_; }
+
+    /**
+     * Per-proxy fault scores consumed by failure-aware planning.
+     * Non-const so external monitors (and tests) can inject
+     * suspicion directly via record().
+     */
+    FaultHistory &faultHistory() { return faultHistory_; }
+
+    /**
+     * Parameter bytes the current plan routes to memory device
+     * @p idx: the union of proxy-synced tensors any worker's routing
+     * table sends there. A proxy with a fault history receives a
+     * smaller allotment on the next re-profile.
+     */
+    std::uint64_t plannedProxyBytes(std::size_t idx) const;
+
     /** Crash-to-detection latency samples (seconds). */
     const sim::Distribution &detectionLatency() const
     {
-        return detectionLatency_;
+        return recovery_->detectionLatency();
     }
     /** Detection-to-resume recovery time samples (seconds). */
-    const sim::Distribution &recoveryTime() const { return recoveryTime_; }
-    /** Parameter bytes restored from snapshots during recovery. */
-    const sim::Counter &rollbackBytes() const { return rollbackBytes_; }
+    const sim::Distribution &recoveryTime() const
+    {
+        return recovery_->recoveryTime();
+    }
+    /**
+     * Logical parameter bytes invalidated by failures: each
+     * rolled-back shard counts once, regardless of how many replicas
+     * restore it, so the metric scales with the failed shard.
+     */
+    const sim::Counter &rollbackBytes() const
+    {
+        return recovery_->rollbackBytes();
+    }
     ///@}
 
   private:
-    struct WorkerState;
+    friend class RecoveryManager;
+
+    /** Per-worker functional state. */
+    struct WorkerState
+    {
+        fabric::NodeId node = fabric::kInvalidNode;
+        /** Functional-mode weights, one vector per tensor. */
+        std::vector<std::vector<float>> weights;
+    };
     struct IterationState;
 
     void buildDevices();
@@ -243,8 +282,11 @@ class CoarseEngine : public dl::Trainer
     fabric::NodeId proxyFor(fabric::NodeId workerNode);
     /** Heartbeat verdict: proxy @p idx stopped acking. */
     void onProxyDead(std::size_t idx);
-    /** Rebuild service + routing around dead proxies, then replay. */
-    void recoverFromProxyFailure(std::uint32_t failedIter);
+    /**
+     * Proxy-synced tensors the current routing sends to memory
+     * device @p idx (any worker). Index is per-tensor.
+     */
+    std::vector<bool> proxyOwnedTensors(std::size_t idx) const;
     /** Effective compute-time multiplier (slowest worker wins). */
     double computeSlowdown() const;
     std::vector<float> makeGradient(std::size_t workerIdx,
@@ -293,23 +335,28 @@ class CoarseEngine : public dl::Trainer
     memdev::SnapshotId latestSnapshot_ = 0;
     /** Optimizer state captured with the latest checkpoint. */
     std::vector<dl::Optimizer::State> checkpointedOptimizers_;
+    /**
+     * Per tensor: the iteration whose update is already applied
+     * (exclusive). Partial rollback resets only the failed shard's
+     * entries, and replay skips updates a tensor already holds —
+     * that is what keeps mixed-age replicas bit-identical.
+     */
+    std::vector<std::uint32_t> appliedThrough_;
+    /** appliedThrough_ as of the latest checkpoint. */
+    std::vector<std::uint32_t> checkpointAppliedThrough_;
 
     // Fault-tolerance state.
     std::unique_ptr<fault::HeartbeatMonitor> monitor_;
+    std::unique_ptr<RecoveryManager> recovery_;
+    FaultHistory faultHistory_;
     /** Per memory device: has recovery excluded it yet? */
     std::vector<bool> proxyAlive_;
     /** Tick the device fail-stopped (0 = healthy). */
     std::vector<sim::Tick> proxyDeadSince_;
-    /** Detected-dead proxies awaiting the iteration-boundary recovery. */
-    std::vector<std::size_t> pendingProxyRecovery_;
     /** A fabric fault invalidated the routing tables. */
     bool reprofilePending_ = false;
     /** Per-worker compute-time multiplier (straggler injection). */
     std::vector<double> workerSlowdown_;
-    sim::Tick recoveryStartTick_ = 0;
-    sim::Distribution detectionLatency_;
-    sim::Distribution recoveryTime_;
-    sim::Counter rollbackBytes_;
 
     // Input-pipeline state (options_.dataLoading).
     /** Wall anchor of the iteration being started (set before any

@@ -147,16 +147,39 @@ Profiler::deriveProfile(fabric::NodeId client,
     return result;
 }
 
+/** Degrade a measured profile by the fault-history factor. */
+static void
+applyPenalty(PathProfile &path, double factor)
+{
+    path.latencySeconds *= factor;
+    path.peakBytesPerSec /= factor;
+    for (ProbePoint &point : path.points) {
+        point.bytesPerSec /= factor;
+        point.seconds = path.latencySeconds
+            + static_cast<double>(point.bytes) / point.bytesPerSec;
+    }
+}
+
 ClientProfile
 Profiler::profileClient(fabric::NodeId client,
                         const std::vector<fabric::NodeId> &proxies,
-                        fabric::NodeId preferred)
+                        fabric::NodeId preferred,
+                        const std::map<fabric::NodeId, double> &penalties)
 {
     if (proxies.empty())
         sim::fatal("Profiler: no proxies to profile");
     std::vector<PathProfile> paths;
-    for (fabric::NodeId proxy : proxies)
-        paths.push_back(profilePath(client, proxy));
+    for (fabric::NodeId proxy : proxies) {
+        PathProfile path = profilePath(client, proxy);
+        auto it = penalties.find(proxy);
+        if (it != penalties.end()) {
+            if (it->second < 1.0)
+                sim::fatal("Profiler: penalty must be >= 1, got ",
+                           it->second);
+            applyPenalty(path, it->second);
+        }
+        paths.push_back(std::move(path));
+    }
     return deriveProfile(client, std::move(paths), preferred);
 }
 

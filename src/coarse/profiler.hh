@@ -19,6 +19,7 @@
 #define COARSE_CORE_PROFILER_HH
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "fabric/topology.hh"
@@ -80,11 +81,17 @@ class Profiler
      *        measurement ties — common on symmetric fabrics — resolve
      *        to it, so clients spread across proxies instead of all
      *        piling onto the first one.
+     * @param penalties Failure-aware planning: per-proxy path-quality
+     *        multipliers (>= 1) from the engine's fault history. A
+     *        penalized proxy's measured latency is scaled up and its
+     *        bandwidth down before routing derivation, so routing
+     *        biases away from suspect proxies without excluding them.
      */
     ClientProfile
     profileClient(fabric::NodeId client,
                   const std::vector<fabric::NodeId> &proxies,
-                  fabric::NodeId preferred = fabric::kInvalidNode);
+                  fabric::NodeId preferred = fabric::kInvalidNode,
+                  const std::map<fabric::NodeId, double> &penalties = {});
 
     /**
      * Measure one path by actually sending probe transfers through

@@ -1,0 +1,347 @@
+#include "recovery.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine.hh"
+#include "sim/logging.hh"
+
+namespace coarse::core {
+
+void
+FaultHistory::record(std::size_t idx, double weight)
+{
+    if (idx >= scores_.size())
+        sim::fatal("FaultHistory: no proxy ", idx);
+    if (weight <= 0.0)
+        sim::fatal("FaultHistory: weight must be positive, got ", weight);
+    scores_[idx] += weight;
+    events_.inc();
+}
+
+void
+FaultHistory::decay()
+{
+    for (double &score : scores_)
+        score *= 0.5;
+}
+
+double
+FaultHistory::penalty(std::size_t idx) const
+{
+    // One fresh link fault (score 1) yields 1.1x: enough to lose the
+    // profiler's 1% tie window. The cap keeps a storm-battered proxy
+    // reachable as a fallback rather than infinitely repulsive.
+    static constexpr double kPerPoint = 0.1;
+    static constexpr double kScoreCap = 10.0;
+    return 1.0 + kPerPoint * std::min(scores_.at(idx), kScoreCap);
+}
+
+RecoveryManager::RecoveryManager(CoarseEngine &engine,
+                                 RecoveryOptions options)
+    : eng_(engine), opt_(options)
+{
+    if (opt_.maxPullRetries > 100)
+        sim::fatal("RecoveryManager: maxPullRetries ", opt_.maxPullRetries,
+                   " is absurd");
+    if (opt_.pullDeadlineMargin < 1.0 || opt_.pullBackoffFactor < 1.0) {
+        sim::fatal("RecoveryManager: deadline margin and backoff factor "
+                   "must be >= 1");
+    }
+    everDetected_.assign(eng_.devices_.size(), false);
+}
+
+void
+RecoveryManager::onProxyDead(std::size_t idx)
+{
+    auto &sim = eng_.machine_.topology().sim();
+    if (eng_.proxyDeadSince_.at(idx) == 0) {
+        sim::panic("RecoveryManager: proxy ", idx,
+                   " declared dead while healthy");
+    }
+    if (everDetected_[idx]) {
+        duplicates_.inc();
+        return;
+    }
+    everDetected_[idx] = true;
+    if (eng_.monitor_)
+        eng_.monitor_->markDead(idx);
+    detectionLatency_.sample(
+        sim::toSeconds(sim.now() - eng_.proxyDeadSince_[idx]));
+    eng_.faultHistory_.recordCrash(idx);
+
+    switch (state_) {
+      case State::Idle:
+        // First detection of an episode: recovery runs at the next
+        // iteration boundary, where the sync service is idle.
+        episodeStart_ = sim.now();
+        state_ = State::Draining;
+        pendingDead_.push_back(idx);
+        break;
+      case State::Draining:
+        // Concurrent failure: fold into the queued episode.
+        pendingDead_.push_back(idx);
+        break;
+      case State::Repulling:
+        // Cascading failure: extend the in-flight episode. The sync
+        // service is idle (no iteration runs while Repulling), so the
+        // rebuild is immediate; outstanding pulls are invalidated and
+        // re-issued over the shrunken fleet.
+        cascades_.inc();
+        pendingDead_.push_back(idx);
+        processDetections();
+        replayFrom_ = computeReplayFrom();
+        startPulls();
+        break;
+    }
+}
+
+void
+RecoveryManager::onIterationBoundary(std::uint32_t failedIter)
+{
+    if (state_ != State::Draining)
+        sim::panic("RecoveryManager: boundary reached without pending "
+                   "detections");
+    ++eng_.failures_;
+    failedIter_ = failedIter;
+    boundaryTick_ = eng_.machine_.topology().sim().now();
+
+    // Freeze who owned what under the routing the failed iteration
+    // actually ran with — the replan below rewrites the tables, and a
+    // cascade judged later must be charged against these, not the
+    // post-recovery routing.
+    ownedAtBoundary_.assign(eng_.devices_.size(), {});
+    for (std::size_t d = 0; d < eng_.devices_.size(); ++d)
+        ownedAtBoundary_[d] = eng_.proxyOwnedTensors(d);
+    rolledBack_.assign(eng_.model_.tensors.size(), false);
+    escalated_ = false;
+
+    processDetections();
+    replayFrom_ = computeReplayFrom();
+    state_ = State::Repulling;
+    startPulls();
+}
+
+void
+RecoveryManager::processDetections()
+{
+    std::vector<bool> toRoll(eng_.model_.tensors.size(), false);
+    for (const std::size_t idx : pendingDead_) {
+        eng_.proxyAlive_[idx] = false;
+        if (!opt_.partialRollback) {
+            toRoll.assign(toRoll.size(), true);
+        } else if (eng_.proxyDeadSince_[idx] <= boundaryTick_) {
+            // The proxy died while the failed iteration was still
+            // running: reductions it owned are suspect back to the
+            // checkpoint. A proxy that died *after* the boundary
+            // (mid-recovery) held no un-checkpointed state of its own
+            // — every replica already matches — so rebuilding rings
+            // and re-issuing pulls suffices.
+            for (std::size_t t = 0; t < toRoll.size(); ++t) {
+                if (ownedAtBoundary_[idx][t])
+                    toRoll[t] = true;
+            }
+        }
+    }
+    pendingDead_.clear();
+
+    if (eng_.aliveProxyCount() == 0)
+        sim::fatal("CoarseEngine: every memory device has failed");
+
+    // Rings, rollback, then the plan: the replan must see the
+    // shrunken fleet and the fault scores the detections just added.
+    eng_.rebuildSyncService();
+    rollbackTensors(toRoll);
+    eng_.profileAndPlan();
+}
+
+void
+RecoveryManager::rollbackTensors(const std::vector<bool> &tensors)
+{
+    std::vector<std::size_t> fresh;
+    std::uint64_t bytes = 0;
+    for (std::size_t t = 0; t < tensors.size(); ++t) {
+        if (!tensors[t] || rolledBack_[t])
+            continue;
+        rolledBack_[t] = true;
+        fresh.push_back(t);
+        bytes += eng_.model_.tensors[t].bytes();
+    }
+    if (fresh.empty())
+        return;
+    // Logical bytes, counted once per shard regardless of replica
+    // count: the metric tracks how much training state the failure
+    // invalidated, not fabric traffic.
+    rollbackBytes_.inc(bytes);
+
+    for (std::size_t d = 0; d < eng_.devices_.size(); ++d) {
+        if (!eng_.proxyAlive_[d])
+            continue;
+        auto &store = eng_.devices_[d]->store();
+        for (const std::size_t t : fresh)
+            store.restoreTensor(eng_.latestSnapshot_, t);
+    }
+    for (const std::size_t t : fresh) {
+        if (t < eng_.optimizers_.size())
+            eng_.optimizers_[t]->restoreState(
+                eng_.checkpointedOptimizers_[t]);
+        eng_.appliedThrough_[t] = eng_.checkpointAppliedThrough_[t];
+    }
+    if (eng_.options_.functionalData) {
+        auto &store = eng_.firstAliveDevice().store();
+        for (auto &worker : eng_.workers_) {
+            for (const std::size_t t : fresh)
+                worker->weights[t] = *store.get(t);
+        }
+    }
+}
+
+void
+RecoveryManager::escalate()
+{
+    escalations_.inc();
+    if (!escalated_) {
+        // Deepen the rollback to the whole model: whatever partial
+        // state the flapping pulls left behind is discarded and the
+        // episode restarts from the checkpoint floor.
+        escalated_ = true;
+        rollbackTensors(
+            std::vector<bool>(eng_.model_.tensors.size(), true));
+        replayFrom_ = computeReplayFrom();
+    }
+    // Already full: nothing deeper exists, so re-issue the pulls with
+    // deadlines recomputed from the fabric's *current* state (a link
+    // that degraded mid-flight now prices in honestly).
+    startPulls();
+}
+
+std::uint32_t
+RecoveryManager::computeReplayFrom() const
+{
+    std::uint32_t from = failedIter_ + 1;
+    for (std::size_t t = 0; t < rolledBack_.size(); ++t) {
+        if (rolledBack_[t])
+            from = std::min(from, eng_.checkpointAppliedThrough_[t]);
+    }
+    return from;
+}
+
+std::uint64_t
+RecoveryManager::rolledBackBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (std::size_t t = 0; t < rolledBack_.size(); ++t) {
+        if (rolledBack_[t])
+            bytes += eng_.model_.tensors[t].bytes();
+    }
+    return bytes;
+}
+
+void
+RecoveryManager::startPulls()
+{
+    ++pullEpoch_;
+    pullDone_.assign(eng_.workers_.size(), false);
+    for (std::size_t w = 0; w < eng_.workers_.size(); ++w)
+        sendPull(pullEpoch_, w, 0);
+}
+
+void
+RecoveryManager::sendPull(std::uint64_t epoch, std::size_t workerIdx,
+                          std::uint32_t attempt)
+{
+    if (epoch != pullEpoch_ || pullDone_[workerIdx])
+        return;
+    auto &topo = eng_.machine_.topology();
+    const fabric::NodeId dst = eng_.workers_[workerIdx]->node;
+    const fabric::NodeId src = eng_.proxyFor(dst);
+    const std::uint64_t bytes = rolledBackBytes();
+
+    fabric::Message msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.bytes = bytes;
+    msg.onDelivered = [this, epoch, workerIdx] {
+        if (epoch != pullEpoch_ || pullDone_[workerIdx])
+            return; // superseded by a cascade, retry, or escalation
+        pullDone_[workerIdx] = true;
+        for (const bool done : pullDone_) {
+            if (!done)
+                return;
+        }
+        finishEpisode();
+    };
+
+    // Deadline: the fabric's own expectation at send time, padded by
+    // the margin and per-attempt exponential backoff. Pricing from
+    // current link state means only a fault landing *after* the send
+    // can miss it — exactly the flapping-link case retries exist for.
+    double expected =
+        sim::toSeconds(topo.pathLatency(src, dst, fabric::kNoNvLink));
+    if (bytes > 0) {
+        expected += static_cast<double>(bytes)
+            / topo.pathBandwidth(src, dst, bytes, fabric::kNoNvLink);
+    }
+    const double deadline = expected * opt_.pullDeadlineMargin
+        * std::pow(opt_.pullBackoffFactor, attempt);
+
+    std::size_t srcIdx = 0;
+    for (std::size_t d = 0; d < eng_.machine_.memDevices().size(); ++d) {
+        if (eng_.machine_.memDevices()[d] == src)
+            srcIdx = d;
+    }
+    topo.sim().events().postIn(
+        sim::fromSeconds(deadline),
+        [this, epoch, workerIdx, attempt, srcIdx] {
+            if (epoch != pullEpoch_ || pullDone_[workerIdx])
+                return;
+            eng_.faultHistory_.recordPullTimeout(srcIdx);
+            if (attempt >= opt_.maxPullRetries) {
+                escalate();
+                return;
+            }
+            pullRetries_.inc();
+            sendPull(epoch, workerIdx, attempt + 1);
+        });
+    topo.send(std::move(msg), fabric::kNoNvLink);
+}
+
+void
+RecoveryManager::finishEpisode()
+{
+    auto &sim = eng_.machine_.topology().sim();
+    if (escalated_ || !opt_.partialRollback
+        || rolledBackBytes() == eng_.model_.parameterBytes()) {
+        full_.inc();
+    } else {
+        partial_.inc();
+    }
+    recoveryTime_.sample(sim::toSeconds(sim.now() - episodeStart_));
+    eng_.replayed_ += failedIter_ + 1 - replayFrom_;
+    ++pullEpoch_; // straggling deadline events drain as no-ops
+    state_ = State::Idle;
+
+    if (replayFrom_ < eng_.totalIterations_) {
+        eng_.startIteration(replayFrom_);
+    } else if (eng_.monitor_ && eng_.monitor_->running()) {
+        // The failure struck the final iteration and nothing needed
+        // replaying: training is complete.
+        eng_.monitor_->stop();
+    }
+}
+
+void
+RecoveryManager::attachStats(sim::StatGroup &group) const
+{
+    group.addDistribution("detection_latency_seconds", detectionLatency_);
+    group.addDistribution("recovery_seconds", recoveryTime_);
+    group.addCounter("rollback_bytes", rollbackBytes_);
+    group.addCounter("partial_rollbacks", partial_);
+    group.addCounter("full_rollbacks", full_);
+    group.addCounter("escalations", escalations_);
+    group.addCounter("pull_retries", pullRetries_);
+    group.addCounter("cascade_detections", cascades_);
+    group.addCounter("duplicate_detections", duplicates_);
+}
+
+} // namespace coarse::core

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Re-entrant recovery orchestration for the COARSE engine (§IV-A).
+ *
+ * PR 2's recovery was single-shot and all-or-nothing: one detection
+ * window collapsed into one full-model rollback, and a crash landing
+ * mid-recovery was unhandled. This module replaces it with an
+ * explicit state machine:
+ *
+ *   Idle ──detection──▶ Draining ──iteration boundary──▶ Repulling
+ *     ▲                     │  (more detections queue here)   │
+ *     └── all pulls done ◀──┴── detections mid-repull extend ─┘
+ *
+ * - **Partial rollback**: only the tensors the dead proxy owned
+ *   (routed to it during the failed iteration) are restored from the
+ *   checkpoint, so `rollback_bytes` scales with the failed shard.
+ * - **Cascading failures**: a detection during Repulling extends the
+ *   in-flight episode — mark dead, rebuild rings, widen the rollback
+ *   set if the proxy died before the boundary, re-plan, re-issue the
+ *   pulls — instead of being dropped.
+ * - **Retry + backoff**: every re-pull carries a deadline derived
+ *   from the fabric's expected transfer time; a missed deadline
+ *   resends with exponential backoff, and exhausting the retries
+ *   escalates to a full rollback. A flapping link during recovery
+ *   therefore degrades to a deeper rollback, never a hang.
+ * - **Failure-aware planning**: FaultHistory scores each proxy's
+ *   crashes, adjacent link faults, and pull timeouts; the scores
+ *   become profiler penalties that bias routing away from suspect
+ *   proxies before the next failure.
+ *
+ * The invariant is unchanged: faults cost time, never correctness.
+ * Replay skips per-tensor updates that survived the partial rollback
+ * (CoarseEngine tracks applied-through iterations per tensor), so
+ * storms converge bit-identically to the fault-free weights.
+ */
+
+#ifndef COARSE_CORE_RECOVERY_HH
+#define COARSE_CORE_RECOVERY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace coarse::core {
+
+class CoarseEngine;
+
+/** Tuning for the recovery state machine. */
+struct RecoveryOptions
+{
+    /**
+     * Restore only the dead proxy's owned tensors (plus optimizer
+     * state) instead of the whole model. Off = PR 2's full rollback.
+     */
+    bool partialRollback = true;
+    /** Re-pull retries before escalating to a full rollback. */
+    std::uint32_t maxPullRetries = 3;
+    /** Deadline = expected transfer time x this margin. */
+    double pullDeadlineMargin = 4.0;
+    /** Each retry multiplies the deadline by this factor. */
+    double pullBackoffFactor = 2.0;
+};
+
+/**
+ * Per-proxy fault history feeding failure-aware planning.
+ *
+ * Scores decay by half on every re-profile, so a proxy that stays
+ * healthy gradually earns its traffic back. The penalty multiplier
+ * (>= 1) is applied to the profiler's measured path quality; one
+ * recorded event is enough to break the profiler's 1% tie window, so
+ * a suspect proxy loses symmetric-fabric ties immediately.
+ */
+class FaultHistory
+{
+  public:
+    void reset(std::size_t proxies) { scores_.assign(proxies, 0.0); }
+
+    /** A link adjacent to this proxy degraded or flapped. */
+    void recordLinkFault(std::size_t idx) { record(idx, 1.0); }
+    /** A recovery re-pull sourced from this proxy missed its deadline. */
+    void recordPullTimeout(std::size_t idx) { record(idx, 2.0); }
+    /** The proxy fail-stopped. */
+    void recordCrash(std::size_t idx) { record(idx, 4.0); }
+    /** Direct injection (tests, external monitors). */
+    void record(std::size_t idx, double weight);
+
+    /** Halve every score (called on each re-profile). */
+    void decay();
+
+    double score(std::size_t idx) const { return scores_.at(idx); }
+
+    /** Path-quality multiplier >= 1 for the profiler. */
+    double penalty(std::size_t idx) const;
+
+    const sim::Counter &eventsRecorded() const { return events_; }
+
+  private:
+    std::vector<double> scores_;
+    sim::Counter events_;
+};
+
+/**
+ * The recovery state machine. Owns all recovery bookkeeping and
+ * stats; CoarseEngine delegates detections and boundary checks here.
+ */
+class RecoveryManager
+{
+  public:
+    enum class State
+    {
+        /** No failure in sight. */
+        Idle,
+        /** Detections queued; waiting for the iteration boundary. */
+        Draining,
+        /** Rolled back; re-pull transfers (with deadlines) in flight. */
+        Repulling,
+    };
+
+    RecoveryManager(CoarseEngine &engine, RecoveryOptions options);
+
+    /** Heartbeat verdict: proxy @p idx stopped acking. */
+    void onProxyDead(std::size_t idx);
+
+    /** Detections waiting for the iteration boundary? */
+    bool detectionsPending() const { return !pendingDead_.empty(); }
+
+    /**
+     * The iteration boundary reached with detections pending: start
+     * (or restart) an episode — mark dead, rebuild, roll back the
+     * owned shards, re-plan, issue the re-pulls.
+     */
+    void onIterationBoundary(std::uint32_t failedIter);
+
+    State state() const { return state_; }
+
+    /** @name Introspection (tests, benches, stats) */
+    ///@{
+    const sim::Distribution &detectionLatency() const
+    {
+        return detectionLatency_;
+    }
+    const sim::Distribution &recoveryTime() const { return recoveryTime_; }
+    /** Logical parameter bytes rolled back (counted once per shard). */
+    const sim::Counter &rollbackBytes() const { return rollbackBytes_; }
+    const sim::Counter &partialRollbacks() const { return partial_; }
+    const sim::Counter &fullRollbacks() const { return full_; }
+    /** Episodes escalated from partial to full by pull failures. */
+    const sim::Counter &escalations() const { return escalations_; }
+    const sim::Counter &pullRetries() const { return pullRetries_; }
+    /** Detections that landed while an episode was already Repulling. */
+    const sim::Counter &cascadeDetections() const { return cascades_; }
+    /** Detections for proxies already declared dead (dropped). */
+    const sim::Counter &duplicateDetections() const { return duplicates_; }
+    /** Boundary tick of the most recent episode (0 = none yet). */
+    sim::Tick lastBoundaryTick() const { return boundaryTick_; }
+    void attachStats(sim::StatGroup &group) const;
+    ///@}
+
+  private:
+    friend class CoarseEngine;
+
+    /** Mark the queued detections dead and widen the rollback set. */
+    void processDetections();
+    /** Restore @p tensors (per-tensor) on every surviving store. */
+    void rollbackTensors(const std::vector<bool> &tensors);
+    /** Pull retries exhausted: widen to a full rollback and re-pull. */
+    void escalate();
+    /** (Re)issue the re-pull transfer for every worker. */
+    void startPulls();
+    void sendPull(std::uint64_t epoch, std::size_t workerIdx,
+                  std::uint32_t attempt);
+    /** Earliest iteration any rolled-back tensor must replay from. */
+    std::uint32_t computeReplayFrom() const;
+    /** Bytes a worker must re-pull this episode. */
+    std::uint64_t rolledBackBytes() const;
+    /** All pulls delivered: close the episode and resume training. */
+    void finishEpisode();
+
+    CoarseEngine &eng_;
+    RecoveryOptions opt_;
+    State state_ = State::Idle;
+
+    /** Detections not yet folded into an episode. */
+    std::vector<std::size_t> pendingDead_;
+    /** Dedup: proxies a detection has ever fired for. */
+    std::vector<bool> everDetected_;
+
+    // Episode state (valid while state_ != Idle).
+    std::uint32_t failedIter_ = 0;
+    sim::Tick episodeStart_ = 0;
+    sim::Tick boundaryTick_ = 0;
+    /** Routing ownership frozen at the boundary: [proxy][tensor]. */
+    std::vector<std::vector<bool>> ownedAtBoundary_;
+    /** Tensors rolled back so far this episode. */
+    std::vector<bool> rolledBack_;
+    std::uint32_t replayFrom_ = 0;
+    bool escalated_ = false;
+    /** Bumped whenever outstanding pulls/deadlines become stale. */
+    std::uint64_t pullEpoch_ = 0;
+    std::vector<bool> pullDone_;
+
+    sim::Distribution detectionLatency_;
+    sim::Distribution recoveryTime_;
+    sim::Counter rollbackBytes_;
+    sim::Counter partial_;
+    sim::Counter full_;
+    sim::Counter escalations_;
+    sim::Counter pullRetries_;
+    sim::Counter cascades_;
+    sim::Counter duplicates_;
+};
+
+} // namespace coarse::core
+
+#endif // COARSE_CORE_RECOVERY_HH

@@ -53,6 +53,15 @@ HeartbeatMonitor::stop()
 }
 
 void
+HeartbeatMonitor::markDead(std::size_t i)
+{
+    // Clearing `watching` is the single kill switch: the in-flight
+    // probe's ack is ignored, the armed timeout drains without firing
+    // onDead, and no further beats are scheduled for this proxy.
+    probes_.at(i).watching = false;
+}
+
+void
 HeartbeatMonitor::beat(std::size_t i)
 {
     if (!running_ || !probes_[i].watching)

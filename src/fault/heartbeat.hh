@@ -68,6 +68,15 @@ class HeartbeatMonitor
     /** True while proxy @p i has not been declared dead. */
     bool watching(std::size_t i) const { return probes_.at(i).watching; }
 
+    /**
+     * Declare proxy @p i dead out of band (e.g. recovery already knows
+     * from a failed transfer). Probes for it stop and its pending
+     * timeout drains as a no-op, so onDead never fires for a proxy
+     * that is already marked dead — detection stays once-only even
+     * when the monitor and the recovery path race.
+     */
+    void markDead(std::size_t i);
+
     /** @name Stats */
     ///@{
     const sim::Counter &beatsSent() const { return beatsSent_; }

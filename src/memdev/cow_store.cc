@@ -66,6 +66,19 @@ CowStore::restore(SnapshotId id)
     current_ = checkpoint(id);
 }
 
+std::uint64_t
+CowStore::restoreTensor(SnapshotId id, TensorKey key)
+{
+    const auto &frozen = checkpoint(id);
+    auto it = frozen.find(key);
+    if (it == frozen.end()) {
+        current_.erase(key);
+        return 0;
+    }
+    current_[key] = it->second;
+    return it->second->size() * sizeof(float);
+}
+
 void
 CowStore::dropCheckpoint(SnapshotId id)
 {

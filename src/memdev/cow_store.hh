@@ -71,6 +71,15 @@ class CowStore
     /** Restore all tensors to the versions in checkpoint @p id. */
     void restore(SnapshotId id);
 
+    /**
+     * Restore only @p key to its version in checkpoint @p id, leaving
+     * every other tensor at its current version (shard-scoped
+     * rollback). A key born after the snapshot is dropped, matching
+     * restore()'s semantics for the full store.
+     * @return bytes of the version now current (0 when dropped).
+     */
+    std::uint64_t restoreTensor(SnapshotId id, TensorKey key);
+
     /** Drop a checkpoint (its versions free once unreferenced). */
     void dropCheckpoint(SnapshotId id);
 

@@ -91,6 +91,12 @@ TEST(Options, CompressFlag)
     EXPECT_TRUE(parseOptions({"--compress"}).compressGradients);
 }
 
+TEST(Options, FullRollbackFlag)
+{
+    EXPECT_FALSE(parseOptions({}).fullRollback);
+    EXPECT_TRUE(parseOptions({"--full-rollback"}).fullRollback);
+}
+
 TEST(Options, DataLoadingFlag)
 {
     EXPECT_FALSE(parseOptions({}).dataLoading);

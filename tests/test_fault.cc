@@ -347,6 +347,77 @@ TEST(Heartbeat, RejectsSubRoundTripTimeout)
                  FatalError);
 }
 
+TEST(Heartbeat, ProbeInFlightAtCrashTimeDetectsOnce)
+{
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    auto &topo = machine->topology();
+
+    std::vector<bool> dead(machine->memDevices().size(), false);
+    std::vector<std::size_t> declared;
+
+    HeartbeatMonitor::Params params;
+    params.interval = sim::fromMicroseconds(50);
+    params.timeout = sim::fromMicroseconds(25);
+    HeartbeatMonitor monitor(
+        topo, machine->workers().front(), machine->memDevices(), params,
+        [&](std::size_t i) { return !dead[i]; },
+        [&](std::size_t i) { declared.push_back(i); });
+
+    // Crash one tick after the 400us probe leaves: the probe is in
+    // flight at crash time, reaches dead hardware, and its timeout is
+    // the first (and only) chance to notice. The next probe's timeout
+    // must not double-report.
+    const sim::Tick crashTick = sim::fromMicroseconds(400) + 1;
+    sim.events().post(crashTick, [&] { dead[1] = true; });
+
+    monitor.start();
+    sim.run(sim::fromMicroseconds(1000));
+    monitor.stop();
+    sim.run();
+
+    ASSERT_EQ(declared.size(), 1u);
+    EXPECT_EQ(declared[0], 1u);
+    EXPECT_EQ(monitor.timeoutsFired().value(), 1u);
+    EXPECT_FALSE(monitor.watching(1));
+}
+
+TEST(Heartbeat, MarkDeadSuppressesDetection)
+{
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    auto &topo = machine->topology();
+
+    std::vector<bool> dead(machine->memDevices().size(), false);
+    std::vector<std::size_t> declared;
+
+    HeartbeatMonitor::Params params;
+    params.interval = sim::fromMicroseconds(50);
+    params.timeout = sim::fromMicroseconds(25);
+    HeartbeatMonitor monitor(
+        topo, machine->workers().front(), machine->memDevices(), params,
+        [&](std::size_t i) { return !dead[i]; },
+        [&](std::size_t i) { declared.push_back(i); });
+
+    // Recovery learns of proxy 0's death out of band, with the 400us
+    // probe already in flight; that probe's armed timeout must drain
+    // as a no-op rather than enqueue a second detection.
+    sim.events().post(sim::fromMicroseconds(400) + 1, [&] {
+        dead[0] = true;
+        monitor.markDead(0);
+    });
+
+    monitor.start();
+    sim.run(sim::fromMicroseconds(1000));
+    monitor.stop();
+    sim.run();
+
+    EXPECT_TRUE(declared.empty());
+    EXPECT_EQ(monitor.timeoutsFired().value(), 0u);
+    EXPECT_FALSE(monitor.watching(0));
+    EXPECT_TRUE(monitor.watching(1));
+}
+
 coarse::dl::ModelSpec
 tinyModel()
 {
@@ -412,6 +483,17 @@ TEST(EngineFaults, RecoversFromProxyCrashWithIdenticalWeights)
     EXPECT_GT(engine.recoveryTime().mean(), 0.0);
     EXPECT_GT(engine.rollbackBytes().value(), 0u);
 
+    // Exactly one recovery episode ran, cleanly classified, with no
+    // duplicate detections and no pull-deadline escalation.
+    const auto &recovery = engine.recovery();
+    EXPECT_EQ(recovery.partialRollbacks().value()
+                  + recovery.fullRollbacks().value(),
+              1u);
+    EXPECT_EQ(recovery.duplicateDetections().value(), 0u);
+    EXPECT_EQ(recovery.escalations().value(), 0u);
+    EXPECT_EQ(recovery.state(),
+              core::RecoveryManager::State::Idle);
+
     // Routing was rebuilt around the dead device: no worker may route
     // any tensor size to proxy 1.
     const auto deadNode = machine->memDevices()[1];
@@ -432,6 +514,35 @@ TEST(EngineFaults, RecoversFromProxyCrashWithIdenticalWeights)
             ASSERT_EQ(expect[e], got[e]) << "tensor " << t << " elem "
                                          << e;
     }
+}
+
+TEST(EngineFaults, FaultHistoryShrinksSuspectProxyAllotment)
+{
+    Simulation sim;
+    auto machine = fabric::makeSdscP100(sim);
+    core::CoarseEngine engine(*machine, tinyModel(), 4, {});
+
+    const std::uint64_t before = engine.plannedProxyBytes(1);
+    ASSERT_GT(before, 0u);
+
+    // Heavy suspicion lands on proxy 1 (score 10 caps the penalty at
+    // 2x), and the fabric-fault flag forces a re-profile at the next
+    // iteration boundary: the planner prices proxy 1's paths twice as
+    // slow and routes the bulk of the bytes to proxy 0 instead.
+    engine.faultHistory().record(1, 10.0);
+    engine.noteFabricFault();
+    engine.run(2, 0);
+
+    EXPECT_GE(engine.profileRuns(), 2u);
+    EXPECT_GE(engine.faultHistory().eventsRecorded().value(), 1u);
+    const std::uint64_t after = engine.plannedProxyBytes(1);
+    EXPECT_LT(after, before);
+    EXPECT_GT(engine.plannedProxyBytes(0), 0u);
+
+    // The score decays on every re-profile, so a proxy that stays
+    // healthy earns its traffic back instead of being exiled forever.
+    EXPECT_LT(engine.faultHistory().score(1), 10.0);
+    EXPECT_GT(engine.faultHistory().score(1), 0.0);
 }
 
 TEST(EngineFaults, StragglerStretchesIterations)

@@ -159,6 +159,50 @@ TEST(CowStore, RewriteAfterRestoreDedupsAgainstRestoredVersion)
     EXPECT_EQ(store.versionsCreated().value(), versions);
 }
 
+TEST(CowStore, RestoreTensorRewindsOnlyThatKey)
+{
+    // Shard-scoped rollback: partial recovery restores the dead
+    // proxy's tensors and leaves every other tensor at its current
+    // (newer) version.
+    CowStore store;
+    store.put(1, {1.0f});
+    store.put(2, {2.0f});
+    const SnapshotId snap = store.snapshot();
+    store.put(1, {10.0f});
+    store.put(2, {20.0f});
+
+    const auto bytes = store.restoreTensor(snap, 1);
+    EXPECT_EQ(bytes, sizeof(float));
+    EXPECT_EQ((*store.get(1))[0], 1.0f);
+    EXPECT_EQ((*store.get(2))[0], 20.0f); // untouched
+}
+
+TEST(CowStore, RestoreTensorDropsAKeyBornAfterTheSnapshot)
+{
+    CowStore store;
+    store.put(1, {1.0f});
+    const SnapshotId snap = store.snapshot();
+    store.put(2, {7.0f}); // written only after the snapshot
+    ASSERT_TRUE(store.contains(2));
+
+    EXPECT_EQ(store.restoreTensor(snap, 2), 0u);
+    EXPECT_FALSE(store.contains(2));
+    EXPECT_TRUE(store.contains(1)); // untouched
+}
+
+TEST(CowStore, RestoreTensorSharesDataWithoutCopying)
+{
+    CowStore store;
+    store.put(1, {1.0f, 2.0f, 3.0f});
+    const SnapshotId snap = store.snapshot();
+    store.put(1, {4.0f, 5.0f, 6.0f});
+
+    const auto copied = store.bytesCopied().value();
+    EXPECT_EQ(store.restoreTensor(snap, 1), 3 * sizeof(float));
+    EXPECT_EQ(store.bytesCopied().value(), copied);
+    EXPECT_EQ(store.get(1), store.checkpoint(snap).at(1));
+}
+
 TEST(SyncCore, CombineAddsBuffers)
 {
     SyncCore core;

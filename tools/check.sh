@@ -20,17 +20,31 @@ run_suite() {
     echo "== ${dir}: build"
     cmake --build "${dir}" -j "${jobs}"
     echo "== ${dir}: ctest"
-    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
+        --timeout 120
 }
 
 run_suite build
+
+# Chaos fault-seed sweep: the seeded storm tests honour
+# COARSE_CHAOS_SEED, so a handful of extra seeds exercises recovery
+# orderings a single default seed would never hit. --timeout turns a
+# recovery hang into a fast failure instead of a wedged pipeline.
+echo "== build: chaos fault-seed sweep"
+for seed in 3 5 7 11 13; do
+    echo "== build: ctest -L chaos (COARSE_CHAOS_SEED=${seed})"
+    COARSE_CHAOS_SEED="${seed}" ctest --test-dir build -L chaos \
+        --output-on-failure -j "${jobs}" --timeout 120
+done
+
 if [[ "${fast}" == 0 ]]; then
     run_suite build-asan -DCOARSE_SANITIZE=address
     # The chaos storm tests allocate and roll back aggressively; run
     # them again explicitly under ASan so leaks in the recovery path
     # cannot hide behind a passing default build.
     echo "== build-asan: ctest -L chaos"
-    ctest --test-dir build-asan -L chaos --output-on-failure -j "${jobs}"
+    ctest --test-dir build-asan -L chaos --output-on-failure \
+        -j "${jobs}" --timeout 120
     run_suite build-ubsan -DCOARSE_SANITIZE=undefined
 fi
 echo "All checks passed."
