@@ -69,6 +69,18 @@ parseOptions(const std::vector<std::string> &args)
             options.faultCount = parseUint(arg, value());
         } else if (arg == "--full-rollback") {
             options.fullRollback = true;
+        } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+            // --trace FILE[:categories] or --trace=FILE[:categories]
+            const std::string spec =
+                arg == "--trace" ? value() : arg.substr(8);
+            if (spec.empty())
+                sim::fatal("coarsesim: --trace expects FILE[:categories]");
+            const auto colon = spec.find(':');
+            options.traceFile = spec.substr(0, colon);
+            if (colon != std::string::npos)
+                options.traceCategories = spec.substr(colon + 1);
+            if (options.traceFile.empty())
+                sim::fatal("coarsesim: --trace expects a file name");
         } else if (arg == "--no-routing") {
             options.routing = false;
         } else if (arg == "--no-partitioning") {
@@ -135,6 +147,13 @@ usage: coarsesim [options]
   --fault-count N       faults in the random storm (8)
   --full-rollback       restore the whole model on proxy failure
                         instead of only the dead proxy's shard
+  --trace FILE[:CATS]   capture a timeline trace; a .json extension
+                        writes Chrome/Perfetto format (load it at
+                        ui.perfetto.dev), otherwise the canonical
+                        text form. CATS is a comma list of
+                        link,cci,synccore,proxy,iteration,partition,
+                        recovery (default all). Under --scheme all,
+                        only the COARSE run is traced.
   --no-routing          disable Lat/Bw tensor routing
   --no-partitioning     disable tensor partitioning
   --no-dual-sync        synchronize everything through the proxies

@@ -38,6 +38,11 @@ struct Options
     std::uint32_t faultCount = 8;
     /** Disable partial rollback: restore the full model on failure. */
     bool fullRollback = false;
+    /** Trace output path ("" = tracing off). ".json" selects the
+     *  Chrome/Perfetto exporter, anything else the canonical form. */
+    std::string traceFile;
+    /** Comma-separated trace categories ("" = all). */
+    std::string traceCategories;
     bool dumpStats = false;
     /** "table" (default) or "csv". */
     std::string format = "table";

@@ -1,5 +1,6 @@
 #include "runner.hh"
 
+#include <fstream>
 #include <iomanip>
 #include <memory>
 #include <sstream>
@@ -16,8 +17,41 @@
 #include "fault/injector.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
+#include "sim/trace.hh"
 
 namespace coarse::app {
+
+namespace {
+
+/** Under --scheme all only the COARSE run is traced. */
+bool
+shouldTrace(const Options &options, const std::string &scheme)
+{
+    return !options.traceFile.empty()
+        && (options.scheme != "all" || scheme == "COARSE");
+}
+
+void
+exportTrace(const sim::TraceSession &session, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("coarsesim: cannot open trace file '", path, "'");
+    const bool json = path.size() >= 5
+        && path.compare(path.size() - 5, 5, ".json") == 0;
+    if (json)
+        session.writeChromeJson(out);
+    else
+        session.writeCanonical(out);
+    if (session.dropped() > 0) {
+        sim::Logger("trace").warn(
+            "trace ring overflowed: ", session.dropped(),
+            " oldest events overwritten (raise the capacity or narrow "
+            "the categories)");
+    }
+}
+
+} // namespace
 
 std::vector<std::string>
 schemesFor(const Options &options)
@@ -33,6 +67,22 @@ runOne(const Options &options, const std::string &scheme)
 {
     RunOutcome outcome;
     sim::Simulation simulation;
+
+    // The session must exist before the machine/engine are built so
+    // construction-time events (e.g. the recovery Idle marker) land
+    // in the capture.
+    std::unique_ptr<sim::TraceSession> trace;
+    if (shouldTrace(options, scheme)) {
+        sim::TraceSession::Options traceOptions;
+        traceOptions.capacity = std::size_t(1) << 20;
+        traceOptions.processName = scheme;
+        if (!options.traceCategories.empty()) {
+            traceOptions.categories =
+                sim::parseTraceCategories(options.traceCategories);
+        }
+        trace = std::make_unique<sim::TraceSession>(traceOptions);
+    }
+
     fabric::MachineOptions machineOptions;
     machineOptions.nodes = options.nodes;
     machineOptions.workersPerMemDevice = options.workersPerMemDevice;
@@ -121,6 +171,9 @@ runOne(const Options &options, const std::string &scheme)
         outcome.outOfMemory = true;
         return outcome;
     }
+
+    if (trace)
+        exportTrace(*trace, options.traceFile);
 
     if (options.dumpStats) {
         std::ostringstream oss;

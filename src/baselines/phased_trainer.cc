@@ -40,6 +40,15 @@ PhasedTrainer::finishIteration(std::uint32_t iter, sim::Tick start,
                                sim::Tick computeEnd)
 {
     auto &sim = machine_.topology().sim();
+    if (sim::traceEnabled(sim::TraceCategory::Iteration)) {
+        auto track = [this] { return "baseline/" + name(); };
+        sim::traceSpan(sim::TraceCategory::Iteration, traceTrack_,
+                       track, "compute", start, computeEnd, iter);
+        sim::traceSpan(sim::TraceCategory::Iteration, traceTrack_,
+                       track, "sync", computeEnd, sim.now(), iter);
+        sim::traceSpan(sim::TraceCategory::Iteration, traceTrack_,
+                       track, "iteration", start, sim.now(), iter);
+    }
     if (iter >= warmup_) {
         measuredSeconds_ += sim::toSeconds(sim.now() - start);
         measuredBlocked_ += sim::toSeconds(sim.now() - computeEnd);

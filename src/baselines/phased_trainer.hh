@@ -19,6 +19,7 @@
 #include "dl/trainer.hh"
 #include "fabric/machine.hh"
 #include "sim/event.hh"
+#include "sim/trace.hh"
 
 namespace coarse::baselines {
 
@@ -80,6 +81,7 @@ class PhasedTrainer : public dl::Trainer
     std::uint32_t curIter_ = 0;
     sim::Tick iterStart_ = 0;
     sim::Tick iterComputeEnd_ = 0;
+    sim::TraceTrackHandle traceTrack_;
     sim::MemberEvent<PhasedTrainer, &PhasedTrainer::onComputeEnd>
         computeEndEvent_{*this, "phased.compute_end"};
 };

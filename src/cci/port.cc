@@ -17,6 +17,7 @@ CciPort::read(fabric::NodeId requester, RegionId region,
 {
     const fabric::NodeId home = space_.region(region).home;
     bytesRead_.inc(bytes);
+    done = traceAccess(requester, "read", bytes, std::move(done));
     auto move = [this, requester, home, bytes, options,
                  done = std::move(done)]() mutable {
         transfer(home, requester, bytes, AccessDirection::Read, options,
@@ -37,6 +38,7 @@ CciPort::write(fabric::NodeId requester, RegionId region,
 {
     const fabric::NodeId home = space_.region(region).home;
     bytesWritten_.inc(bytes);
+    done = traceAccess(requester, "write", bytes, std::move(done));
     auto move = [this, requester, home, bytes, options,
                  done = std::move(done)]() mutable {
         transfer(requester, home, bytes, AccessDirection::Write, options,
@@ -48,6 +50,24 @@ CciPort::write(fabric::NodeId requester, RegionId region,
     } else {
         move();
     }
+}
+
+std::function<void()>
+CciPort::traceAccess(fabric::NodeId requester, const char *name,
+                     std::uint64_t bytes, std::function<void()> done)
+{
+    if (!sim::traceEnabled(sim::TraceCategory::Cci))
+        return done;
+    const sim::Tick start = topo_.sim().now();
+    return [this, requester, name, bytes, start,
+            done = std::move(done)]() mutable {
+        sim::traceSpan(
+            sim::TraceCategory::Cci, traceTracks_[requester],
+            [&] { return "cci/" + topo_.nodeName(requester); }, name,
+            start, topo_.sim().now(), bytes);
+        if (done)
+            done();
+    };
 }
 
 void

@@ -9,12 +9,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 
 #include "address_space.hh"
 #include "directory.hh"
 #include "fabric/topology.hh"
 #include "prototype_model.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace coarse::cci {
 
@@ -65,12 +67,19 @@ class CciPort
                   const AccessOptions &options,
                   std::function<void()> done);
 
+    /** Wrap @p done to close a "read"/"write" span at completion. */
+    std::function<void()> traceAccess(fabric::NodeId requester,
+                                      const char *name,
+                                      std::uint64_t bytes,
+                                      std::function<void()> done);
+
     fabric::Topology &topo_;
     Directory &directory_;
     const AddressSpace &space_;
     const PrototypeModel &model_;
     sim::Counter bytesRead_;
     sim::Counter bytesWritten_;
+    std::map<fabric::NodeId, sim::TraceTrackHandle> traceTracks_;
 };
 
 } // namespace coarse::cci

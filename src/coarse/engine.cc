@@ -552,6 +552,26 @@ CoarseEngine::runIterationBody(std::uint32_t iter)
     iter_->timeline.start = iter_->start;
     iter_->timeline.computeEnd = iter_->computeEnd;
 
+    if (sim::traceEnabled(sim::TraceCategory::Iteration)) {
+        // Compute phases are analytic (straggler-stretched FP then
+        // BP), so both spans are known at iteration start.
+        if (workerTraceTracks_.size() != workers_.size())
+            workerTraceTracks_.resize(workers_.size());
+        auto &topo = machine_.topology();
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            auto name = [&] {
+                return "gpu/" + topo.nodeName(workers_[w]->node);
+            };
+            sim::traceSpan(sim::TraceCategory::Iteration,
+                           workerTraceTracks_[w], name, "fp",
+                           computeStart, computeStart + fwdTicks, iter);
+            sim::traceSpan(sim::TraceCategory::Iteration,
+                           workerTraceTracks_[w], name, "bp",
+                           computeStart + fwdTicks, iter_->computeEnd,
+                           iter);
+        }
+    }
+
     // Proxy-synced tensors: push at gradient-ready times.
     for (std::size_t t = plan_.splitTensor; t < model_.tensors.size();
          ++t) {
@@ -585,10 +605,25 @@ CoarseEngine::startGpuSync()
     coll::RingOptions ring;
     ring.reduceBytesPerSec = gpu_.reduceBytesPerSec();
     ring.rings = 2;
-    auto done = [this, iter] {
+    const sim::Tick gpuSyncStart = machine_.topology().sim().now();
+    auto done = [this, iter, gpuSyncStart] {
         iter_->gpuSyncDone = true;
         iter_->timeline.gpuSyncEnd =
             machine_.topology().sim().now();
+        if (sim::traceEnabled(sim::TraceCategory::Iteration)) {
+            if (workerTraceTracks_.size() != workers_.size())
+                workerTraceTracks_.resize(workers_.size());
+            auto &topo = machine_.topology();
+            for (std::size_t w = 0; w < workers_.size(); ++w) {
+                sim::traceSpan(
+                    sim::TraceCategory::Iteration, workerTraceTracks_[w],
+                    [&] {
+                        return "gpu/" + topo.nodeName(workers_[w]->node);
+                    },
+                    "gpu_sync", gpuSyncStart,
+                    iter_->timeline.gpuSyncEnd, iter, plan_.gpuBytes);
+            }
+        }
         onWorkerPathDone(iter);
     };
     if (!options_.functionalData) {
@@ -751,6 +786,31 @@ CoarseEngine::finishIteration(std::uint32_t iter)
     auto &sim = machine_.topology().sim();
     iter_->timeline.end = sim.now();
     timeline_ = iter_->timeline;
+    if (sim::traceEnabled(sim::TraceCategory::Iteration)) {
+        // Proxy-path phases come from the recorded timeline; emit
+        // them here (even for iterations recovery will discard) so a
+        // trace shows exactly what the simulator measured.
+        const IterationTimeline &tl = timeline_;
+        auto name = [] { return "coarse/engine"; };
+        sim::traceSpan(sim::TraceCategory::Iteration, engineTraceTrack_,
+                       name, "iteration", tl.start, tl.end, iter);
+        if (tl.firstPush != 0) {
+            sim::traceSpan(sim::TraceCategory::Iteration,
+                           engineTraceTrack_, name, "push",
+                           tl.firstPush, tl.lastPush, iter);
+        }
+        if (tl.firstShardSynced != 0) {
+            sim::traceSpan(sim::TraceCategory::Iteration,
+                           engineTraceTrack_, name, "sync",
+                           tl.firstShardSynced, tl.lastShardSynced,
+                           iter);
+        }
+        if (tl.firstPull != 0) {
+            sim::traceSpan(sim::TraceCategory::Iteration,
+                           engineTraceTrack_, name, "pull",
+                           tl.firstPull, tl.lastPull, iter);
+        }
+    }
     const double iterSeconds = sim::toSeconds(sim.now() - iter_->start);
     const double blocked = sim.now() > iter_->computeEnd
         ? sim::toSeconds(sim.now() - iter_->computeEnd)
@@ -789,6 +849,10 @@ CoarseEngine::finishIteration(std::uint32_t iter)
             checkpointedOptimizers_.push_back(optimizer->saveState());
         checkpointAppliedThrough_ = appliedThrough_;
         ++checkpoints_;
+        sim::traceInstant(sim::TraceCategory::Iteration,
+                          engineTraceTrack_,
+                          [] { return "coarse/engine"; }, "checkpoint",
+                          sim.now(), iter + 1);
     }
 
     if (iter == options_.failAtIteration && failures_ == 0) {

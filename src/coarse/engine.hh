@@ -318,6 +318,10 @@ class CoarseEngine : public dl::Trainer
     std::vector<std::unique_ptr<WorkerState>> workers_;
     IterationTimeline timeline_;
 
+    /** Trace tracks: engine-level phases and one per worker GPU. */
+    sim::TraceTrackHandle engineTraceTrack_;
+    std::vector<sim::TraceTrackHandle> workerTraceTracks_;
+
     /** Pre-allocated per-iteration events; re-armed every cycle. */
     sim::MemberEvent<CoarseEngine, &CoarseEngine::startGpuSync>
         gpuSyncEvent_{*this, "coarse.gpu_sync"};

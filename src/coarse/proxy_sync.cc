@@ -26,11 +26,39 @@ ProxySyncService::ProxySyncService(
       scheduler_(topo, devices_, schedule), policy_(policy),
       functional_(functional),
       wireBytesPerElement_(wireBytesPerElement),
-      arrivalQueues_(devices_.size())
+      arrivalQueues_(devices_.size()), proxyTracks_(devices_.size())
 {
     if (wireBytesPerElement_ != 2 && wireBytesPerElement_ != 4)
         sim::fatal("ProxySyncService: wire bytes per element must be "
                    "2 or 4");
+}
+
+void
+ProxySyncService::traceQueueDepth(std::size_t proxyIdx)
+{
+    sim::traceCounter(
+        sim::TraceCategory::Proxy, proxyTracks_[proxyIdx],
+        [&] {
+            return "proxy/" + topo_.nodeName(devices_[proxyIdx]->node());
+        },
+        "queued", topo_.sim().now(), arrivalQueues_[proxyIdx].size());
+}
+
+void
+ProxySyncService::traceClientInflight(std::size_t proxyIdx,
+                                      fabric::NodeId worker,
+                                      std::int64_t delta)
+{
+    const auto key = std::make_pair(proxyIdx, worker);
+    const std::int64_t depth = (clientInflight_[key] += delta);
+    sim::traceCounter(
+        sim::TraceCategory::Proxy, clientTracks_[key],
+        [&] {
+            return "proxy/" + topo_.nodeName(devices_[proxyIdx]->node())
+                + "/" + topo_.nodeName(worker);
+        },
+        "inflight", topo_.sim().now(),
+        static_cast<std::uint64_t>(depth < 0 ? 0 : depth));
 }
 
 std::size_t
@@ -62,6 +90,7 @@ ProxySyncService::push(fabric::NodeId worker, fabric::NodeId proxyNode,
     if (inserted) {
         state.bytes = bytes;
         state.expected = totalContributions;
+        state.firstPushTick = topo_.sim().now();
         state.accum.resize(devices_.size());
         state.touched.assign(devices_.size(), false);
     } else if (state.bytes != bytes || state.expected
@@ -72,18 +101,22 @@ ProxySyncService::push(fabric::NodeId worker, fabric::NodeId proxyNode,
     bytesPushed_.inc(bytes);
     auto payload = std::make_shared<std::vector<float>>(std::move(data));
 
+    if (sim::traceEnabled(sim::TraceCategory::Proxy))
+        traceClientInflight(proxyIdx, worker, +1);
+
     fabric::Message msg;
     msg.src = worker;
     msg.dst = proxyNode;
     msg.bytes = bytes;
-    msg.onDelivered = [this, proxyIdx, key, payload] {
-        onShardArrived(proxyIdx, key, std::move(*payload));
+    msg.onDelivered = [this, proxyIdx, worker, key, payload] {
+        onShardArrived(proxyIdx, worker, key, std::move(*payload));
     };
     topo_.send(std::move(msg), fabric::kNoNvLink);
 }
 
 void
 ProxySyncService::onShardArrived(std::size_t proxyIdx,
+                                 fabric::NodeId worker,
                                  const ShardKey &key,
                                  std::vector<float> data)
 {
@@ -106,6 +139,10 @@ ProxySyncService::onShardArrived(std::size_t proxyIdx,
         arrivalQueues_[proxyIdx].push_back(key);
     }
     ++state.arrived;
+    if (sim::traceEnabled(sim::TraceCategory::Proxy)) {
+        traceClientInflight(proxyIdx, worker, -1);
+        traceQueueDepth(proxyIdx);
+    }
     tryLaunch();
 }
 
@@ -174,6 +211,20 @@ ProxySyncService::onShardSynced(const ShardKey &key)
         auto pos = std::find(queue.begin(), queue.end(), key);
         if (pos != queue.end())
             queue.erase(pos);
+    }
+
+    if (sim::traceEnabled(sim::TraceCategory::Partition)) {
+        sim::traceSpan(
+            sim::TraceCategory::Partition, tensorTracks_[key.tensor],
+            [&] {
+                return "partition/t" + std::to_string(key.tensor);
+            },
+            "shard", it->second.firstPushTick, topo_.sim().now(),
+            key.shard, key.iteration);
+    }
+    if (sim::traceEnabled(sim::TraceCategory::Proxy)) {
+        for (std::size_t p = 0; p < devices_.size(); ++p)
+            traceQueueDepth(p);
     }
 
     synced_.inc();

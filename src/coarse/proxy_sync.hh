@@ -29,6 +29,7 @@
 #include "fabric/topology.hh"
 #include "memdev/sync_group.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace coarse::core {
 
@@ -114,6 +115,8 @@ class ProxySyncService
         std::uint32_t expected = 0;
         std::uint32_t arrived = 0;
         bool syncing = false;
+        /** Tick of the first worker push (shard-lifetime trace). */
+        sim::Tick firstPushTick = 0;
         /** Per-proxy accumulation buffers (functional mode). */
         std::vector<std::vector<float>> accum;
         /** Which proxies received at least one contribution. */
@@ -121,9 +124,13 @@ class ProxySyncService
     };
 
     std::size_t proxyIndexOf(fabric::NodeId node) const;
-    void onShardArrived(std::size_t proxyIdx, const ShardKey &key,
-                        std::vector<float> data);
+    void onShardArrived(std::size_t proxyIdx, fabric::NodeId worker,
+                        const ShardKey &key, std::vector<float> data);
     void tryLaunch();
+    /** Sample per-proxy queue depth / per-client in-flight pushes. */
+    void traceQueueDepth(std::size_t proxyIdx);
+    void traceClientInflight(std::size_t proxyIdx, fabric::NodeId worker,
+                             std::int64_t delta);
     bool proxyReady(std::size_t proxyIdx, const ShardKey &key) const;
     void launch(const ShardKey &key, ShardState &state);
     void onShardSynced(const ShardKey &key);
@@ -142,6 +149,16 @@ class ProxySyncService
 
     sim::Counter synced_;
     sim::Counter bytesPushed_;
+
+    /** @name Trace state (only touched while tracing is enabled) */
+    ///@{
+    std::vector<sim::TraceTrackHandle> proxyTracks_;
+    std::map<std::pair<std::size_t, fabric::NodeId>,
+             sim::TraceTrackHandle> clientTracks_;
+    std::map<std::pair<std::size_t, fabric::NodeId>, std::int64_t>
+        clientInflight_;
+    std::map<std::uint32_t, sim::TraceTrackHandle> tensorTracks_;
+    ///@}
 };
 
 } // namespace coarse::core

@@ -37,6 +37,23 @@ FaultHistory::penalty(std::size_t idx) const
     return 1.0 + kPerPoint * std::min(scores_.at(idx), kScoreCap);
 }
 
+void
+RecoveryManager::traceMark(const char *name, sim::Tick tick,
+                           std::uint64_t arg0)
+{
+    sim::traceInstant(sim::TraceCategory::Recovery, traceTrack_,
+                      [] { return "recovery/state"; }, name, tick,
+                      arg0);
+}
+
+void
+RecoveryManager::traceStateSpan(const char *name, sim::Tick start,
+                                sim::Tick end)
+{
+    sim::traceSpan(sim::TraceCategory::Recovery, traceTrack_,
+                   [] { return "recovery/state"; }, name, start, end);
+}
+
 RecoveryManager::RecoveryManager(CoarseEngine &engine,
                                  RecoveryOptions options)
     : eng_(engine), opt_(options)
@@ -49,6 +66,9 @@ RecoveryManager::RecoveryManager(CoarseEngine &engine,
                    "must be >= 1");
     }
     everDetected_.assign(eng_.devices_.size(), false);
+    // Every trace carries the recovery track, even fault-free runs:
+    // its absence would be indistinguishable from "not instrumented".
+    traceMark("Idle", 0);
 }
 
 void
@@ -69,6 +89,7 @@ RecoveryManager::onProxyDead(std::size_t idx)
     detectionLatency_.sample(
         sim::toSeconds(sim.now() - eng_.proxyDeadSince_[idx]));
     eng_.faultHistory_.recordCrash(idx);
+    traceMark("detect", sim.now(), idx);
 
     switch (state_) {
       case State::Idle:
@@ -76,6 +97,7 @@ RecoveryManager::onProxyDead(std::size_t idx)
         // iteration boundary, where the sync service is idle.
         episodeStart_ = sim.now();
         state_ = State::Draining;
+        traceMark("Draining", sim.now(), idx);
         pendingDead_.push_back(idx);
         break;
       case State::Draining:
@@ -119,6 +141,8 @@ RecoveryManager::onIterationBoundary(std::uint32_t failedIter)
     processDetections();
     replayFrom_ = computeReplayFrom();
     state_ = State::Repulling;
+    traceStateSpan("Draining", episodeStart_, boundaryTick_);
+    traceMark("Repulling", boundaryTick_, failedIter);
     startPulls();
 }
 
@@ -200,6 +224,7 @@ void
 RecoveryManager::escalate()
 {
     escalations_.inc();
+    traceMark("escalate", eng_.machine_.topology().sim().now());
     if (!escalated_) {
         // Deepen the rollback to the whole model: whatever partial
         // state the flapping pulls left behind is discarded and the
@@ -320,6 +345,8 @@ RecoveryManager::finishEpisode()
     eng_.replayed_ += failedIter_ + 1 - replayFrom_;
     ++pullEpoch_; // straggling deadline events drain as no-ops
     state_ = State::Idle;
+    traceStateSpan("Repulling", boundaryTick_, sim.now());
+    traceMark("Idle", sim.now(), replayFrom_);
 
     if (replayFrom_ < eng_.totalIterations_) {
         eng_.startIteration(replayFrom_);

@@ -42,6 +42,7 @@
 
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace coarse::core {
 
@@ -178,6 +179,12 @@ class RecoveryManager
     /** All pulls delivered: close the episode and resume training. */
     void finishEpisode();
 
+    /** Mark a state transition / recovery milestone on the trace. */
+    void traceMark(const char *name, sim::Tick tick,
+                   std::uint64_t arg0 = 0);
+    void traceStateSpan(const char *name, sim::Tick start,
+                        sim::Tick end);
+
     CoarseEngine &eng_;
     RecoveryOptions opt_;
     State state_ = State::Idle;
@@ -210,6 +217,8 @@ class RecoveryManager
     sim::Counter pullRetries_;
     sim::Counter cascades_;
     sim::Counter duplicates_;
+
+    sim::TraceTrackHandle traceTrack_;
 };
 
 } // namespace coarse::core

@@ -18,6 +18,7 @@
 #include "message.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace coarse::fabric {
 
@@ -72,10 +73,14 @@ class LinkDirection
     std::uint64_t bytesCarried() const { return bytesCarried_; }
     sim::Tick busyTime() const { return busyTime_; }
 
+    /** Cached trace track for this direction's busy spans. */
+    sim::TraceTrackHandle &traceHandle() { return traceHandle_; }
+
   private:
     sim::Tick busyUntil_ = 0;
     std::uint64_t bytesCarried_ = 0;
     sim::Tick busyTime_ = 0;
+    sim::TraceTrackHandle traceHandle_;
 };
 
 /**

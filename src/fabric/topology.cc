@@ -262,11 +262,31 @@ Topology::forwardPacket(const std::shared_ptr<Transfer> &transfer,
     // factor (fault injection) applies to any hop kind.
     const double efficiency = l.degradeFactor()
         * (l.kind() == LinkKind::SerialBus ? transfer->efficiency : 1.0);
+    const sim::Tick busyBefore = pipe.busyTime();
     const sim::Tick sent =
         pipe.transmit(sim_.now(), bytes, transfer->msg.flowBytes,
                       l.bandwidth(), efficiency, transfer->msg.rateCap);
     const sim::Tick arrival = sent + l.latency();
     const NodeId next = l.peerOf(at);
+    if (sim::traceEnabled(sim::TraceCategory::Link)) {
+        // The pipe is FIFO, so this packet occupied it for exactly the
+        // busyTime it added, ending at `sent` — per-direction spans
+        // can therefore never overlap, which the golden-trace tests
+        // assert and the property test sums against stats counters.
+        const sim::Tick dur = pipe.busyTime() - busyBefore;
+        const auto trackName = [&] {
+            return nodes_[at].name + "->" + nodes_[next].name + "#"
+                + std::to_string(l.id());
+        };
+        sim::traceSpan(sim::TraceCategory::Link, pipe.traceHandle(),
+                       trackName, "tx", sent - dur, sent, bytes,
+                       transfer->msg.flowBytes);
+        if (sent > 0) {
+            sim::traceCounter(sim::TraceCategory::Link,
+                              pipe.traceHandle(), trackName, "util_ppm",
+                              sent, pipe.busyTime() * 1000000 / sent);
+        }
+    }
     sim_.events().post(arrival, [this, transfer, hop, next, bytes] {
         forwardPacket(transfer, hop + 1, next, bytes);
     });

@@ -15,8 +15,11 @@ MemoryDevice::MemoryDevice(fabric::NodeId node, MemoryDeviceParams params)
     // Each core sees its fair share of DRAM bandwidth.
     coreParams.dramBytesPerSec = params_.dramBytesPerSec
         / static_cast<double>(params_.syncCoreCount);
-    for (std::size_t i = 0; i < params_.syncCoreCount; ++i)
+    for (std::size_t i = 0; i < params_.syncCoreCount; ++i) {
         cores_.push_back(std::make_unique<SyncCore>(coreParams));
+        cores_.back()->setTraceName("n" + std::to_string(node_)
+                                    + ".core" + std::to_string(i));
+    }
 }
 
 double

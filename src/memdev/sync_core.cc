@@ -31,6 +31,21 @@ SyncCore::dramSeconds(std::uint64_t bytes) const
 }
 
 void
+SyncCore::traceOccupancy()
+{
+    if (!sim::traceEnabled(sim::TraceCategory::SyncCore)) [[likely]]
+        return;
+    const sim::Tick now = sim::traceNow();
+    auto name = [this] { return "synccore/" + traceName_; };
+    sim::traceCounter(sim::TraceCategory::SyncCore, traceHandle_, name,
+                      "recv", now, recvBuf_.size());
+    sim::traceCounter(sim::TraceCategory::SyncCore, traceHandle_, name,
+                      "local", now, localBuf_.size());
+    sim::traceCounter(sim::TraceCategory::SyncCore, traceHandle_, name,
+                      "send", now, sendBuf_.size());
+}
+
+void
 SyncCore::loadLocal(std::span<const float> chunk)
 {
     if (chunk.size() > params_.bufferElements)
@@ -39,6 +54,7 @@ SyncCore::loadLocal(std::span<const float> chunk)
                    params_.bufferElements);
     localBuf_.assign(chunk.begin(), chunk.end());
     dramBytes_.inc(chunk.size() * sizeof(float));
+    traceOccupancy();
 }
 
 void
@@ -49,6 +65,7 @@ SyncCore::receive(std::span<const float> data)
                    " elements exceeds RecvBuf capacity ",
                    params_.bufferElements);
     recvBuf_.assign(data.begin(), data.end());
+    traceOccupancy();
 }
 
 std::span<const float>
@@ -62,6 +79,7 @@ SyncCore::combine()
     for (std::size_t i = 0; i < localBuf_.size(); ++i)
         sendBuf_[i] = localBuf_[i] + recvBuf_[i];
     reduced_.inc(localBuf_.size());
+    traceOccupancy();
     return sendBuf_;
 }
 
@@ -70,6 +88,7 @@ SyncCore::commitToLocal()
 {
     localBuf_ = sendBuf_;
     dramBytes_.inc(sendBuf_.size() * sizeof(float));
+    traceOccupancy();
 }
 
 } // namespace coarse::memdev

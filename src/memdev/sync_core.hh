@@ -14,9 +14,11 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace coarse::memdev {
 
@@ -76,13 +78,21 @@ class SyncCore
     const sim::Counter &bytesFromDram() const { return dramBytes_; }
     ///@}
 
+    /** Label this core's trace track (e.g. "mem0.core2"). */
+    void setTraceName(std::string name) { traceName_ = std::move(name); }
+
   private:
+    /** Sample all three buffer occupancies onto the trace. */
+    void traceOccupancy();
+
     SyncCoreParams params_;
     std::vector<float> recvBuf_;
     std::vector<float> localBuf_;
     std::vector<float> sendBuf_;
     sim::Counter reduced_;
     sim::Counter dramBytes_;
+    std::string traceName_ = "core";
+    sim::TraceTrackHandle traceHandle_;
 };
 
 } // namespace coarse::memdev

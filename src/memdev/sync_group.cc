@@ -47,8 +47,9 @@ orderDevices(fabric::Topology &topo, std::vector<MemoryDevice *> devices,
 SyncGroupScheduler::SyncGroupScheduler(fabric::Topology &topo,
                                        std::vector<MemoryDevice *> devices,
                                        SyncScheduleOptions options)
-    : devices_(orderDevices(topo, std::move(devices), options)),
-      options_(options), comm_(topo, nodesOf(devices_))
+    : topo_(topo), devices_(orderDevices(topo, std::move(devices), options)),
+      options_(options), comm_(topo, nodesOf(devices_)),
+      traceTracks_(devices_.size())
 {
     if (devices_.empty())
         sim::fatal("SyncGroupScheduler: need at least one device");
@@ -104,6 +105,44 @@ SyncGroupScheduler::ringOptions() const
     return ring;
 }
 
+std::function<void()>
+SyncGroupScheduler::traceReduce(std::uint64_t bytes,
+                                std::function<void()> done)
+{
+    if (!sim::traceEnabled(sim::TraceCategory::SyncCore))
+        return done;
+    const sim::Tick start = topo_.sim().now();
+    // Each device holds the full tensor while the ring reduces it;
+    // a core stages at most bufferElements of it at a time.
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        const std::uint64_t staged =
+            std::min<std::uint64_t>(bytes / sizeof(float),
+                                    devices_[i]->syncCore(0).params()
+                                        .bufferElements);
+        sim::traceCounter(
+            sim::TraceCategory::SyncCore, traceTracks_[i],
+            [&] {
+                return "synccore/" + topo_.nodeName(devices_[i]->node());
+            },
+            "local", start, staged);
+    }
+    return [this, bytes, start, done = std::move(done)]() mutable {
+        const sim::Tick end = topo_.sim().now();
+        for (std::size_t i = 0; i < devices_.size(); ++i) {
+            auto name = [&] {
+                return "synccore/" + topo_.nodeName(devices_[i]->node());
+            };
+            sim::traceSpan(sim::TraceCategory::SyncCore,
+                           traceTracks_[i], name, "reduce", start, end,
+                           bytes);
+            sim::traceCounter(sim::TraceCategory::SyncCore,
+                              traceTracks_[i], name, "local", end, 0);
+        }
+        if (done)
+            done();
+    };
+}
+
 void
 SyncGroupScheduler::allReduce(std::vector<std::span<float>> buffers,
                               std::function<void()> done)
@@ -111,6 +150,8 @@ SyncGroupScheduler::allReduce(std::vector<std::span<float>> buffers,
     if (buffers.size() != devices_.size())
         sim::fatal("SyncGroupScheduler: got ", buffers.size(),
                    " buffers for ", devices_.size(), " devices");
+    done = traceReduce(buffers.front().size() * sizeof(float),
+                       std::move(done));
     if (!options_.detailedCores) {
         comm_.allReduce(std::move(buffers), ringOptions(),
                         std::move(done));
@@ -145,7 +186,8 @@ void
 SyncGroupScheduler::allReduceTimed(std::uint64_t bytes,
                                    std::function<void()> done)
 {
-    comm_.allReduceTimed(bytes, ringOptions(), std::move(done));
+    comm_.allReduceTimed(bytes, ringOptions(),
+                         traceReduce(bytes, std::move(done)));
 }
 
 double

@@ -87,10 +87,21 @@ class SyncGroupScheduler
   private:
     coll::RingOptions ringOptions() const;
 
+    /**
+     * Wrap @p done to trace the collective: a "reduce" span per
+     * device plus modelled LocalBuf occupancy (the flow-level path
+     * never touches SyncCore buffers, so occupancy is synthesized
+     * from the per-device slice size at the span boundaries).
+     */
+    std::function<void()> traceReduce(std::uint64_t bytes,
+                                      std::function<void()> done);
+
+    fabric::Topology &topo_;
     std::vector<MemoryDevice *> devices_;
     SyncScheduleOptions options_;
     coll::Communicator comm_;
     std::vector<std::unique_ptr<RingEngine>> engines_;
+    std::vector<sim::TraceTrackHandle> traceTracks_;
 };
 
 } // namespace coarse::memdev

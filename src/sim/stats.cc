@@ -75,6 +75,10 @@ StatGroup::subgroup(const std::string &name)
 {
     auto it = children_.find(name);
     if (it == children_.end()) {
+        if (values_.count(name)) {
+            panic("StatGroup ", name_, ": subgroup '", name,
+                  "' collides with a registered stat");
+        }
         it = children_.emplace(name, std::make_unique<StatGroup>(name))
                  .first;
     }
@@ -82,35 +86,46 @@ StatGroup::subgroup(const std::string &name)
 }
 
 void
+StatGroup::registerValue(const std::string &name,
+                         std::function<double()> fn)
+{
+    if (values_.count(name) || children_.count(name)) {
+        panic("StatGroup ", name_, ": duplicate stat name '", name,
+              "'");
+    }
+    values_[name] = std::move(fn);
+}
+
+void
 StatGroup::addCounter(const std::string &name, const Counter &counter)
 {
-    values_[name] = [&counter] {
+    registerValue(name, [&counter] {
         return static_cast<double>(counter.value());
-    };
+    });
 }
 
 void
 StatGroup::addScalar(const std::string &name, const Scalar &scalar)
 {
-    values_[name] = [&scalar] { return scalar.value(); };
+    registerValue(name, [&scalar] { return scalar.value(); });
 }
 
 void
 StatGroup::addDistribution(const std::string &name, const Distribution &dist)
 {
-    values_[name + ".mean"] = [&dist] { return dist.mean(); };
-    values_[name + ".min"] = [&dist] { return dist.min(); };
-    values_[name + ".max"] = [&dist] { return dist.max(); };
-    values_[name + ".count"] = [&dist] {
+    registerValue(name + ".mean", [&dist] { return dist.mean(); });
+    registerValue(name + ".min", [&dist] { return dist.min(); });
+    registerValue(name + ".max", [&dist] { return dist.max(); });
+    registerValue(name + ".count", [&dist] {
         return static_cast<double>(dist.count());
-    };
-    values_[name + ".total"] = [&dist] { return dist.total(); };
+    });
+    registerValue(name + ".total", [&dist] { return dist.total(); });
 }
 
 void
 StatGroup::addFormula(const std::string &name, std::function<double()> fn)
 {
-    values_[name] = std::move(fn);
+    registerValue(name, std::move(fn));
 }
 
 void

@@ -134,6 +134,10 @@ class StatGroup
     double lookup(const std::string &dottedPath) const;
 
   private:
+    /** Register an accessor; panics if @p name is already taken. */
+    void registerValue(const std::string &name,
+                       std::function<double()> fn);
+
     std::string name_;
     std::map<std::string, std::function<double()>> values_;
     std::map<std::string, std::unique_ptr<StatGroup>> children_;

@@ -1,0 +1,291 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+namespace coarse::sim {
+
+namespace detail {
+
+std::uint32_t g_traceMask = 0;
+TraceSession *g_traceSession = nullptr;
+
+namespace {
+// Session epochs start at 1 so a default TraceTrackHandle (epoch 0)
+// never matches an active session.
+std::uint32_t g_nextEpoch = 1;
+} // namespace
+
+std::uint32_t
+traceTrackSlow(TraceTrackHandle &handle, TraceCategory cat,
+               std::string name)
+{
+    TraceSession *session = g_traceSession;
+    if (!session)
+        panic("traceTrack called with no active TraceSession");
+    handle.id = session->registerTrack(cat, std::move(name));
+    handle.epoch = session->epoch();
+    return handle.id;
+}
+
+} // namespace detail
+
+namespace {
+
+constexpr std::array<const char *,
+                     static_cast<std::size_t>(TraceCategory::kCount)>
+    kCategoryNames = {
+        "link", "cci", "synccore", "proxy",
+        "iteration", "partition", "recovery",
+    };
+
+const char *
+kindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::Span: return "span";
+      case TraceEventKind::Instant: return "instant";
+      case TraceEventKind::Counter: return "counter";
+    }
+    return "?";
+}
+
+// Minimal JSON string escaping: the strings we emit are track/event
+// names built from node names and literals, but keep the output valid
+// for any input.
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+// Chrome trace timestamps are microseconds; ticks are picoseconds.
+// Emit fractional microseconds to keep full tick resolution.
+void
+writeMicros(std::ostream &os, Tick ticks)
+{
+    os << ticks / 1000000 << '.';
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%06llu",
+                  static_cast<unsigned long long>(ticks % 1000000));
+    os << buf;
+}
+
+} // namespace
+
+const char *
+traceCategoryName(TraceCategory cat)
+{
+    auto idx = static_cast<std::size_t>(cat);
+    if (idx >= kCategoryNames.size())
+        panic("bad TraceCategory ", idx);
+    return kCategoryNames[idx];
+}
+
+std::uint32_t
+parseTraceCategories(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty()) {
+            fatal("empty trace category in '", spec,
+                  "' (expected a comma-separated list like "
+                  "'link,iteration' or 'all')");
+        }
+        if (token == "all") {
+            mask |= kAllTraceCategories;
+            continue;
+        }
+        bool found = false;
+        for (std::size_t i = 0; i < kCategoryNames.size(); ++i) {
+            if (token == kCategoryNames[i]) {
+                mask |= traceBit(static_cast<TraceCategory>(i));
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            fatal("unknown trace category '", token,
+                  "' (expected one of: all, link, cci, synccore, "
+                  "proxy, iteration, partition, recovery)");
+        }
+    }
+    return mask;
+}
+
+TraceSession::TraceSession() : TraceSession(Options{}) {}
+
+TraceSession::TraceSession(Options options)
+    : categories_(options.categories),
+      processName_(std::move(options.processName))
+{
+    if (detail::g_traceSession)
+        panic("a TraceSession is already active; only one may exist");
+    if (options.capacity == 0)
+        panic("TraceSession capacity must be > 0");
+    ring_.resize(options.capacity);
+    epoch_ = detail::g_nextEpoch++;
+    if (detail::g_nextEpoch == 0)
+        detail::g_nextEpoch = 1;
+    detail::g_traceSession = this;
+    detail::g_traceMask = categories_;
+}
+
+TraceSession::~TraceSession()
+{
+    detail::g_traceMask = 0;
+    detail::g_traceSession = nullptr;
+}
+
+TraceSession *
+TraceSession::active()
+{
+    return detail::g_traceSession;
+}
+
+std::uint32_t
+TraceSession::registerTrack(TraceCategory cat, std::string name)
+{
+    // Same name, same track: components registering independently
+    // (e.g. a span site and a counter site) share one timeline. The
+    // scan is linear but runs only on the registration slow path.
+    for (std::size_t id = 0; id < tracks_.size(); ++id) {
+        if (tracks_[id].first == cat && tracks_[id].second == name)
+            return static_cast<std::uint32_t>(id);
+    }
+    tracks_.emplace_back(cat, std::move(name));
+    return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+const std::string &
+TraceSession::trackName(std::uint32_t id) const
+{
+    if (id >= tracks_.size())
+        panic("bad trace track id ", id);
+    return tracks_[id].second;
+}
+
+TraceCategory
+TraceSession::trackCategory(std::uint32_t id) const
+{
+    if (id >= tracks_.size())
+        panic("bad trace track id ", id);
+    return tracks_[id].first;
+}
+
+std::vector<TraceEvent>
+TraceSession::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    // Oldest event sits at head_ once the ring has wrapped, else at 0.
+    std::size_t first = count_ == ring_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    // Record order is already chronological for same-tick emission;
+    // stable sort by start tick yields a deterministic timeline even
+    // when spans are emitted at their end tick.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.start < b.start;
+                     });
+    return out;
+}
+
+void
+TraceSession::writeChromeJson(std::ostream &os) const
+{
+    const std::vector<TraceEvent> events = snapshot();
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    os << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+          "\"args\":{\"name\":";
+    writeJsonString(os, processName_);
+    os << "}}";
+    // One Chrome "thread" per track; tid = track id + 1 (tid 0 is
+    // reserved for process-scoped metadata in some viewers).
+    for (std::size_t id = 0; id < tracks_.size(); ++id) {
+        os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << id + 1
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        writeJsonString(os, std::string(traceCategoryName(
+                                tracks_[id].first)) +
+                                "/" + tracks_[id].second);
+        os << "}},\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << id + 1
+           << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":"
+           << id << "}}";
+    }
+    for (const TraceEvent &e : events) {
+        os << ",\n{\"pid\":1,\"tid\":" << e.track + 1 << ",\"ts\":";
+        writeMicros(os, e.start);
+        os << ",\"cat\":\"" << traceCategoryName(e.category) << '"';
+        switch (e.kind) {
+          case TraceEventKind::Span:
+            os << ",\"ph\":\"X\",\"dur\":";
+            writeMicros(os, e.end - e.start);
+            os << ",\"name\":";
+            writeJsonString(os, e.name);
+            os << ",\"args\":{\"arg0\":" << e.arg0
+               << ",\"arg1\":" << e.arg1 << "}";
+            break;
+          case TraceEventKind::Instant:
+            os << ",\"ph\":\"i\",\"s\":\"t\",\"name\":";
+            writeJsonString(os, e.name);
+            os << ",\"args\":{\"arg0\":" << e.arg0
+               << ",\"arg1\":" << e.arg1 << "}";
+            break;
+          case TraceEventKind::Counter:
+            // Counter events keyed by track name so multiple series
+            // (e.g. recv/local/send occupancy) merge into one plot.
+            os << ",\"ph\":\"C\",\"name\":";
+            writeJsonString(os, trackName(e.track));
+            os << ",\"args\":{";
+            writeJsonString(os, e.name);
+            os << ':' << e.arg0 << "}";
+            break;
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+TraceSession::writeCanonical(std::ostream &os) const
+{
+    os << "# coarse canonical trace v1\n";
+    os << "# dropped " << dropped_ << "\n";
+    for (std::size_t id = 0; id < tracks_.size(); ++id) {
+        os << "track " << id << ' '
+           << traceCategoryName(tracks_[id].first) << ' '
+           << tracks_[id].second << '\n';
+    }
+    for (const TraceEvent &e : snapshot()) {
+        os << kindName(e.kind) << ' ' << e.track << ' ' << e.name
+           << ' ' << e.start << ' ' << e.end << ' ' << e.arg0 << ' '
+           << e.arg1 << '\n';
+    }
+}
+
+} // namespace coarse::sim

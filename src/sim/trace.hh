@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Simulation-wide tracing: typed, tick-stamped spans, instants, and
+ * counters recorded into a preallocated ring buffer.
+ *
+ * Design constraints (same discipline as the event kernel):
+ *
+ *  - **Near-zero cost when disabled.** Every recording site is gated
+ *    on a single global mask load; with no active TraceSession the
+ *    mask is zero and a site costs one predictable branch.
+ *  - **No allocation on the hot path.** The ring buffer is sized at
+ *    session creation; recording copies one fixed-size TraceEvent.
+ *    Event names must be string literals (the buffer stores the
+ *    pointer). Track registration may allocate, but happens at most
+ *    once per track per session.
+ *  - **Overwrite semantics.** When the ring fills, the oldest events
+ *    are overwritten and counted in dropped(); tracing never stalls
+ *    or unbounds the simulation.
+ *
+ * Exporters: writeChromeJson() emits a Chrome/Perfetto-loadable
+ * trace.json; writeCanonical() emits a deterministic line-oriented
+ * text form that golden-trace regression tests assert against.
+ */
+
+#ifndef COARSE_SIM_TRACE_HH
+#define COARSE_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "logging.hh"
+#include "ticks.hh"
+
+namespace coarse::sim {
+
+/** Subsystem a trace event belongs to; sessions filter by category. */
+enum class TraceCategory : std::uint8_t
+{
+    Link,      //!< Fabric link-direction busy spans + utilization.
+    Cci,       //!< CCI transactions (coherent reads/writes).
+    SyncCore,  //!< Sync-core reductions and buffer occupancy.
+    Proxy,     //!< Proxy service queue depths and arrivals.
+    Iteration, //!< Per-GPU FP/BP/sync phases, iteration spans.
+    Partition, //!< Shard lifetimes (push to synced).
+    Recovery,  //!< Recovery-episode state transitions.
+    kCount,
+};
+
+constexpr std::uint32_t
+traceBit(TraceCategory cat)
+{
+    return std::uint32_t(1) << static_cast<std::uint32_t>(cat);
+}
+
+constexpr std::uint32_t kAllTraceCategories =
+    (std::uint32_t(1) << static_cast<std::uint32_t>(TraceCategory::kCount))
+    - 1;
+
+const char *traceCategoryName(TraceCategory cat);
+
+/**
+ * Parse a comma-separated category list ("link,iteration", "all")
+ * into a mask. Throws FatalError on unknown names.
+ */
+std::uint32_t parseTraceCategories(const std::string &spec);
+
+/** What kind of mark a TraceEvent is. */
+enum class TraceEventKind : std::uint8_t
+{
+    Span,    //!< [start, end] duration on a track.
+    Instant, //!< A point event (end == start).
+    Counter, //!< A sampled value (arg0) on a counter timeline.
+};
+
+/**
+ * One recorded event. Fixed size, trivially copyable; @c name must
+ * point at a string literal (the ring stores only the pointer).
+ */
+struct TraceEvent
+{
+    Tick start = 0;
+    Tick end = 0;
+    const char *name = "";
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    std::uint32_t track = 0;
+    TraceCategory category = TraceCategory::Link;
+    TraceEventKind kind = TraceEventKind::Span;
+};
+
+/**
+ * Cached track id a component embeds as a member. Handles survive
+ * session turnover: the epoch stamp detects a stale id and triggers
+ * (re)registration against the currently active session.
+ */
+struct TraceTrackHandle
+{
+    std::uint32_t id = 0;
+    std::uint32_t epoch = 0; //!< 0 = never registered.
+};
+
+/**
+ * An in-memory trace capture. At most one session is active at a
+ * time; constructing one attaches it globally (enabling the recording
+ * fast path for its categories) and destruction detaches it.
+ */
+class TraceSession
+{
+  public:
+    struct Options
+    {
+        /** Ring capacity in events (preallocated up front). */
+        std::size_t capacity = std::size_t(1) << 18;
+        /** Categories to record (others stay disabled). */
+        std::uint32_t categories = kAllTraceCategories;
+        /** Process name stamped into the Chrome export. */
+        std::string processName = "coarse";
+    };
+
+    TraceSession();
+    explicit TraceSession(Options options);
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** The attached session, or nullptr. */
+    static TraceSession *active();
+
+    /** Session identity used to validate cached TraceTrackHandles. */
+    std::uint32_t epoch() const { return epoch_; }
+
+    std::uint32_t categories() const { return categories_; }
+
+    /**
+     * Register a named timeline. Allocates; call only from the slow
+     * path (via sim::traceTrack) or at setup time.
+     */
+    std::uint32_t registerTrack(TraceCategory cat, std::string name);
+
+    std::size_t trackCount() const { return tracks_.size(); }
+    const std::string &trackName(std::uint32_t id) const;
+    TraceCategory trackCategory(std::uint32_t id) const;
+
+    /** Record one event (hot path: no allocation, ring overwrite). */
+    void
+    record(const TraceEvent &event)
+    {
+        if (count_ == ring_.size())
+            ++dropped_;
+        else
+            ++count_;
+        ring_[head_] = event;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    }
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const { return count_; }
+    /** Events overwritten after the ring filled. */
+    std::uint64_t dropped() const { return dropped_; }
+    std::size_t capacity() const { return ring_.size(); }
+
+    /**
+     * Copy out the retained events, oldest first, stably ordered by
+     * start tick (record order breaks ties, which is deterministic
+     * for a deterministic simulation).
+     */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Chrome/Perfetto trace-event JSON (load via ui.perfetto.dev). */
+    void writeChromeJson(std::ostream &os) const;
+
+    /**
+     * Canonical deterministic text form: a track table followed by
+     * one line per event, for golden-trace tests and diffing.
+     */
+    void writeCanonical(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint32_t categories_ = 0;
+    std::uint32_t epoch_ = 0;
+    std::string processName_;
+    std::vector<std::pair<TraceCategory, std::string>> tracks_;
+};
+
+namespace detail {
+
+/** Active categories; zero whenever no session is attached. */
+extern std::uint32_t g_traceMask;
+extern TraceSession *g_traceSession;
+
+std::uint32_t traceTrackSlow(TraceTrackHandle &handle, TraceCategory cat,
+                             std::string name);
+
+} // namespace detail
+
+/** True when an active session records @p cat. One load + branch. */
+inline bool
+traceEnabled(TraceCategory cat)
+{
+    return (detail::g_traceMask & traceBit(cat)) != 0;
+}
+
+/**
+ * Resolve a cached track handle, registering it against the active
+ * session on first use (or after a session change). @p nameFn is only
+ * invoked on the slow registration path, so building the track name
+ * costs nothing once the handle is warm. Only call while
+ * traceEnabled() holds.
+ */
+template <typename NameFn>
+inline std::uint32_t
+traceTrack(TraceTrackHandle &handle, TraceCategory cat, NameFn &&nameFn)
+{
+    if (handle.epoch != detail::g_traceSession->epoch()) [[unlikely]] {
+        return detail::traceTrackSlow(handle, cat,
+                                      std::string(nameFn()));
+    }
+    return handle.id;
+}
+
+/** Record a [start, end] span. @p name must be a string literal. */
+template <typename NameFn>
+inline void
+traceSpan(TraceCategory cat, TraceTrackHandle &handle, NameFn &&nameFn,
+          const char *name, Tick start, Tick end, std::uint64_t arg0 = 0,
+          std::uint64_t arg1 = 0)
+{
+    if (!traceEnabled(cat)) [[likely]]
+        return;
+    detail::g_traceSession->record(
+        {start, end, name, arg0, arg1,
+         traceTrack(handle, cat, std::forward<NameFn>(nameFn)), cat,
+         TraceEventKind::Span});
+}
+
+/** Record a point event. @p name must be a string literal. */
+template <typename NameFn>
+inline void
+traceInstant(TraceCategory cat, TraceTrackHandle &handle, NameFn &&nameFn,
+             const char *name, Tick tick, std::uint64_t arg0 = 0,
+             std::uint64_t arg1 = 0)
+{
+    if (!traceEnabled(cat)) [[likely]]
+        return;
+    detail::g_traceSession->record(
+        {tick, tick, name, arg0, arg1,
+         traceTrack(handle, cat, std::forward<NameFn>(nameFn)), cat,
+         TraceEventKind::Instant});
+}
+
+/** Record a counter sample. @p name must be a string literal. */
+template <typename NameFn>
+inline void
+traceCounter(TraceCategory cat, TraceTrackHandle &handle,
+             NameFn &&nameFn, const char *name, Tick tick,
+             std::uint64_t value)
+{
+    if (!traceEnabled(cat)) [[likely]]
+        return;
+    detail::g_traceSession->record(
+        {tick, tick, name, value, 0,
+         traceTrack(handle, cat, std::forward<NameFn>(nameFn)), cat,
+         TraceEventKind::Counter});
+}
+
+/**
+ * The tick of the event currently dispatching, or 0 outside event
+ * dispatch. Lets components without a Simulation reference (e.g.
+ * SyncCore) stamp their trace events.
+ */
+inline Tick
+traceNow()
+{
+    const std::uint64_t *tick = detail::activeTick();
+    return tick ? *tick : 0;
+}
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_TRACE_HH

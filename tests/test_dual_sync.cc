@@ -8,8 +8,12 @@
 #include <algorithm>
 
 #include "coarse/dual_sync.hh"
+#include "coarse/engine.hh"
+#include "coarse/routing.hh"
 #include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
 #include "sim/logging.hh"
+#include "sim/simulation.hh"
 
 namespace {
 
@@ -123,6 +127,102 @@ TEST(DualSync, AssignTensorsCoversRequestedBytes)
     if (split < model.tensors.size()) {
         EXPECT_LT(proxyBytes - model.tensors[split].bytes(), n / 2);
     }
+}
+
+// ---------------------------------------------------------------------
+// Coverage gaps: the split degenerating to one path (m = 0 and
+// m = num_layers) and the routing size-threshold boundary.
+
+TEST(DualSync, DegenerateSplitsStillTrainToIdenticalWeights)
+{
+    // proxyShareOverride pins m at either extreme: 0.0 disables the
+    // proxy path entirely (pure GPU ring), 1.0 the GPU ring (pure
+    // proxy sync). Both must still converge bit-identically.
+    for (const double share : {0.0, 1.0}) {
+        coarse::sim::Simulation sim;
+        auto machine = coarse::fabric::makeSdscP100(sim);
+        const auto model = coarse::dl::makeSynthetic(
+            "degenerate", {1024, 1 << 18, 4096, 1 << 16}, 1e9,
+            1 << 20);
+
+        coarse::core::CoarseOptions options;
+        options.functionalData = true;
+        options.proxyShareOverride = share;
+        coarse::core::CoarseEngine engine(*machine, model, 4, options);
+        const auto report = engine.run(2, 0);
+        ASSERT_FALSE(report.deadlocked) << "share " << share;
+
+        // The tensor assignment matches the extreme: everything on
+        // one path, nothing on the other.
+        if (share == 0.0) {
+            EXPECT_EQ(engine.plan().proxyBytes, 0u);
+            EXPECT_EQ(engine.plan().splitTensor,
+                      model.tensors.size());
+            EXPECT_EQ(engine.plan().gpuBytes,
+                      model.parameterBytes());
+        } else {
+            EXPECT_EQ(engine.plan().gpuBytes, 0u);
+            EXPECT_EQ(engine.plan().splitTensor, 0u);
+            EXPECT_EQ(engine.plan().proxyBytes,
+                      model.parameterBytes());
+        }
+
+        for (std::size_t t = 0; t < model.tensors.size(); ++t) {
+            const auto &w0 = engine.weights(0, t);
+            EXPECT_FALSE(w0.empty());
+            for (std::size_t w = 1;
+                 w < machine->workers().size(); ++w) {
+                ASSERT_EQ(w0, engine.weights(w, t))
+                    << "share " << share << " tensor " << t;
+            }
+        }
+    }
+}
+
+TEST(DualSync, PredictionAtDegenerateSplitsMatchesFormula)
+{
+    const auto in = baseInputs();
+    const double c =
+        2.0 * (in.workers - 1) / double(in.workers);
+    // m = 0: everything rides the GPU ring after the backward pass.
+    EXPECT_DOUBLE_EQ(
+        predictedIterationSeconds(in, 0),
+        in.forwardSeconds + in.backwardSeconds
+            + c * double(in.totalBytes) / in.gpuRingBytesPerSec);
+    // m = n: the GPU term vanishes; only the slower of BP and the
+    // proxy pipeline remains after FP.
+    EXPECT_DOUBLE_EQ(
+        predictedIterationSeconds(in, in.totalBytes),
+        in.forwardSeconds
+            + std::max(in.backwardSeconds,
+                       c * double(in.totalBytes)
+                           / in.proxyRingBytesPerSec));
+}
+
+TEST(Routing, ExactlyAtThresholdRoutesToBandwidthProxy)
+{
+    RoutingTable table;
+    table.latProxy = 7;
+    table.bwProxy = 9;
+    table.thresholdBytes = 4096;
+
+    // The threshold is inclusive: exactly S goes to the bandwidth
+    // proxy, one byte less to the latency proxy.
+    EXPECT_EQ(table.route(4096), table.bwProxy);
+    EXPECT_EQ(table.route(4095), table.latProxy);
+    EXPECT_EQ(table.route(4097), table.bwProxy);
+    EXPECT_EQ(table.route(0), table.latProxy);
+}
+
+TEST(Routing, ZeroThresholdSendsEverythingToBandwidthProxy)
+{
+    RoutingTable table;
+    table.latProxy = 7;
+    table.bwProxy = 9;
+    table.thresholdBytes = 0;
+    EXPECT_EQ(table.route(0), table.bwProxy);
+    EXPECT_EQ(table.route(1), table.bwProxy);
+    EXPECT_EQ(table.route(1 << 30), table.bwProxy);
 }
 
 /** Property sweep over worker counts. */

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coarse/engine.hh"
@@ -17,6 +19,7 @@
 #include "fabric/topology.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
+#include "sim/trace.hh"
 
 namespace {
 
@@ -154,6 +157,82 @@ TEST_P(TopoSeeds, AllReduceCorrectOnRandomGraph)
         for (std::size_t e = 0; e < n; e += 7)
             ASSERT_NEAR(b[e], expected[e], 1e-3);
     }
+}
+
+/**
+ * Tracing is an observer: on any topology and traffic pattern, the
+ * per-link-direction busy time and byte totals derived from the trace
+ * must equal the stats counters the fabric keeps independently.
+ */
+TEST_P(TopoSeeds, TraceLinkSpansMatchStatsCounters)
+{
+    coarse::sim::TraceSession::Options traceOptions;
+    traceOptions.capacity = std::size_t(1) << 20;
+    traceOptions.categories =
+        coarse::sim::traceBit(coarse::sim::TraceCategory::Link);
+    coarse::sim::TraceSession session(traceOptions);
+
+    Simulation sim;
+    RandomTopo random(sim, GetParam(), 10);
+    Random rng(GetParam() ^ 0x7ace);
+    int delivered = 0;
+    const int transfers = 25;
+    for (int t = 0; t < transfers; ++t) {
+        Message msg;
+        msg.src = random.ids[rng.uniformInt(0, random.ids.size() - 1)];
+        do {
+            msg.dst =
+                random.ids[rng.uniformInt(0, random.ids.size() - 1)];
+        } while (msg.dst == msg.src);
+        msg.bytes = rng.uniformInt(1, 4 << 20);
+        msg.onDelivered = [&] { ++delivered; };
+        random.topo.send(std::move(msg));
+    }
+    sim.run();
+    ASSERT_EQ(delivered, transfers);
+    ASSERT_EQ(session.dropped(), 0u)
+        << "raise the capacity: a lossy capture cannot be summed";
+
+    // Sum busy time and bytes per track from the trace.
+    std::map<std::uint32_t, coarse::sim::Tick> busyByTrack;
+    std::map<std::uint32_t, std::uint64_t> bytesByTrack;
+    for (const auto &e : session.snapshot()) {
+        if (e.kind != coarse::sim::TraceEventKind::Span)
+            continue;
+        ASSERT_LE(e.start, e.end);
+        busyByTrack[e.track] += e.end - e.start;
+        bytesByTrack[e.track] += e.arg0;
+    }
+    std::map<std::string, std::uint32_t> trackIds;
+    for (std::uint32_t t = 0; t < session.trackCount(); ++t)
+        trackIds[session.trackName(t)] = t;
+
+    // Every direction that carried traffic must reconcile exactly.
+    std::size_t busyDirections = 0;
+    for (std::size_t l = 0; l < random.topo.linkCount(); ++l) {
+        const auto &link =
+            random.topo.link(static_cast<LinkId>(l));
+        for (const NodeId src : {link.endpointA(), link.endpointB()}) {
+            const auto &pipe = link.directionFrom(src);
+            const std::string track =
+                random.topo.nodeName(src) + "->"
+                + random.topo.nodeName(link.peerOf(src)) + "#"
+                + std::to_string(l);
+            const auto it = trackIds.find(track);
+            if (pipe.bytesCarried() == 0) {
+                EXPECT_EQ(it, trackIds.end())
+                    << "trace has spans for idle direction " << track;
+                continue;
+            }
+            ++busyDirections;
+            ASSERT_NE(it, trackIds.end()) << track;
+            EXPECT_EQ(busyByTrack[it->second], pipe.busyTime())
+                << track;
+            EXPECT_EQ(bytesByTrack[it->second], pipe.bytesCarried())
+                << track;
+        }
+    }
+    EXPECT_GT(busyDirections, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TopoSeeds,

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Unit tests for the tracing subsystem: session lifecycle, category
+ * masks, the ring buffer's overwrite semantics, epoch-validated track
+ * handles, and both exporters. Also covers the StatGroup
+ * duplicate-name panic (a silent aliasing bug until this PR).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+using namespace coarse::sim;
+
+TEST(TraceCategories, ParseAllAndLists)
+{
+    EXPECT_EQ(parseTraceCategories("all"), kAllTraceCategories);
+    EXPECT_EQ(parseTraceCategories("link"),
+              traceBit(TraceCategory::Link));
+    EXPECT_EQ(parseTraceCategories("link,iteration"),
+              traceBit(TraceCategory::Link)
+                  | traceBit(TraceCategory::Iteration));
+    EXPECT_EQ(parseTraceCategories("recovery,proxy,synccore"),
+              traceBit(TraceCategory::Recovery)
+                  | traceBit(TraceCategory::Proxy)
+                  | traceBit(TraceCategory::SyncCore));
+}
+
+TEST(TraceCategories, UnknownNameIsFatal)
+{
+    EXPECT_THROW(parseTraceCategories("links"), FatalError);
+    EXPECT_THROW(parseTraceCategories("link,"), FatalError);
+    EXPECT_THROW(parseTraceCategories(""), FatalError);
+}
+
+TEST(TraceCategories, EveryCategoryHasAParsableName)
+{
+    for (std::uint32_t c = 0;
+         c < static_cast<std::uint32_t>(TraceCategory::kCount); ++c) {
+        const auto cat = static_cast<TraceCategory>(c);
+        EXPECT_EQ(parseTraceCategories(traceCategoryName(cat)),
+                  traceBit(cat));
+    }
+}
+
+TEST(TraceSession, AttachesAndDetachesGlobally)
+{
+    EXPECT_EQ(TraceSession::active(), nullptr);
+    EXPECT_FALSE(traceEnabled(TraceCategory::Link));
+    {
+        TraceSession session;
+        EXPECT_EQ(TraceSession::active(), &session);
+        EXPECT_TRUE(traceEnabled(TraceCategory::Link));
+        EXPECT_TRUE(traceEnabled(TraceCategory::Recovery));
+    }
+    EXPECT_EQ(TraceSession::active(), nullptr);
+    EXPECT_FALSE(traceEnabled(TraceCategory::Link));
+}
+
+TEST(TraceSession, SecondConcurrentSessionPanics)
+{
+    TraceSession session;
+    EXPECT_THROW(TraceSession second, PanicError);
+}
+
+TEST(TraceSession, ZeroCapacityPanics)
+{
+    TraceSession::Options options;
+    options.capacity = 0;
+    EXPECT_THROW(TraceSession bad(options), PanicError);
+}
+
+TEST(TraceSession, CategoryMaskGatesRecording)
+{
+    TraceSession::Options options;
+    options.categories = traceBit(TraceCategory::Iteration);
+    TraceSession session(options);
+
+    EXPECT_TRUE(traceEnabled(TraceCategory::Iteration));
+    EXPECT_FALSE(traceEnabled(TraceCategory::Link));
+
+    TraceTrackHandle links;
+    TraceTrackHandle iters;
+    traceSpan(TraceCategory::Link, links, [] { return "l"; }, "tx", 0,
+              10);
+    traceSpan(TraceCategory::Iteration, iters, [] { return "i"; },
+              "iteration", 0, 10);
+    EXPECT_EQ(session.size(), 1u);
+    EXPECT_EQ(session.trackCount(), 1u);
+    EXPECT_EQ(session.snapshot().front().name,
+              std::string("iteration"));
+}
+
+TEST(TraceSession, RingOverwritesOldestAndCountsDropped)
+{
+    TraceSession::Options options;
+    options.capacity = 4;
+    TraceSession session(options);
+
+    TraceTrackHandle track;
+    for (Tick t = 1; t <= 7; ++t) {
+        traceInstant(TraceCategory::Link, track, [] { return "t"; },
+                     "tick", t, t);
+    }
+    EXPECT_EQ(session.size(), 4u);
+    EXPECT_EQ(session.capacity(), 4u);
+    EXPECT_EQ(session.dropped(), 3u);
+
+    const auto events = session.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    // The three oldest events (ticks 1..3) were overwritten.
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].start, Tick(4 + i));
+}
+
+TEST(TraceSession, SnapshotIsStablySortedByStartTick)
+{
+    TraceSession session;
+    TraceTrackHandle track;
+    auto name = [] { return "t"; };
+    traceSpan(TraceCategory::Link, track, name, "late", 50, 60);
+    traceSpan(TraceCategory::Link, track, name, "early", 10, 90);
+    traceSpan(TraceCategory::Link, track, name, "tie_a", 10, 20, 1);
+    traceSpan(TraceCategory::Link, track, name, "tie_b", 10, 20, 2);
+
+    const auto events = session.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].name, std::string("early"));
+    EXPECT_EQ(events[1].name, std::string("tie_a"));
+    EXPECT_EQ(events[2].name, std::string("tie_b"));
+    EXPECT_EQ(events[3].name, std::string("late"));
+}
+
+TEST(TraceSession, HandlesReregisterAcrossSessions)
+{
+    TraceTrackHandle track;
+    std::uint32_t firstEpoch = 0;
+    {
+        TraceSession first;
+        firstEpoch = first.epoch();
+        traceInstant(TraceCategory::Proxy, track, [] { return "p"; },
+                     "mark", 1);
+        EXPECT_EQ(track.epoch, firstEpoch);
+        EXPECT_EQ(first.trackCount(), 1u);
+    }
+    {
+        TraceSession second;
+        EXPECT_NE(second.epoch(), firstEpoch);
+        // The cached id from the dead session must not be trusted.
+        traceInstant(TraceCategory::Proxy, track, [] { return "p2"; },
+                     "mark", 2);
+        EXPECT_EQ(track.epoch, second.epoch());
+        ASSERT_EQ(second.trackCount(), 1u);
+        EXPECT_EQ(second.trackName(track.id), "p2");
+        EXPECT_EQ(second.trackCategory(track.id),
+                  TraceCategory::Proxy);
+    }
+}
+
+TEST(TraceSession, SameTrackNameSharesOneTrack)
+{
+    TraceSession session;
+    TraceTrackHandle a;
+    TraceTrackHandle b;
+    traceInstant(TraceCategory::Link, a, [] { return "shared"; }, "x",
+                 1);
+    traceInstant(TraceCategory::Link, b, [] { return "shared"; }, "y",
+                 2);
+    EXPECT_EQ(session.trackCount(), 1u);
+    EXPECT_EQ(a.id, b.id);
+}
+
+TEST(TraceSession, RecordingOutsideDispatchStampsTickZero)
+{
+    // No event is dispatching in a unit test, so the fallback clock
+    // components like SyncCore use must read zero, not garbage.
+    EXPECT_EQ(traceNow(), Tick(0));
+}
+
+TEST(TraceExport, CanonicalFormIsDeterministic)
+{
+    auto capture = [] {
+        TraceSession session;
+        TraceTrackHandle track;
+        auto name = [] { return "fab/a->b"; };
+        traceSpan(TraceCategory::Link, track, name, "tx", 100, 250, 64,
+                  128);
+        traceInstant(TraceCategory::Recovery, track, name, "detect",
+                     300, 1);
+        traceCounter(TraceCategory::Proxy, track, name, "queued", 400,
+                     7);
+        std::ostringstream os;
+        session.writeCanonical(os);
+        return os.str();
+    };
+    const std::string first = capture();
+    EXPECT_EQ(first, capture());
+
+    EXPECT_NE(first.find("# coarse canonical trace v1"),
+              std::string::npos);
+    EXPECT_NE(first.find("# dropped 0"), std::string::npos);
+    EXPECT_NE(first.find("track 0 link fab/a->b"), std::string::npos);
+    EXPECT_NE(first.find("span 0 tx 100 250 64 128"),
+              std::string::npos);
+    EXPECT_NE(first.find("instant 0 detect 300 300 1 0"),
+              std::string::npos);
+    EXPECT_NE(first.find("counter 0 queued 400 400 7 0"),
+              std::string::npos);
+}
+
+TEST(TraceExport, ChromeJsonIsWellFormedAndNamesTracks)
+{
+    TraceSession::Options options;
+    options.processName = "COARSE";
+    TraceSession session(options);
+    TraceTrackHandle track;
+    auto name = [] { return "gpu/\"w0\""; };
+    traceSpan(TraceCategory::Iteration, track, name, "fp", 1000000,
+              3000000, 5);
+    traceCounter(TraceCategory::SyncCore, track, name, "recv", 2000000,
+                 9);
+
+    std::ostringstream os;
+    session.writeChromeJson(os);
+    const std::string json = os.str();
+
+    // Structurally balanced and loadable: every brace/bracket pairs.
+    int braces = 0;
+    int brackets = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"')
+            inString = true;
+        else if (c == '{')
+            ++braces;
+        else if (c == '}')
+            --braces;
+        else if (c == '[')
+            ++brackets;
+        else if (c == ']')
+            --brackets;
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_FALSE(inString);
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"COARSE\""), std::string::npos);
+    // The embedded quote in the track name must be escaped.
+    EXPECT_NE(json.find("gpu/\\\"w0\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    // Ticks are picoseconds; 1000000 ticks = 1 microsecond.
+    EXPECT_NE(json.find("\"ts\":1.000000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":2.000000"), std::string::npos);
+}
+
+TEST(TraceDisabled, SitesAreInertWithoutASession)
+{
+    // No session: recording sites must not crash, allocate a track, or
+    // invoke the name builder.
+    bool named = false;
+    TraceTrackHandle track;
+    auto name = [&named] {
+        named = true;
+        return "never";
+    };
+    traceSpan(TraceCategory::Link, track, name, "tx", 0, 1);
+    traceInstant(TraceCategory::Recovery, track, name, "mark", 0);
+    traceCounter(TraceCategory::Proxy, track, name, "depth", 0, 1);
+    EXPECT_FALSE(named);
+    EXPECT_EQ(track.epoch, 0u);
+}
+
+// ---------------------------------------------------------------------
+// StatGroup duplicate-name registration (satellite fix): aliasing two
+// stats under one name silently dropped one of them from dumps.
+
+TEST(Stats, DuplicateCounterNamePanics)
+{
+    StatGroup group("g");
+    Counter a;
+    Counter b;
+    group.addCounter("n", a);
+    EXPECT_THROW(group.addCounter("n", b), PanicError);
+}
+
+TEST(Stats, DuplicateAcrossStatKindsPanics)
+{
+    StatGroup group("g");
+    Counter counter;
+    Scalar scalar;
+    group.addCounter("n", counter);
+    EXPECT_THROW(group.addScalar("n", scalar), PanicError);
+}
+
+TEST(Stats, DistributionLeafCollisionPanics)
+{
+    StatGroup group("g");
+    Counter counter;
+    Distribution dist;
+    // Distributions expand to <name>.mean/.min/.max/...; colliding
+    // with an existing leaf must panic too.
+    group.addCounter("lat.mean", counter);
+    EXPECT_THROW(group.addDistribution("lat", dist),
+                 PanicError);
+}
+
+TEST(Stats, ValueVersusSubgroupCollisionPanics)
+{
+    StatGroup group("g");
+    Counter counter;
+    group.addCounter("fabric", counter);
+    EXPECT_THROW(group.subgroup("fabric"), PanicError);
+
+    StatGroup other("h");
+    other.subgroup("fabric");
+    Counter counter2;
+    EXPECT_THROW(other.addCounter("fabric", counter2),
+                 PanicError);
+}
+
+TEST(Stats, DistinctNamesStillRegister)
+{
+    StatGroup group("g");
+    Counter a;
+    Counter b;
+    group.addCounter("x", a);
+    group.addCounter("y", b);
+    auto &sub = group.subgroup("z");
+    Counter c;
+    sub.addCounter("x", c);
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("g.x"), std::string::npos);
+    EXPECT_NE(os.str().find("g.z.x"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Golden-trace regression tests: capture full simulation runs with an
+ * in-memory TraceSession and assert span ordering/nesting invariants
+ * (not byte equality, which would churn on every timing tweak).
+ *
+ *  - A 4-GPU ResNet-class iteration: per-link-direction busy spans
+ *    never overlap, FP/BP/sync phases abut and nest inside the
+ *    iteration span, and the dual-sync GPU ring drains before the
+ *    proxy path completes.
+ *  - A single-proxy-crash run: the recovery track records exactly one
+ *    episode with the strict Idle -> Draining -> Repulling -> Idle
+ *    state sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coarse/engine.hh"
+#include "dl/model_zoo.hh"
+#include "fabric/machine.hh"
+#include "fault/fault.hh"
+#include "fault/injector.hh"
+#include "sim/simulation.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+using namespace coarse;
+using sim::Tick;
+using sim::TraceCategory;
+using sim::TraceEvent;
+using sim::TraceEventKind;
+using sim::TraceSession;
+
+/** Snapshot events bucketed per track, preserving snapshot order. */
+std::map<std::uint32_t, std::vector<TraceEvent>>
+byTrack(const std::vector<TraceEvent> &events)
+{
+    std::map<std::uint32_t, std::vector<TraceEvent>> tracks;
+    for (const TraceEvent &e : events)
+        tracks[e.track].push_back(e);
+    return tracks;
+}
+
+std::vector<TraceEvent>
+spansNamed(const std::vector<TraceEvent> &events, const char *name)
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &e : events) {
+        if (e.kind == TraceEventKind::Span
+            && std::string(e.name) == name)
+            out.push_back(e);
+    }
+    return out;
+}
+
+TEST(GoldenTrace, FourGpuResnetIterationInvariants)
+{
+    // The session precedes the machine so construction-time events
+    // (the recovery Idle marker) are captured.
+    TraceSession::Options traceOptions;
+    traceOptions.capacity = std::size_t(1) << 20;
+    TraceSession session(traceOptions);
+
+    sim::Simulation simulation;
+    auto machine = fabric::makeMachine("aws_v100", simulation);
+    ASSERT_EQ(machine->workers().size(), 4u);
+
+    core::CoarseOptions options;
+    // Split the sync load so BOTH the GPU ring and the proxy path are
+    // active — on aws_v100 the planner would otherwise give the
+    // proxies everything and leave no gpu_sync spans to check. The
+    // proxy-heavy split plus a small batch (short compute) keeps the
+    // proxy drain the long pole, so the dual-sync ordering invariant
+    // below is meaningful rather than vacuous.
+    options.proxyShareOverride = 0.9;
+    core::CoarseEngine engine(*machine, dl::makeModel("resnet50"), 4,
+                              options);
+    const auto report = engine.run(2, 0);
+    ASSERT_FALSE(report.deadlocked);
+    ASSERT_EQ(session.dropped(), 0u);
+
+    const auto events = session.snapshot();
+    const auto tracks = byTrack(events);
+
+    // Map track names back to ids.
+    std::map<std::string, std::uint32_t> trackIds;
+    for (std::uint32_t t = 0; t < session.trackCount(); ++t)
+        trackIds[session.trackName(t)] = t;
+
+    // --- Invariant 1: FIFO link pipes never carry overlapping spans.
+    std::size_t linkTracks = 0;
+    std::size_t linkSpans = 0;
+    for (const auto &[id, trackEvents] : tracks) {
+        if (session.trackCategory(id) != TraceCategory::Link)
+            continue;
+        ++linkTracks;
+        Tick prevEnd = 0;
+        for (const TraceEvent &e : trackEvents) {
+            if (e.kind != TraceEventKind::Span)
+                continue;
+            ++linkSpans;
+            EXPECT_GE(e.start, prevEnd)
+                << "overlapping busy spans on link track "
+                << session.trackName(id);
+            EXPECT_GE(e.end, e.start);
+            prevEnd = e.end;
+        }
+    }
+    EXPECT_GT(linkTracks, 0u);
+    EXPECT_GT(linkSpans, 0u);
+
+    // --- Invariant 2: per-GPU phases. FP ends exactly where BP
+    // begins, and the GPU ring sync launches at the end of BP.
+    std::size_t gpus = 0;
+    for (const auto &[id, trackEvents] : tracks) {
+        const std::string &name = session.trackName(id);
+        if (name.rfind("gpu/", 0) != 0)
+            continue;
+        ++gpus;
+        const auto fp = spansNamed(trackEvents, "fp");
+        const auto bp = spansNamed(trackEvents, "bp");
+        const auto gpuSync = spansNamed(trackEvents, "gpu_sync");
+        ASSERT_EQ(fp.size(), 2u) << name;
+        ASSERT_EQ(bp.size(), 2u) << name;
+        ASSERT_EQ(gpuSync.size(), 2u) << name;
+        for (std::size_t i = 0; i < fp.size(); ++i) {
+            EXPECT_EQ(fp[i].arg0, i) << name;
+            EXPECT_EQ(fp[i].end, bp[i].start) << name;
+            EXPECT_EQ(bp[i].end, gpuSync[i].start) << name;
+            EXPECT_GT(gpuSync[i].end, gpuSync[i].start) << name;
+        }
+    }
+    EXPECT_EQ(gpus, 4u);
+
+    // --- Invariant 3: engine phase spans nest inside the iteration
+    // span, and pushes cannot precede the first gradient (FP end).
+    const auto engineIt = trackIds.find("coarse/engine");
+    ASSERT_NE(engineIt, trackIds.end());
+    const auto &engineEvents = tracks.at(engineIt->second);
+    const auto iterations = spansNamed(engineEvents, "iteration");
+    const auto pushes = spansNamed(engineEvents, "push");
+    const auto syncs = spansNamed(engineEvents, "sync");
+    const auto pulls = spansNamed(engineEvents, "pull");
+    ASSERT_EQ(iterations.size(), 2u);
+    ASSERT_EQ(pushes.size(), 2u);
+    ASSERT_EQ(syncs.size(), 2u);
+    ASSERT_EQ(pulls.size(), 2u);
+
+    const auto gpuTrack = trackIds.find("gpu/gpu0");
+    ASSERT_NE(gpuTrack, trackIds.end());
+    const auto fp0 = spansNamed(tracks.at(gpuTrack->second), "fp");
+    const auto sync0 =
+        spansNamed(tracks.at(gpuTrack->second), "gpu_sync");
+
+    for (std::size_t i = 0; i < iterations.size(); ++i) {
+        const TraceEvent &iter = iterations[i];
+        EXPECT_EQ(iter.arg0, i);
+        for (const auto *phase : {&pushes[i], &syncs[i], &pulls[i]}) {
+            EXPECT_GE(phase->start, iter.start) << "iteration " << i;
+            EXPECT_LE(phase->end, iter.end) << "iteration " << i;
+        }
+        // Push -> reduce -> pull is a pipeline: stage starts are
+        // monotone even though the stages overlap.
+        EXPECT_LE(pushes[i].start, syncs[i].start);
+        EXPECT_LE(syncs[i].start, pulls[i].start);
+        EXPECT_GE(pushes[i].start, fp0[i].end)
+            << "a gradient was pushed before FP finished";
+        // Iterations close when their last drain does.
+        EXPECT_EQ(iter.end, std::max(pulls[i].end, sync0[i].end));
+
+        // --- Invariant 4 (dual sync): the planner splits so the GPU
+        // ring hides under the proxy pipeline; its spans must end no
+        // later than the proxy drain.
+        EXPECT_LE(sync0[i].end, pulls[i].end) << "iteration " << i;
+    }
+
+    // The trace agrees with the engine's own timeline introspection.
+    const auto &tl = engine.lastTimeline();
+    EXPECT_EQ(iterations.back().start, tl.start);
+    EXPECT_EQ(iterations.back().end, tl.end);
+    EXPECT_EQ(pulls.back().end, tl.lastPull);
+    EXPECT_EQ(sync0.back().end, tl.gpuSyncEnd);
+
+    // Default-config captures must include every headline category.
+    for (auto cat :
+         {TraceCategory::Link, TraceCategory::SyncCore,
+          TraceCategory::Proxy, TraceCategory::Iteration,
+          TraceCategory::Partition, TraceCategory::Recovery}) {
+        const bool present =
+            std::any_of(events.begin(), events.end(),
+                        [cat](const TraceEvent &e) {
+                            return e.category == cat;
+                        });
+        EXPECT_TRUE(present)
+            << "no events in category " << traceCategoryName(cat);
+    }
+}
+
+TEST(GoldenTrace, ProxyCrashRecoveryEpisode)
+{
+    const std::uint32_t iters = 6;
+    const auto model = dl::makeSynthetic(
+        "tiny", {512, 1 << 20, 2048, (3 << 20) / 4, 256}, 2e9,
+        1 << 20);
+
+    core::CoarseOptions options;
+    options.functionalData = true;
+    options.learningRate = 0.5;
+    options.checkpointEveryIters = 2;
+
+    // Fault-free reference run (untraced) to time the crash.
+    Tick cleanEnd = 0;
+    {
+        sim::Simulation cleanSim;
+        auto cleanMachine = fabric::makeSdscP100(cleanSim);
+        core::CoarseEngine clean(*cleanMachine, model, 4, options);
+        ASSERT_FALSE(clean.run(iters, 0).deadlocked);
+        cleanEnd = cleanSim.now();
+    }
+
+    TraceSession::Options traceOptions;
+    traceOptions.capacity = std::size_t(1) << 20;
+    TraceSession session(traceOptions);
+
+    sim::Simulation simulation;
+    auto machine = fabric::makeSdscP100(simulation);
+    options.heartbeats = true;
+    options.heartbeatIntervalSeconds = 20e-6;
+    options.heartbeatTimeoutSeconds = 10e-6;
+    core::CoarseEngine engine(*machine, model, 4, options);
+
+    fault::FaultSchedule schedule;
+    fault::FaultSpec crash;
+    crash.kind = fault::FaultKind::ProxyCrash;
+    crash.at = cleanEnd * 2 / 5;
+    crash.target = 1;
+    schedule.faults.push_back(crash);
+    fault::FaultInjector injector(simulation, schedule,
+                                  engine.faultHooks());
+    injector.arm();
+
+    ASSERT_FALSE(engine.run(iters, 0).deadlocked);
+    ASSERT_EQ(engine.failuresRecovered(), 1u);
+    ASSERT_EQ(session.dropped(), 0u);
+
+    // Isolate the recovery state track.
+    std::vector<TraceEvent> instants;
+    std::vector<TraceEvent> spans;
+    for (const TraceEvent &e : session.snapshot()) {
+        if (e.category != TraceCategory::Recovery)
+            continue;
+        EXPECT_EQ(session.trackName(e.track), "recovery/state");
+        if (e.kind == TraceEventKind::Instant)
+            instants.push_back(e);
+        else if (e.kind == TraceEventKind::Span)
+            spans.push_back(e);
+    }
+
+    // Strict single-episode sequence: the construction-time Idle
+    // marker, one detection, and the two phase transitions back to
+    // Idle — in this exact order, no duplicates.
+    std::vector<std::string> instantNames;
+    for (const TraceEvent &e : instants)
+        instantNames.push_back(e.name);
+    const std::vector<std::string> expected = {
+        "Idle", "detect", "Draining", "Repulling", "Idle"};
+    ASSERT_EQ(instantNames, expected);
+
+    EXPECT_EQ(instants[0].start, Tick(0));
+    // Detection and the Draining transition are the same tick.
+    EXPECT_EQ(instants[1].start, instants[2].start);
+    EXPECT_GT(instants[1].start, crash.at)
+        << "detected before the crash happened";
+    // The state is strictly ordered in time.
+    EXPECT_LT(instants[2].start, instants[3].start);
+    EXPECT_LT(instants[3].start, instants[4].start);
+
+    // The phase spans tile the episode: Draining covers detection to
+    // the iteration boundary, Repulling from there to resume, with no
+    // gap and no overlap.
+    ASSERT_EQ(spans.size(), 2u);
+    const TraceEvent &draining = spans[0];
+    const TraceEvent &repulling = spans[1];
+    EXPECT_EQ(draining.name, std::string("Draining"));
+    EXPECT_EQ(repulling.name, std::string("Repulling"));
+    EXPECT_EQ(draining.start, instants[1].start);
+    EXPECT_EQ(draining.end, repulling.start);
+    EXPECT_EQ(repulling.start, instants[3].start);
+    EXPECT_EQ(repulling.end, instants[4].start);
+    EXPECT_LT(draining.start, draining.end);
+    EXPECT_LT(repulling.start, repulling.end);
+}
+
+} // namespace

@@ -3,14 +3,23 @@
 # in the default configuration, then again under AddressSanitizer and
 # UndefinedBehaviorSanitizer (COARSE_SANITIZE=address|undefined).
 #
-# Usage: tools/check.sh [--fast]
-#   --fast  skip the sanitizer passes (default build + ctest only)
+# Usage: tools/check.sh [--fast] [--coverage]
+#   --fast      skip the sanitizer passes (default build + ctest only)
+#   --coverage  additionally build with COARSE_COVERAGE=ON, run the
+#               suite, and print a per-subsystem line-coverage summary
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc)
 fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+coverage=0
+for arg in "$@"; do
+    case "${arg}" in
+      --fast) fast=1 ;;
+      --coverage) coverage=1 ;;
+      *) echo "unknown option: ${arg}" >&2; exit 2 ;;
+    esac
+done
 
 run_suite() {
     local dir=$1
@@ -45,6 +54,59 @@ if [[ "${fast}" == 0 ]]; then
     echo "== build-asan: ctest -L chaos"
     ctest --test-dir build-asan -L chaos --output-on-failure \
         -j "${jobs}" --timeout 120
+    # The golden-trace suite captures full engine runs into the trace
+    # ring; run it under ASan so a stale track handle or an
+    # out-of-bounds ring write cannot hide behind the default build.
+    echo "== build-asan: ctest -L trace"
+    ctest --test-dir build-asan -L trace --output-on-failure \
+        -j "${jobs}" --timeout 120
     run_suite build-ubsan -DCOARSE_SANITIZE=undefined
+fi
+
+if [[ "${coverage}" == 1 ]]; then
+    run_suite build-cov -DCOARSE_COVERAGE=ON
+    echo "== build-cov: line coverage by subsystem"
+    # Aggregate raw gcov output (no gcovr in the image): run gcov over
+    # every .gcda in the src/ object tree (-p keeps full path names so
+    # same-named files in different subsystems cannot collide), then
+    # sum executed/instrumented lines per top-level src/ directory.
+    (
+        cd build-cov
+        rm -f -- *.gcov
+        find src -name '*.gcda' -print0 \
+            | xargs -0 -r gcov -p > /dev/null 2>&1 || true
+        for gcov_file in *.gcov; do
+            [[ -e "${gcov_file}" ]] || break
+            src_path=$(head -1 "${gcov_file}" | sed 's/.*Source://')
+            case "${src_path}" in
+              */src/*) ;;
+              *) continue ;;
+            esac
+            subsystem=${src_path##*/src/}
+            subsystem=${subsystem%%/*}
+            awk -v subsys="${subsystem}" -F: '
+                {
+                    count = $1; gsub(/[ \t]/, "", count)
+                    if ($2 + 0 == 0 || count == "-")
+                        next
+                    total++
+                    if (count !~ /^#+$|^=+$/)
+                        hit++
+                }
+                END { printf "%s %d %d\n", subsys, hit, total }
+            ' "${gcov_file}"
+        done | awk '
+            { hit[$1] += $2; total[$1] += $3 }
+            END {
+                for (s in total) {
+                    if (total[s] > 0) {
+                        printf "  %-12s %6.1f%%  (%d/%d lines)\n",
+                            s, 100.0 * hit[s] / total[s], hit[s],
+                            total[s]
+                    }
+                }
+            }' | sort
+        rm -f -- *.gcov
+    )
 fi
 echo "All checks passed."
