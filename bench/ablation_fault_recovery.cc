@@ -17,13 +17,16 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "coarse/engine.hh"
 #include "dl/model_zoo.hh"
 #include "fabric/machine.hh"
 #include "fault/fault.hh"
 #include "fault/injector.hh"
+#include "sim/parallel.hh"
 #include "sim/simulation.hh"
 
 namespace {
@@ -121,35 +124,55 @@ faultyOptions(std::uint32_t checkpointEvery)
 }
 
 void
-cadenceSection()
+cadenceSection(coarse::sim::SweepRunner &runner)
 {
     std::printf("1. Recovery time vs snapshot cadence\n");
     std::printf("%-18s %12s %12s %9s %14s %14s\n", "checkpoint every",
                 "clean (s)", "faulty (s)", "replayed",
                 "detection (ms)", "recovery (ms)");
-    for (std::uint32_t every : {1u, 2u, 4u, 8u}) {
-        coarse::core::CoarseOptions cleanOptions;
-        cleanOptions.checkpointEveryIters = every;
-        const Outcome clean = runOne({}, cleanOptions);
-
-        coarse::fault::FaultSchedule schedule;
-        schedule.faults.push_back(proxyCrash(clean.endTick / 2, 1));
-        const Outcome out =
-            runOne(schedule, faultyOptions(every));
+    // Each cadence is a clean-then-faulty chain (the crash tick is
+    // calibrated from the clean run), but the four cadences are
+    // independent chains — fan the chains, print in cadence order.
+    constexpr std::array<std::uint32_t, 4> kCadences{1u, 2u, 4u, 8u};
+    struct CadenceResult
+    {
+        Outcome clean;
+        Outcome faulty;
+    };
+    const auto results = runner.map<CadenceResult>(
+        kCadences.size(), [&](std::size_t i) {
+            const std::uint32_t every = kCadences[i];
+            coarse::core::CoarseOptions cleanOptions;
+            cleanOptions.checkpointEveryIters = every;
+            CadenceResult result;
+            result.clean = runOne({}, cleanOptions);
+            coarse::fault::FaultSchedule schedule;
+            schedule.faults.push_back(
+                proxyCrash(result.clean.endTick / 2, 1));
+            result.faulty = runOne(schedule, faultyOptions(every));
+            return result;
+        });
+    for (std::size_t i = 0; i < kCadences.size(); ++i) {
+        const std::uint32_t every = kCadences[i];
+        const Outcome &clean = results[i].clean;
+        const Outcome &out = results[i].faulty;
         std::printf("%-18u %12.3f %12.3f %9u %14.3f %14.3f\n", every,
                     clean.totalSeconds, out.totalSeconds, out.replayed,
                     out.detectionMs, out.recoveryMs);
-        std::printf("JSON {\"scenario\":\"cadence\","
-                    "\"checkpoint_every\":%u,\"clean_s\":%.6f,"
-                    "\"faulty_s\":%.6f,\"replayed\":%u,"
-                    "\"detection_ms\":%.6f,\"recovery_ms\":%.6f}\n",
-                    every, clean.totalSeconds, out.totalSeconds,
-                    out.replayed, out.detectionMs, out.recoveryMs);
+        coarse::bench::JsonLine()
+            .field("scenario", "cadence")
+            .field("checkpoint_every", every)
+            .field("clean_s", clean.totalSeconds)
+            .field("faulty_s", out.totalSeconds)
+            .field("replayed", out.replayed)
+            .field("detection_ms", out.detectionMs)
+            .field("recovery_ms", out.recoveryMs)
+            .print();
     }
 }
 
 void
-rollbackSection()
+rollbackSection(coarse::sim::SweepRunner &runner)
 {
     std::printf("\n2. Partial vs full rollback (2 workers + 4 "
                 "proxies, single crash, checkpoint every 2)\n");
@@ -168,21 +191,28 @@ rollbackSection()
     coarse::fault::FaultSchedule schedule;
     schedule.faults.push_back(proxyCrash(clean.endTick / 2, target));
 
-    for (const bool partial : {true, false}) {
-        auto options = faultyOptions(2);
-        options.recovery.partialRollback = partial;
-        const Outcome out = runOne(schedule, options, /*fleet=*/true);
-        const char *mode = partial ? "partial" : "full";
+    // The two rollback modes replay the same crash independently.
+    constexpr std::array<bool, 2> kModes{true, false};
+    const auto outcomes =
+        runner.map<Outcome>(kModes.size(), [&](std::size_t i) {
+            auto options = faultyOptions(2);
+            options.recovery.partialRollback = kModes[i];
+            return runOne(schedule, options, /*fleet=*/true);
+        });
+    for (std::size_t i = 0; i < kModes.size(); ++i) {
+        const Outcome &out = outcomes[i];
+        const char *mode = kModes[i] ? "partial" : "full";
         std::printf("%-10s %16.1f %9u %14.3f %12.3f\n", mode,
                     out.rollbackBytes / 1e6, out.replayed,
                     out.recoveryMs, out.totalSeconds);
-        std::printf("JSON {\"scenario\":\"rollback\","
-                    "\"mode\":\"%s\",\"rollback_bytes\":%llu,"
-                    "\"replayed\":%u,\"recovery_ms\":%.6f,"
-                    "\"faulty_s\":%.6f}\n",
-                    mode,
-                    static_cast<unsigned long long>(out.rollbackBytes),
-                    out.replayed, out.recoveryMs, out.totalSeconds);
+        coarse::bench::JsonLine()
+            .field("scenario", "rollback")
+            .field("mode", mode)
+            .field("rollback_bytes", out.rollbackBytes)
+            .field("replayed", out.replayed)
+            .field("recovery_ms", out.recoveryMs)
+            .field("faulty_s", out.totalSeconds)
+            .print();
     }
 }
 
@@ -224,28 +254,31 @@ cascadeSection()
                 out.replayed,
                 static_cast<unsigned long long>(out.cascades),
                 out.rollbackBytes / 1e6);
-    std::printf("JSON {\"scenario\":\"cascade\",\"clean_s\":%.6f,"
-                "\"faulty_s\":%.6f,\"replayed\":%u,\"episodes\":%u,"
-                "\"cascade_detections\":%llu,\"rollback_bytes\":%llu,"
-                "\"pull_retries\":%llu}\n",
-                clean.totalSeconds, out.totalSeconds, out.replayed,
-                out.episodes,
-                static_cast<unsigned long long>(out.cascades),
-                static_cast<unsigned long long>(out.rollbackBytes),
-                static_cast<unsigned long long>(out.pullRetries));
+    coarse::bench::JsonLine()
+        .field("scenario", "cascade")
+        .field("clean_s", clean.totalSeconds)
+        .field("faulty_s", out.totalSeconds)
+        .field("replayed", out.replayed)
+        .field("episodes", out.episodes)
+        .field("cascade_detections", out.cascades)
+        .field("rollback_bytes", out.rollbackBytes)
+        .field("pull_retries", out.pullRetries)
+        .print();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Ablation: proxy-crash recovery (bert_base, %u "
                 "iterations, heartbeat detection\nat 500us cadence / "
                 "250us timeout)\n\n",
                 kIters);
-    cadenceSection();
-    rollbackSection();
+    coarse::sim::SweepRunner runner(
+        coarse::bench::benchJobs(argc, argv));
+    cadenceSection(runner);
+    rollbackSection(runner);
     cascadeSection();
     std::printf("\nDetection latency is set by the heartbeat cadence "
                 "and rollback/re-pull cost by the\nfailed shard — "

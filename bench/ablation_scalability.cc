@@ -9,15 +9,18 @@
  * dedicated ring.
  */
 
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "baselines/allreduce.hh"
 #include "baselines/dense.hh"
+#include "bench_util.hh"
 #include "coarse/engine.hh"
 #include "dl/model_zoo.hh"
 #include "fabric/machine.hh"
+#include "sim/parallel.hh"
 #include "sim/simulation.hh"
 
 namespace {
@@ -94,17 +97,30 @@ iterMs(const char *scheme, std::uint32_t workers)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Scalability: iteration time (ms) vs worker count "
                 "(bert_base, batch 2, symmetric V100 fabric)\n\n");
     std::printf("%-10s %10s %12s %10s\n", "workers", "DENSE",
                 "AllReduce", "COARSE");
-    for (std::uint32_t workers : {2u, 4u, 8u, 12u}) {
-        std::printf("%-10u %10.1f %12.1f %10.1f\n", workers,
-                    iterMs("DENSE", workers),
-                    iterMs("AllReduce", workers),
-                    iterMs("COARSE", workers));
+    // Every (scheme, workers) cell is an independent replica; fan the
+    // whole grid across cores and print it back in grid order.
+    constexpr std::array<std::uint32_t, 4> kWorkers{2u, 4u, 8u, 12u};
+    constexpr std::array<const char *, 3> kSchemes{"DENSE",
+                                                   "AllReduce",
+                                                   "COARSE"};
+    coarse::sim::SweepRunner runner(
+        coarse::bench::benchJobs(argc, argv));
+    const auto cells = runner.map<double>(
+        kWorkers.size() * kSchemes.size(), [&](std::size_t i) {
+            return iterMs(kSchemes[i % kSchemes.size()],
+                          kWorkers[i / kSchemes.size()]);
+        });
+    for (std::size_t w = 0; w < kWorkers.size(); ++w) {
+        std::printf("%-10u %10.1f %12.1f %10.1f\n", kWorkers[w],
+                    cells[w * kSchemes.size()],
+                    cells[w * kSchemes.size() + 1],
+                    cells[w * kSchemes.size() + 2]);
     }
     std::printf("\npaper (S)III-D: the centralized design's iteration "
                 "time grows with every added worker (one bus serves "

@@ -8,8 +8,10 @@
 #define COARSE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <type_traits>
 
 #include "baselines/allreduce.hh"
 #include "baselines/cpu_ps.hh"
@@ -19,9 +21,36 @@
 #include "dl/trainer.hh"
 #include "fabric/machine.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/simulation.hh"
 
 namespace coarse::bench {
+
+/**
+ * Replica parallelism for a bench binary: `--jobs=N` (or `--jobs N`)
+ * on its command line, defaulting to one job per hardware thread.
+ * Benches aggregate results in job-index order, so their output is
+ * identical at any value.
+ */
+inline unsigned
+benchJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg.rfind("--jobs=", 0) == 0)
+            value = arg.substr(7);
+        else if (arg == "--jobs" && i + 1 < argc)
+            value = argv[i + 1];
+        else
+            continue;
+        const unsigned jobs =
+            static_cast<unsigned>(std::strtoul(value.c_str(), nullptr,
+                                               10));
+        return sim::ThreadPool::resolveThreads(jobs);
+    }
+    return sim::ThreadPool::resolveThreads(0);
+}
 
 /** Iterations per measured run (plus 1 warmup). */
 constexpr std::uint32_t kIterations = 5;
@@ -37,10 +66,11 @@ inline SchemeResult
 runScheme(const std::string &scheme, const std::string &machineName,
           const dl::ModelSpec &model, std::uint32_t batch,
           fabric::MachineOptions machineOptions = {},
-          core::CoarseOptions coarseOptions = {})
+          core::CoarseOptions coarseOptions = {},
+          std::uint64_t seed = 1)
 {
     SchemeResult result;
-    sim::Simulation simulation;
+    sim::Simulation simulation(seed);
     auto machine =
         fabric::makeMachine(machineName, simulation, machineOptions);
     try {
@@ -70,6 +100,82 @@ runScheme(const std::string &scheme, const std::string &machineName,
     }
     return result;
 }
+
+/**
+ * Builder for the machine-readable lines the benches emit for
+ * plotting scripts: one `JSON {...}` line per datapoint, fields in
+ * insertion order, doubles at fixed %.6f precision so output is
+ * byte-stable across runs and parallelism levels.
+ */
+class JsonLine
+{
+  public:
+    JsonLine &
+    field(const char *key, const std::string &value)
+    {
+        addKey(key);
+        body_ += '"';
+        for (char c : value) {
+            if (c == '"' || c == '\\')
+                body_ += '\\';
+            body_ += c;
+        }
+        body_ += '"';
+        return *this;
+    }
+
+    JsonLine &
+    field(const char *key, const char *value)
+    {
+        return field(key, std::string(value));
+    }
+
+    JsonLine &
+    field(const char *key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6f", value);
+        addKey(key);
+        body_ += buf;
+        return *this;
+    }
+
+    JsonLine &
+    field(const char *key, bool value)
+    {
+        addKey(key);
+        body_ += value ? "true" : "false";
+        return *this;
+    }
+
+    template <class T,
+              std::enable_if_t<std::is_integral_v<T>
+                                   && !std::is_same_v<T, bool>,
+                               int> = 0>
+    JsonLine &
+    field(const char *key, T value)
+    {
+        addKey(key);
+        body_ += std::to_string(value);
+        return *this;
+    }
+
+    std::string str() const { return body_ + '}'; }
+
+    /** Emit as a "JSON {...}" stdout line. */
+    void print() const { std::printf("JSON %s\n", str().c_str()); }
+
+  private:
+    void
+    addKey(const char *key)
+    {
+        body_ += body_.size() == 1 ? "\"" : ",\"";
+        body_ += key;
+        body_ += "\":";
+    }
+
+    std::string body_ = "{";
+};
 
 inline void
 printHeader(const char *title)

@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hh"
 #include "fabric/machine.hh"
+#include "sim/parallel.hh"
 #include "sim/simulation.hh"
 
 namespace {
@@ -67,11 +69,21 @@ bidirectionalGbps(const std::string &machineName, std::size_t i,
 }
 
 void
-printMatrix(const std::string &machineName)
+printMatrix(coarse::sim::SweepRunner &runner,
+            const std::string &machineName)
 {
     coarse::sim::Simulation sim;
     auto machine = makeMachine(machineName, sim);
     const std::size_t n = allGpus(*machine).size();
+
+    // Every matrix cell drives its own fresh simulation, so the whole
+    // n*(n-1) grid fans across cores; cells land by index, keeping
+    // the printed matrix identical at any --jobs.
+    const auto cells = runner.map<double>(n * n, [&](std::size_t at) {
+        const std::size_t i = at / n;
+        const std::size_t j = at % n;
+        return i == j ? 0.0 : bidirectionalGbps(machineName, i, j);
+    });
 
     std::printf("\n%s: GPU-to-GPU bidirectional bandwidth (GB/s), "
                 "PCIe path\n      ",
@@ -82,12 +94,10 @@ printMatrix(const std::string &machineName)
     for (std::size_t i = 0; i < n; ++i) {
         std::printf("gpu%zu  ", i);
         for (std::size_t j = 0; j < n; ++j) {
-            if (i == j) {
+            if (i == j)
                 std::printf("%9s", "-");
-            } else {
-                std::printf("%9.1f",
-                            bidirectionalGbps(machineName, i, j));
-            }
+            else
+                std::printf("%9.1f", cells[i * n + j]);
         }
         std::printf("\n");
     }
@@ -96,12 +106,14 @@ printMatrix(const std::string &machineName)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Figure 8: PCIe device-to-device bidirectional "
                 "bandwidth\n");
-    printMatrix("aws_v100");
-    printMatrix("sdsc_p100");
+    coarse::sim::SweepRunner runner(
+        coarse::bench::benchJobs(argc, argv));
+    printMatrix(runner, "aws_v100");
+    printMatrix(runner, "sdsc_p100");
     std::printf("\npaper: (a) V100/AWS remote > local "
                 "(anti-locality); (b) P100/SDSC local > remote\n");
     return 0;

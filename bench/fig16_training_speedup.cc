@@ -10,134 +10,213 @@
  *        offloaded parameter state (paper: 48.3% over AllReduce).
  *  (f)   BERT-Large two nodes (paper: up to 42.7% over AllReduce;
  *        one COARSE node at batch 4 beats two AllReduce nodes).
+ *
+ * Every run is an independent (scheme, machine, model, batch, config)
+ * replica, so the whole figure's worth of runs fans out across cores
+ * via SweepRunner (--jobs=N, default all cores); the panels then
+ * print from the index-ordered results, byte-identical at any
+ * parallelism.
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.hh"
+#include "sim/parallel.hh"
 
 namespace {
 
 using coarse::bench::printHeader;
 using coarse::bench::runScheme;
+using coarse::bench::SchemeResult;
 using coarse::fabric::MachineOptions;
 
-void
-speedupPanel(const char *panel, const std::string &machine,
-             const coarse::dl::ModelSpec &model, std::uint32_t batch)
+/** One scheduled run; results are read back by registration index. */
+struct RunSpec
 {
-    printHeader((std::string("Figure 16") + panel + ": " + model.name
-                 + " on " + machine + " (speedup over DENSE)")
-                    .c_str());
+    std::string scheme;
+    std::string machine;
+    coarse::dl::ModelSpec model;
+    std::uint32_t batch = 0;
+    MachineOptions machineOptions;
+};
 
-    const auto dense = runScheme("DENSE", machine, model, batch);
-    const double base = dense.report.iterationSeconds;
+class RunSet
+{
+  public:
+    /** Register a run; returns the index its result will land in. */
+    std::size_t
+    add(std::string scheme, std::string machine,
+        coarse::dl::ModelSpec model, std::uint32_t batch,
+        MachineOptions machineOptions = {})
+    {
+        specs_.push_back(RunSpec{std::move(scheme), std::move(machine),
+                                 std::move(model), batch,
+                                 machineOptions});
+        return specs_.size() - 1;
+    }
+
+    void
+    runAll(unsigned jobs)
+    {
+        coarse::sim::SweepRunner runner(jobs);
+        results_ = runner.map<SchemeResult>(
+            specs_.size(), [this](std::size_t i) {
+                const RunSpec &spec = specs_[i];
+                return runScheme(spec.scheme, spec.machine, spec.model,
+                                 spec.batch, spec.machineOptions);
+            });
+    }
+
+    const SchemeResult &operator[](std::size_t i) const
+    {
+        return results_[i];
+    }
+
+  private:
+    std::vector<RunSpec> specs_;
+    std::vector<SchemeResult> results_;
+};
+
+struct PanelRuns
+{
+    const char *panel;
+    std::string machine;
+    std::string modelName;
+    std::size_t dense, allReduce, coarse11, coarse21;
+};
+
+void
+printSpeedupPanel(const RunSet &runs, const PanelRuns &p)
+{
+    printHeader((std::string("Figure 16") + p.panel + ": "
+                 + p.modelName + " on " + p.machine
+                 + " (speedup over DENSE)")
+                    .c_str());
+    const double base = runs[p.dense].report.iterationSeconds;
 
     std::printf("%-22s %10s %10s\n", "scheme", "iter (ms)", "speedup");
     std::printf("%-22s %10.1f %9.2fx\n", "DENSE", base * 1e3, 1.0);
 
-    const auto ar = runScheme("AllReduce", machine, model, batch);
-    std::printf("%-22s %10.1f %9.2fx\n", "AllReduce",
-                ar.report.iterationSeconds * 1e3,
-                base / ar.report.iterationSeconds);
-
-    const auto c11 = runScheme("COARSE", machine, model, batch);
-    std::printf("%-22s %10.1f %9.2fx\n", "COARSE (1:1)",
-                c11.report.iterationSeconds * 1e3,
-                base / c11.report.iterationSeconds);
-
-    MachineOptions shared;
-    shared.workersPerMemDevice = 2;
-    const auto c21 =
-        runScheme("COARSE", machine, model, batch, shared);
-    std::printf("%-22s %10.1f %9.2fx\n", "COARSE (2:1)",
-                c21.report.iterationSeconds * 1e3,
-                base / c21.report.iterationSeconds);
+    const auto row = [&](const char *name, std::size_t at) {
+        const double iter = runs[at].report.iterationSeconds;
+        std::printf("%-22s %10.1f %9.2fx\n", name, iter * 1e3,
+                    base / iter);
+    };
+    row("AllReduce", p.allReduce);
+    row("COARSE (1:1)", p.coarse11);
+    row("COARSE (2:1)", p.coarse21);
 }
 
-void
-batchPanel()
+double
+perGpu(const SchemeResult &result)
 {
-    printHeader("Figure 16e: BERT-Large, single aws_v100 node, batch "
-                "scaling (normalized to AllReduce bs2)");
-    const auto model = coarse::dl::makeBertLarge();
-
-    const auto ar2 = runScheme("AllReduce", "aws_v100", model, 2);
-    const double basePerGpu =
-        ar2.report.throughputSamplesPerSec / ar2.report.workers;
-
-    std::printf("%-24s %14s %12s\n", "scheme", "samples/s/GPU",
-                "vs AllReduce");
-    std::printf("%-24s %14.2f %11.1f%%\n", "AllReduce bs2",
-                basePerGpu, 0.0);
-
-    const auto ar4 = runScheme("AllReduce", "aws_v100", model, 4);
-    if (ar4.outOfMemory)
-        std::printf("%-24s %14s %12s\n", "AllReduce bs4", "OOM", "-");
-
-    for (std::uint32_t batch : {2u, 4u}) {
-        const auto c = runScheme("COARSE", "aws_v100", model, batch);
-        const double perGpu =
-            c.report.throughputSamplesPerSec / c.report.workers;
-        std::printf("%-24s %14.2f %+11.1f%%\n",
-                    batch == 2 ? "COARSE bs2" : "COARSE bs4", perGpu,
-                    100.0 * (perGpu / basePerGpu - 1.0));
-    }
-    std::printf("paper: COARSE bs4 trains 48.3%% faster than "
-                "AllReduce bs2\n");
-}
-
-void
-multiNodePanel()
-{
-    printHeader("Figure 16f: BERT-Large, two aws_v100 nodes "
-                "(normalized to 2-node AllReduce bs2, per GPU)");
-    const auto model = coarse::dl::makeBertLarge();
-    MachineOptions twoNodes;
-    twoNodes.nodes = 2;
-
-    const auto ar = runScheme("AllReduce", "aws_v100", model, 2,
-                              twoNodes);
-    const double basePerGpu =
-        ar.report.throughputSamplesPerSec / ar.report.workers;
-
-    std::printf("%-24s %14s %12s\n", "scheme", "samples/s/GPU",
-                "vs AllReduce");
-    std::printf("%-24s %14.2f %11.1f%%\n", "AllReduce 2-node bs2",
-                basePerGpu, 0.0);
-
-    for (std::uint32_t batch : {2u, 4u}) {
-        const auto c = runScheme("COARSE", "aws_v100", model, batch,
-                                 twoNodes);
-        const double perGpu =
-            c.report.throughputSamplesPerSec / c.report.workers;
-        std::printf("%-24s %14.2f %+11.1f%%\n",
-                    batch == 2 ? "COARSE 2-node bs2"
-                               : "COARSE 2-node bs4",
-                    perGpu, 100.0 * (perGpu / basePerGpu - 1.0));
-    }
-
-    const auto c1 = runScheme("COARSE", "aws_v100", model, 4);
-    const double perGpu =
-        c1.report.throughputSamplesPerSec / c1.report.workers;
-    std::printf("%-24s %14.2f %+11.1f%%\n", "COARSE 1-node bs4",
-                perGpu, 100.0 * (perGpu / basePerGpu - 1.0));
-    std::printf("paper: up to 42.7%% over 2-node AllReduce; a single "
-                "COARSE node at bs4 is 38.6%% faster\n");
+    return result.report.throughputSamplesPerSec
+        / result.report.workers;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Figure 16: DL training speedup\n");
-    speedupPanel("a", "aws_t4", coarse::dl::makeResNet50(), 64);
-    speedupPanel("b", "aws_t4", coarse::dl::makeBertBase(), 2);
-    speedupPanel("c", "sdsc_p100", coarse::dl::makeBertBase(), 2);
-    speedupPanel("d", "aws_v100", coarse::dl::makeBertBase(), 2);
-    batchPanel();
-    multiNodePanel();
+
+    RunSet runs;
+    MachineOptions shared;
+    shared.workersPerMemDevice = 2;
+
+    // Panels a-d: DENSE / AllReduce / COARSE 1:1 / COARSE 2:1.
+    const struct
+    {
+        const char *panel;
+        const char *machine;
+        coarse::dl::ModelSpec model;
+        std::uint32_t batch;
+    } panels[] = {
+        {"a", "aws_t4", coarse::dl::makeResNet50(), 64},
+        {"b", "aws_t4", coarse::dl::makeBertBase(), 2},
+        {"c", "sdsc_p100", coarse::dl::makeBertBase(), 2},
+        {"d", "aws_v100", coarse::dl::makeBertBase(), 2},
+    };
+    std::vector<PanelRuns> panelRuns;
+    for (const auto &p : panels) {
+        PanelRuns at;
+        at.panel = p.panel;
+        at.machine = p.machine;
+        at.modelName = p.model.name;
+        at.dense = runs.add("DENSE", p.machine, p.model, p.batch);
+        at.allReduce =
+            runs.add("AllReduce", p.machine, p.model, p.batch);
+        at.coarse11 = runs.add("COARSE", p.machine, p.model, p.batch);
+        at.coarse21 =
+            runs.add("COARSE", p.machine, p.model, p.batch, shared);
+        panelRuns.push_back(at);
+    }
+
+    // Panel e: single-node BERT-Large batch scaling.
+    const auto bertLarge = coarse::dl::makeBertLarge();
+    const std::size_t e_ar2 =
+        runs.add("AllReduce", "aws_v100", bertLarge, 2);
+    const std::size_t e_ar4 =
+        runs.add("AllReduce", "aws_v100", bertLarge, 4);
+    const std::size_t e_c2 =
+        runs.add("COARSE", "aws_v100", bertLarge, 2);
+    const std::size_t e_c4 =
+        runs.add("COARSE", "aws_v100", bertLarge, 4);
+
+    // Panel f: two-node BERT-Large.
+    MachineOptions twoNodes;
+    twoNodes.nodes = 2;
+    const std::size_t f_ar =
+        runs.add("AllReduce", "aws_v100", bertLarge, 2, twoNodes);
+    const std::size_t f_c2 =
+        runs.add("COARSE", "aws_v100", bertLarge, 2, twoNodes);
+    const std::size_t f_c4 =
+        runs.add("COARSE", "aws_v100", bertLarge, 4, twoNodes);
+
+    runs.runAll(coarse::bench::benchJobs(argc, argv));
+
+    for (const PanelRuns &p : panelRuns)
+        printSpeedupPanel(runs, p);
+
+    printHeader("Figure 16e: BERT-Large, single aws_v100 node, batch "
+                "scaling (normalized to AllReduce bs2)");
+    const double eBase = perGpu(runs[e_ar2]);
+    std::printf("%-24s %14s %12s\n", "scheme", "samples/s/GPU",
+                "vs AllReduce");
+    std::printf("%-24s %14.2f %11.1f%%\n", "AllReduce bs2", eBase,
+                0.0);
+    if (runs[e_ar4].outOfMemory)
+        std::printf("%-24s %14s %12s\n", "AllReduce bs4", "OOM", "-");
+    for (const auto &[name, at] :
+         {std::pair<const char *, std::size_t>{"COARSE bs2", e_c2},
+          {"COARSE bs4", e_c4}}) {
+        std::printf("%-24s %14.2f %+11.1f%%\n", name,
+                    perGpu(runs[at]),
+                    100.0 * (perGpu(runs[at]) / eBase - 1.0));
+    }
+    std::printf("paper: COARSE bs4 trains 48.3%% faster than "
+                "AllReduce bs2\n");
+
+    printHeader("Figure 16f: BERT-Large, two aws_v100 nodes "
+                "(normalized to 2-node AllReduce bs2, per GPU)");
+    const double fBase = perGpu(runs[f_ar]);
+    std::printf("%-24s %14s %12s\n", "scheme", "samples/s/GPU",
+                "vs AllReduce");
+    std::printf("%-24s %14.2f %11.1f%%\n", "AllReduce 2-node bs2",
+                fBase, 0.0);
+    for (const auto &[name, at] :
+         {std::pair<const char *, std::size_t>{"COARSE 2-node bs2",
+                                               f_c2},
+          {"COARSE 2-node bs4", f_c4},
+          {"COARSE 1-node bs4", e_c4}}) {
+        std::printf("%-24s %14.2f %+11.1f%%\n", name,
+                    perGpu(runs[at]),
+                    100.0 * (perGpu(runs[at]) / fBase - 1.0));
+    }
+    std::printf("paper: up to 42.7%% over 2-node AllReduce; a single "
+                "COARSE node at bs4 is 38.6%% faster\n");
     return 0;
 }

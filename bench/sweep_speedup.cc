@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parallel-harness baseline: wall-clock and speedup of a seed sweep
+ * run through SweepRunner at --jobs=1 versus all cores.
+ *
+ * Runs the same 8-replica (config, seed) sweep twice — serially and
+ * across the work-stealing pool — asserts the aggregated JSON is
+ * byte-identical (the harness's core guarantee), and records the
+ * timings into BENCH_sweep.json in the working directory so CI can
+ * track the harness's scaling as a baseline alongside the table it
+ * prints.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_util.hh"
+#include "sim/parallel.hh"
+
+namespace {
+
+constexpr std::size_t kReplicas = 8;
+
+struct SweepTiming
+{
+    std::string aggregate;
+    double seconds = 0.0;
+    std::uint64_t steals = 0;
+    unsigned jobs = 0;
+};
+
+SweepTiming
+timedSweep(unsigned jobs)
+{
+    using coarse::bench::JsonLine;
+    coarse::sim::SweepRunner runner(jobs);
+    const auto began = std::chrono::steady_clock::now();
+    const auto lines = runner.map<std::string>(
+        kReplicas, [](std::size_t i) {
+            const std::uint64_t seed = i + 1;
+            const auto result = coarse::bench::runScheme(
+                "COARSE", "aws_v100", coarse::dl::makeBertBase(), 2,
+                {}, {}, seed);
+            return JsonLine()
+                       .field("seed", seed)
+                       .field("iter_ms",
+                              result.report.iterationSeconds * 1e3)
+                       .field("blocked_ms",
+                              result.report.blockedCommSeconds * 1e3)
+                       .field("samples_per_sec",
+                              result.report.throughputSamplesPerSec)
+                       .str()
+                + "\n";
+        });
+    SweepTiming timing;
+    timing.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - began)
+            .count();
+    for (const std::string &line : lines)
+        timing.aggregate += line;
+    timing.steals = runner.stealCount();
+    timing.jobs = runner.jobs();
+    return timing;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Sweep harness: %zu-replica COARSE seed sweep "
+                "(bert_base, aws_v100), serial vs parallel\n\n",
+                kReplicas);
+
+    const SweepTiming serial = timedSweep(1);
+    const SweepTiming parallel =
+        timedSweep(coarse::bench::benchJobs(argc, argv));
+    const bool identical = serial.aggregate == parallel.aggregate;
+    const double speedup = parallel.seconds > 0.0
+        ? serial.seconds / parallel.seconds
+        : 0.0;
+
+    std::printf("%-14s %8s %12s %10s\n", "mode", "jobs",
+                "wall (s)", "steals");
+    std::printf("%-14s %8u %12.3f %10llu\n", "serial", serial.jobs,
+                serial.seconds,
+                static_cast<unsigned long long>(serial.steals));
+    std::printf("%-14s %8u %12.3f %10llu\n", "parallel",
+                parallel.jobs, parallel.seconds,
+                static_cast<unsigned long long>(parallel.steals));
+    std::printf("\nspeedup: %.2fx on %u hardware threads, aggregate "
+                "JSON %s\n",
+                speedup, std::thread::hardware_concurrency(),
+                identical ? "byte-identical" : "DIVERGED");
+
+    coarse::bench::JsonLine baseline;
+    baseline.field("replicas", kReplicas)
+        .field("hardware_threads", std::thread::hardware_concurrency())
+        .field("jobs", parallel.jobs)
+        .field("serial_s", serial.seconds)
+        .field("parallel_s", parallel.seconds)
+        .field("speedup", speedup)
+        .field("steals", parallel.steals)
+        .field("identical", identical);
+    baseline.print();
+    std::ofstream out("BENCH_sweep.json");
+    if (out)
+        out << baseline.str() << "\n";
+
+    // The aggregate must match whatever the parallelism; a divergence
+    // is a thread-compatibility bug, so fail loudly.
+    return identical ? 0 : 1;
+}

@@ -20,6 +20,18 @@ parseUint(const std::string &flag, const std::string &value)
     return out;
 }
 
+std::uint64_t
+parseUint64(const std::string &flag, const std::string &value)
+{
+    std::uint64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), out);
+    if (ec != std::errc{} || ptr != value.data() + value.size())
+        sim::fatal("coarsesim: ", flag, " expects a non-negative "
+                   "integer, got '", value, "'");
+    return out;
+}
+
 } // namespace
 
 std::uint32_t
@@ -58,6 +70,17 @@ parseOptions(const std::vector<std::string> &args)
             options.nodes = parseUint(arg, value());
         } else if (arg == "--share") {
             options.workersPerMemDevice = parseUint(arg, value());
+        } else if (arg == "--seed") {
+            options.seed = parseUint64(arg, value());
+        } else if (arg == "--sweep" || arg.rfind("--sweep=", 0) == 0) {
+            options.sweep = arg == "--sweep" ? value() : arg.substr(8);
+            if (options.sweep.empty())
+                sim::fatal("coarsesim: --sweep expects a spec like "
+                           "'seed=1..8;model=resnet50,bert_base'");
+        } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+            const std::string spec =
+                arg == "--jobs" ? value() : arg.substr(7);
+            options.jobs = parseUint("--jobs", spec);
         } else if (arg == "--checkpoint-every") {
             options.checkpointEvery = parseUint(arg, value());
         } else if (arg == "--fault-schedule") {
@@ -114,6 +137,11 @@ parseOptions(const std::vector<std::string> &args)
         sim::fatal("coarsesim: --fault-schedule and --fault-seed are "
                    "mutually exclusive");
     }
+    if (!options.sweep.empty() && !options.traceFile.empty()) {
+        sim::fatal("coarsesim: --trace and --sweep are mutually "
+                   "exclusive (replicas would race on the trace file; "
+                   "trace the interesting point as a single run)");
+    }
     if (options.batch == 0)
         options.batch = defaultBatch(options.model);
     return options;
@@ -136,6 +164,20 @@ usage: coarsesim [options]
   --warmup N            unmeasured warmup iterations (1)
   --nodes N             server nodes (1)
   --share N             workers per memory device (1)
+  --seed N              simulation seed / replica identity (1)
+  --sweep SPEC          run a sweep instead of one experiment and
+                        emit one JSON line per (point, scheme).
+                        SPEC is ';'-separated axes `key=values`
+                        whose cartesian product defines the points;
+                        values are comma lists, integer keys also
+                        take lo..hi[..step] ranges. Keys: machine,
+                        model, scheme, batch, nodes, share, iters,
+                        seed, fault-seed. Unlisted keys inherit the
+                        base flags. E.g.
+                        --sweep "seed=1..8;model=resnet50,bert_base"
+  --jobs N              parallel sweep replicas; 0 = all cores (1).
+                        Aggregate output is byte-identical for every
+                        value of N
   --checkpoint-every N  snapshot parameters every N iterations (off)
   --fault-schedule S    inject faults (COARSE only), entries split
                         by ';': kind@TIME[+DUR][:key=val,...] with

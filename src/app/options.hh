@@ -38,6 +38,16 @@ struct Options
     std::uint32_t faultCount = 8;
     /** Disable partial rollback: restore the full model on failure. */
     bool fullRollback = false;
+    /** Simulation seed: replica identity in sweeps. */
+    std::uint64_t seed = 1;
+    /**
+     * Sweep specification ("" = single run). Semicolon-separated
+     * `key=values` axes whose cartesian product defines the sweep
+     * points (see parseSweepSpec in sweep.hh).
+     */
+    std::string sweep;
+    /** Parallel sweep replicas (0 = one per hardware thread). */
+    std::uint32_t jobs = 1;
     /** Trace output path ("" = tracing off). ".json" selects the
      *  Chrome/Perfetto exporter, anything else the canonical form. */
     std::string traceFile;

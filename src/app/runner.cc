@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <memory>
 #include <sstream>
 
@@ -18,6 +19,7 @@
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 #include "sim/trace.hh"
+#include "sweep.hh"
 
 namespace coarse::app {
 
@@ -66,7 +68,7 @@ RunOutcome
 runOne(const Options &options, const std::string &scheme)
 {
     RunOutcome outcome;
-    sim::Simulation simulation;
+    sim::Simulation simulation(options.seed);
 
     // The session must exist before the machine/engine are built so
     // construction-time events (e.g. the recovery Idle marker) land
@@ -202,6 +204,8 @@ runCli(const Options &options, std::ostream &out)
         out << usageText();
         return 0;
     }
+    if (!options.sweep.empty())
+        return runSweep(options, out, std::cerr);
     if (options.listPresets) {
         out << "machines: aws_t4 sdsc_p100 aws_v100\n"
             << "models:   resnet50 bert_base bert_large vgg16 "

@@ -1,0 +1,276 @@
+#include "sweep.hh"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+
+#include "dl/model_zoo.hh"
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+
+namespace coarse::app {
+
+namespace {
+
+std::uint64_t
+parseSweepInt(const std::string &key, const std::string &token)
+{
+    std::uint64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), out);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+        sim::fatal("coarsesim: sweep axis '", key,
+                   "' expects non-negative integers, got '", token, "'");
+    }
+    return out;
+}
+
+/** Split on @p sep; empty tokens are an error (named for messages). */
+std::vector<std::string>
+splitStrict(const std::string &text, char sep, const std::string &what)
+{
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t next = text.find(sep, pos);
+        if (next == std::string::npos)
+            next = text.size();
+        tokens.push_back(text.substr(pos, next - pos));
+        if (tokens.back().empty())
+            sim::fatal("coarsesim: empty ", what, " in sweep spec");
+        pos = next + 1;
+    }
+    return tokens;
+}
+
+/** Expand "lo..hi[..step]" or return the single parsed value. */
+std::vector<std::uint64_t>
+expandIntValues(const std::string &key, const std::string &token)
+{
+    const std::size_t dots = token.find("..");
+    if (dots == std::string::npos)
+        return {parseSweepInt(key, token)};
+    const std::string loText = token.substr(0, dots);
+    std::string hiText = token.substr(dots + 2);
+    std::uint64_t step = 1;
+    if (const std::size_t more = hiText.find(".."); more
+        != std::string::npos) {
+        step = parseSweepInt(key, hiText.substr(more + 2));
+        hiText = hiText.substr(0, more);
+        if (step == 0)
+            sim::fatal("coarsesim: sweep axis '", key,
+                       "' has a zero range step");
+    }
+    const std::uint64_t lo = parseSweepInt(key, loText);
+    const std::uint64_t hi = parseSweepInt(key, hiText);
+    if (hi < lo) {
+        sim::fatal("coarsesim: sweep axis '", key, "' range ", lo, "..",
+                   hi, " is descending");
+    }
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t v = lo; v <= hi; v += step)
+        values.push_back(v);
+    return values;
+}
+
+/** One sweep axis: a key plus the value list it cycles through. */
+struct Axis
+{
+    std::string key;
+    std::vector<std::string> values;
+};
+
+void
+applyAxis(Options &point, const std::string &key,
+          const std::string &value)
+{
+    // String keys validate eagerly: a typo'd model name should fail
+    // at spec parse, not hours into the sweep when its point runs.
+    if (key == "machine") {
+        point.machine = value;
+    } else if (key == "model") {
+        dl::makeModel(value);
+        point.model = value;
+    } else if (key == "scheme") {
+        if (value != "DENSE" && value != "Sharded-PS"
+            && value != "CPU-PS" && value != "Async-PS"
+            && value != "AllReduce" && value != "COARSE")
+            sim::fatal("coarsesim: unknown sweep scheme '", value, "'");
+        point.scheme = value;
+    } else if (key == "batch") {
+        point.batch =
+            static_cast<std::uint32_t>(parseSweepInt(key, value));
+    } else if (key == "nodes") {
+        point.nodes =
+            static_cast<std::uint32_t>(parseSweepInt(key, value));
+    } else if (key == "share") {
+        point.workersPerMemDevice =
+            static_cast<std::uint32_t>(parseSweepInt(key, value));
+    } else if (key == "iters") {
+        point.iterations =
+            static_cast<std::uint32_t>(parseSweepInt(key, value));
+    } else if (key == "seed") {
+        point.seed = parseSweepInt(key, value);
+    } else if (key == "fault-seed") {
+        point.faultSeed =
+            static_cast<std::uint32_t>(parseSweepInt(key, value));
+        point.randomFaults = true;
+    } else {
+        sim::fatal("coarsesim: unknown sweep key '", key,
+                   "' (expected machine, model, scheme, batch, nodes, "
+                   "share, iters, seed, or fault-seed)");
+    }
+}
+
+bool
+isIntKey(const std::string &key)
+{
+    return key == "batch" || key == "nodes" || key == "share"
+        || key == "iters" || key == "seed" || key == "fault-seed";
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Fixed-precision double: identical text on every thread/run. */
+std::string
+jsonDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    return buf;
+}
+
+} // namespace
+
+std::vector<Options>
+parseSweepSpec(const Options &base, const std::string &spec)
+{
+    std::vector<Axis> axes;
+    for (const std::string &axisText :
+         splitStrict(spec, ';', "axis")) {
+        const std::size_t eq = axisText.find('=');
+        if (eq == std::string::npos || eq == 0
+            || eq + 1 >= axisText.size()) {
+            sim::fatal("coarsesim: sweep axis '", axisText,
+                       "' is not key=values");
+        }
+        Axis axis;
+        axis.key = axisText.substr(0, eq);
+        for (const std::string &token :
+             splitStrict(axisText.substr(eq + 1), ',', "value")) {
+            if (isIntKey(axis.key)) {
+                for (std::uint64_t v : expandIntValues(axis.key, token))
+                    axis.values.push_back(std::to_string(v));
+            } else {
+                axis.values.push_back(token);
+            }
+        }
+        axes.push_back(std::move(axis));
+    }
+
+    // Cartesian product, leftmost axis slowest — the natural "outer
+    // loop first" reading of the spec.
+    std::vector<Options> points{base};
+    for (const Axis &axis : axes) {
+        std::vector<Options> next;
+        next.reserve(points.size() * axis.values.size());
+        for (const Options &point : points) {
+            for (const std::string &value : axis.values) {
+                Options expanded = point;
+                applyAxis(expanded, axis.key, value);
+                next.push_back(std::move(expanded));
+            }
+        }
+        points = std::move(next);
+    }
+    // A swept model needs its own default batch unless the user
+    // pinned one; parseOptions resolved the base model's default into
+    // options.batch already, so recompute only for swept models.
+    for (Options &point : points) {
+        if (point.model != base.model
+            && spec.find("batch") == std::string::npos)
+            point.batch = defaultBatch(point.model);
+    }
+    return points;
+}
+
+std::string
+sweepResultJson(std::size_t index, const Options &point,
+                const std::string &scheme, const RunOutcome &outcome)
+{
+    const dl::TrainingReport &r = outcome.report;
+    std::string line = "{\"point\":" + std::to_string(index);
+    line += ",\"machine\":\"" + jsonEscape(point.machine) + '"';
+    line += ",\"model\":\"" + jsonEscape(point.model) + '"';
+    line += ",\"scheme\":\"" + jsonEscape(scheme) + '"';
+    line += ",\"batch\":" + std::to_string(point.batch);
+    line += ",\"nodes\":" + std::to_string(point.nodes);
+    line += ",\"share\":" + std::to_string(point.workersPerMemDevice);
+    line += ",\"iters\":" + std::to_string(point.iterations);
+    line += ",\"seed\":" + std::to_string(point.seed);
+    if (point.randomFaults)
+        line += ",\"fault_seed\":" + std::to_string(point.faultSeed);
+    if (outcome.outOfMemory) {
+        line += ",\"oom\":true}";
+        return line;
+    }
+    line += ",\"oom\":false";
+    line += ",\"workers\":" + std::to_string(r.workers);
+    line += ",\"iter_ms\":" + jsonDouble(r.iterationSeconds * 1e3);
+    line += ",\"compute_ms\":" + jsonDouble(r.computeSeconds * 1e3);
+    line += ",\"blocked_ms\":" + jsonDouble(r.blockedCommSeconds * 1e3);
+    line += ",\"gpu_util\":" + jsonDouble(r.gpuUtilization);
+    line += ",\"samples_per_sec\":"
+        + jsonDouble(r.throughputSamplesPerSec);
+    line += ",\"fabric_bytes\":" + std::to_string(r.fabricBytes);
+    line += '}';
+    return line;
+}
+
+int
+runSweep(const Options &options, std::ostream &out, std::ostream &diag)
+{
+    const std::vector<Options> points =
+        parseSweepSpec(options, options.sweep);
+
+    const auto began = std::chrono::steady_clock::now();
+    sim::SweepRunner runner(options.jobs);
+    // One job per point: a point runs its schemes serially (they
+    // share nothing), writes its lines into its own slot, and the
+    // aggregation below reads the slots in point order.
+    const std::vector<std::string> lines =
+        runner.map<std::string>(points.size(), [&](std::size_t i) {
+            std::string block;
+            for (const std::string &scheme : schemesFor(points[i])) {
+                const RunOutcome outcome = runOne(points[i], scheme);
+                block += sweepResultJson(i, points[i], scheme, outcome);
+                block += '\n';
+            }
+            return block;
+        });
+    for (const std::string &block : lines)
+        out << block;
+    out.flush();
+
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - began)
+            .count();
+    diag << "sweep: " << points.size() << " points, jobs="
+         << runner.jobs() << ", " << jsonDouble(seconds) << " s, "
+         << runner.stealCount() << " steals\n";
+    return 0;
+}
+
+} // namespace coarse::app

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sweep expansion and the parallel sweep driver behind
+ * `coarsesim --sweep=<spec> --jobs=N`.
+ *
+ * A sweep spec is a semicolon-separated list of axes, each
+ * `key=values` where values are a comma list ("model=resnet50,vgg16")
+ * or, for integer keys, an inclusive range "lo..hi" or "lo..hi..step"
+ * ("seed=1..8", "batch=2..16..2"). The sweep points are the cartesian
+ * product of all axes, leftmost axis varying slowest; every point
+ * inherits the remaining fields from the base Options.
+ *
+ * Each (point, scheme) pair produces one JSON line. Lines are emitted
+ * in point-index order whatever --jobs is, so aggregate output is
+ * byte-identical at any parallelism (the determinism tests assert
+ * exactly this).
+ */
+
+#ifndef COARSE_APP_SWEEP_HH
+#define COARSE_APP_SWEEP_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "options.hh"
+#include "runner.hh"
+
+namespace coarse::app {
+
+/**
+ * Expand @p spec against @p base into concrete per-point Options.
+ * Throws sim::FatalError on malformed specs, unknown keys, or empty
+ * axes. The result preserves cartesian-product order.
+ */
+std::vector<Options> parseSweepSpec(const Options &base,
+                                    const std::string &spec);
+
+/** The JSON line for one finished (point, scheme) run. */
+std::string sweepResultJson(std::size_t index, const Options &point,
+                            const std::string &scheme,
+                            const RunOutcome &outcome);
+
+/**
+ * Run every point of options.sweep across options.jobs workers and
+ * write the JSON lines to @p out in point order. Returns the process
+ * exit code. Wall-clock/speedup diagnostics go to @p diag (pass
+ * std::cerr from the CLI) so @p out stays byte-identical across runs
+ * and parallelism levels.
+ */
+int runSweep(const Options &options, std::ostream &out,
+             std::ostream &diag);
+
+} // namespace coarse::app
+
+#endif // COARSE_APP_SWEEP_HH

@@ -49,7 +49,14 @@ LinkDirection::transmit(sim::Tick now, std::uint64_t bytes,
     if (efficiency <= 0.0 || efficiency > 1.0)
         sim::panic("LinkDirection: efficiency out of (0, 1]: ", efficiency);
     const std::uint64_t lookup = flowBytes == 0 ? bytes : flowBytes;
-    Bandwidth rate = curve.at(lookup) * efficiency;
+    // Efficiency and rate caps vary per transfer (degrade factor,
+    // pair efficiency), so only the pure curve lookup is memoized.
+    if (&curve != cachedCurve_ || lookup != cachedSize_) {
+        cachedCurve_ = &curve;
+        cachedSize_ = lookup;
+        cachedRate_ = curve.at(lookup);
+    }
+    Bandwidth rate = cachedRate_ * efficiency;
     if (rateCap > 0.0)
         rate = std::min(rate, rateCap);
     const double seconds = static_cast<double>(bytes) / rate;

@@ -81,6 +81,17 @@ class LinkDirection
     std::uint64_t bytesCarried_ = 0;
     sim::Tick busyTime_ = 0;
     sim::TraceTrackHandle traceHandle_;
+    /**
+     * Memoized last curve lookup. A pipelined shard push sends many
+     * chunks with the same flowBytes through the same direction, so
+     * the log2 piecewise interpolation in BandwidthCurve::at() would
+     * otherwise be recomputed per chunk for an unchanged answer. The
+     * curve pointer guards against a caller switching curves (tests
+     * do; real links never rebuild theirs).
+     */
+    const BandwidthCurve *cachedCurve_ = nullptr;
+    std::uint64_t cachedSize_ = 0;
+    Bandwidth cachedRate_ = 0.0;
 };
 
 /**

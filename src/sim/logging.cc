@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -28,10 +29,13 @@ initialLevel()
     return LogLevel::Warn;
 }
 
-LogLevel &
+// Atomic (relaxed) so sweep replicas on pool threads may read the
+// level while a test on the main thread adjusts it; the level is
+// process-wide policy, not per-simulation state.
+std::atomic<LogLevel> &
 levelStorage()
 {
-    static LogLevel level = initialLevel();
+    static std::atomic<LogLevel> level{initialLevel()};
     return level;
 }
 
@@ -58,13 +62,13 @@ levelName(LogLevel level)
 LogLevel
 logLevel()
 {
-    return levelStorage();
+    return levelStorage().load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    levelStorage() = level;
+    levelStorage().store(level, std::memory_order_relaxed);
 }
 
 namespace detail {

@@ -1,0 +1,145 @@
+#include "parallel.hh"
+
+#include "logging.hh"
+
+namespace coarse::sim {
+
+unsigned
+ThreadPool::resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    threads = resolveThreads(threads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> guard(stateMutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (!task)
+        panic("ThreadPool::submit: empty task");
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    // Deal round-robin: with K up-front submissions the deques start
+    // balanced, and stealing evens out whatever skew the jobs' actual
+    // runtimes introduce.
+    const unsigned target = nextDeal_.fetch_add(
+        1, std::memory_order_relaxed) % workers_.size();
+    {
+        Worker &worker = *workers_[target];
+        std::lock_guard<std::mutex> guard(worker.mutex);
+        worker.queue.push_back(std::move(task));
+    }
+    // The epoch bump under stateMutex_ closes the missed-wakeup race:
+    // a worker that scanned every deque empty re-checks the epoch
+    // under the same mutex before sleeping.
+    {
+        std::lock_guard<std::mutex> guard(stateMutex_);
+        ++workEpoch_;
+    }
+    workCv_.notify_all();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    idleCv_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+bool
+ThreadPool::tryPopOwn(unsigned self, std::function<void()> &task)
+{
+    Worker &worker = *workers_[self];
+    std::lock_guard<std::mutex> guard(worker.mutex);
+    if (worker.queue.empty())
+        return false;
+    task = std::move(worker.queue.front());
+    worker.queue.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::trySteal(unsigned self, std::function<void()> &task)
+{
+    const std::size_t n = workers_.size();
+    // Scan victims starting just past ourselves so concurrent thieves
+    // spread across different victims instead of convoying on worker 0.
+    for (std::size_t offset = 1; offset < n; ++offset) {
+        Worker &victim = *workers_[(self + offset) % n];
+        std::lock_guard<std::mutex> guard(victim.mutex);
+        if (victim.queue.empty())
+            continue;
+        task = std::move(victim.queue.back());
+        victim.queue.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::runTask(std::function<void()> &task)
+{
+    task();
+    task = nullptr;
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task out: take the mutex so the notify cannot slip
+        // between wait()'s predicate check and its sleep.
+        std::lock_guard<std::mutex> guard(stateMutex_);
+        idleCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    std::function<void()> task;
+    for (;;) {
+        std::uint64_t epochSeen;
+        {
+            std::lock_guard<std::mutex> guard(stateMutex_);
+            epochSeen = workEpoch_;
+        }
+        if (tryPopOwn(self, task) || trySteal(self, task)) {
+            runTask(task);
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(stateMutex_);
+        if (stop_)
+            return;
+        if (workEpoch_ != epochSeen)
+            continue; // Work arrived between the scan and the lock.
+        workCv_.wait(lock, [this, epochSeen] {
+            return stop_ || workEpoch_ != epochSeen;
+        });
+        if (stop_)
+            return;
+    }
+}
+
+} // namespace coarse::sim

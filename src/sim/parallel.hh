@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Parallel experiment harness: a work-stealing thread pool plus a
+ * SweepRunner that fans independent simulation replicas across cores.
+ *
+ * The simulator itself stays single threaded — one Simulation, one
+ * EventQueue, one thread — which is what makes every run bit-exact
+ * reproducible. What *is* parallel is the experiment surface around
+ * it: bandwidth matrices, partition sweeps, seed sweeps, and
+ * chaos/ablation suites all run many fully independent (config, seed)
+ * replicas, and those replicas can occupy the machine's other N-1
+ * cores without touching each other.
+ *
+ * Thread-compatibility contract (see DESIGN.md "Parallel harness"):
+ *
+ *  - **Per-Simulation state** (EventQueue, EventPool, StatGroup,
+ *    Random, every component) is owned by exactly one replica and
+ *    must be created, used, and destroyed on that replica's thread.
+ *  - **Thread-local ambient state** — the active TraceSession
+ *    (sim/trace.hh) and the active-tick pointer (sim/logging.hh) —
+ *    means replicas on different threads can each trace and stamp
+ *    errors independently.
+ *  - **Immutable-shared state** (machine presets, model specs, parsed
+ *    options) may be read concurrently but never written after the
+ *    fan-out starts.
+ *
+ * Determinism: SweepRunner::forEach() collects nothing itself —
+ * callers write results into slot @c index of a preallocated vector —
+ * so aggregate output depends only on the job-index order, never on
+ * the thread schedule. A sweep at --jobs=1 (inline, no threads) and
+ * --jobs=N is byte-identical by construction.
+ */
+
+#ifndef COARSE_SIM_PARALLEL_HH
+#define COARSE_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace coarse::sim {
+
+/**
+ * A work-stealing thread pool for coarse-grained jobs (whole
+ * simulation replicas, not fine-grained tasks).
+ *
+ * Each worker owns a deque: submissions are dealt round-robin across
+ * the deques, owners pop from the front of their own deque, and idle
+ * workers steal from the *back* of a victim's deque — the classic
+ * arrangement that keeps an owner working through its own backlog in
+ * submission order while thieves drain the cold end. Deques are
+ * mutex-guarded (jobs here run for milliseconds to seconds, so queue
+ * overhead is irrelevant; what matters is that stealing keeps every
+ * core busy when replica runtimes are skewed, e.g. a BERT-Large point
+ * next to a ResNet point).
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 = one per hardware thread. */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Enqueue @p task. Tasks must not throw — wrap fallible work and
+     * capture the exception (SweepRunner does exactly this).
+     * Submitting from inside a pool task is allowed.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** Tasks ever stolen from another worker's deque (diagnostics). */
+    std::uint64_t stealCount() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+    /** Resolve "0 = all cores", never returning less than 1. */
+    static unsigned resolveThreads(unsigned requested);
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> queue;
+    };
+
+    void workerLoop(unsigned self);
+    bool tryPopOwn(unsigned self, std::function<void()> &task);
+    bool trySteal(unsigned self, std::function<void()> &task);
+    void runTask(std::function<void()> &task);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    /** Guards workEpoch_/stop_ and backs both condition variables. */
+    std::mutex stateMutex_;
+    std::condition_variable workCv_; //!< New work or shutdown.
+    std::condition_variable idleCv_; //!< pending_ reached zero.
+    std::uint64_t workEpoch_ = 0;    //!< Bumped on every submit.
+    bool stop_ = false;
+
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<unsigned> nextDeal_{0};
+    std::atomic<std::uint64_t> steals_{0};
+};
+
+/**
+ * Fans @c count independent jobs across a ThreadPool and makes the
+ * caller's aggregation order schedule-independent: @c fn receives the
+ * job index and writes its result into caller-owned slot @c index, so
+ * whatever the interleaving, the aggregate reads back in index order.
+ *
+ * With jobs()==1 (or a single job) everything runs inline on the
+ * calling thread — no pool, no threads — which doubles as the
+ * reference ordering the determinism tests compare the parallel path
+ * against.
+ *
+ * The first exception a job throws (lowest job index wins, so even
+ * failures are deterministic) is rethrown from forEach() after all
+ * jobs have settled.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs Replica parallelism; 0 = one per hardware thread. */
+    explicit SweepRunner(unsigned jobs = 0)
+        : jobs_(ThreadPool::resolveThreads(jobs)) {}
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Pool steal counter (0 when running inline). */
+    std::uint64_t
+    stealCount() const
+    {
+        return pool_ ? pool_->stealCount() : 0;
+    }
+
+    /** Run fn(0) .. fn(count-1); see the class comment. */
+    template <class Fn>
+    void
+    forEach(std::size_t count, Fn &&fn)
+    {
+        if (count == 0)
+            return;
+        if (jobs_ == 1 || count == 1) {
+            for (std::size_t i = 0; i < count; ++i)
+                fn(i);
+            return;
+        }
+        if (!pool_)
+            pool_ = std::make_unique<ThreadPool>(jobs_);
+        std::vector<std::exception_ptr> errors(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            pool_->submit([&fn, &errors, i] {
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool_->wait();
+        for (const std::exception_ptr &error : errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
+    }
+
+    /**
+     * Convenience for the common "each job produces one result"
+     * shape: returns results[i] = fn(i), in index order.
+     */
+    template <class Result, class Fn>
+    std::vector<Result>
+    map(std::size_t count, Fn &&fn)
+    {
+        std::vector<Result> results(count);
+        forEach(count, [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+  private:
+    unsigned jobs_;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace coarse::sim
+
+#endif // COARSE_SIM_PARALLEL_HH

@@ -8,13 +8,16 @@ namespace coarse::sim {
 
 namespace detail {
 
-std::uint32_t g_traceMask = 0;
-TraceSession *g_traceSession = nullptr;
+thread_local constinit std::uint32_t g_traceMask = 0;
+thread_local constinit TraceSession *g_traceSession = nullptr;
 
 namespace {
 // Session epochs start at 1 so a default TraceTrackHandle (epoch 0)
-// never matches an active session.
-std::uint32_t g_nextEpoch = 1;
+// never matches an active session. Thread-local like the session
+// pointer: epochs only ever disambiguate sessions on one thread
+// (handles are embedded in components, which are owned by exactly one
+// thread's Simulation).
+thread_local std::uint32_t g_nextEpoch = 1;
 } // namespace
 
 std::uint32_t
@@ -143,8 +146,10 @@ TraceSession::TraceSession(Options options)
     : categories_(options.categories),
       processName_(std::move(options.processName))
 {
-    if (detail::g_traceSession)
-        panic("a TraceSession is already active; only one may exist");
+    if (detail::g_traceSession) {
+        panic("a TraceSession is already active on this thread; "
+              "only one may exist per thread");
+    }
     if (options.capacity == 0)
         panic("TraceSession capacity must be > 0");
     ring_.resize(options.capacity);

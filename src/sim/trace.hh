@@ -103,9 +103,13 @@ struct TraceTrackHandle
 };
 
 /**
- * An in-memory trace capture. At most one session is active at a
- * time; constructing one attaches it globally (enabling the recording
- * fast path for its categories) and destruction detaches it.
+ * An in-memory trace capture. At most one session is active per
+ * thread; constructing one attaches it to the constructing thread
+ * (enabling the recording fast path for its categories) and
+ * destruction detaches it. A session must be destroyed on the thread
+ * that created it, and all recording against it must happen on that
+ * same thread — the contract a one-Simulation-per-thread sweep
+ * replica satisfies by construction.
  */
 class TraceSession
 {
@@ -127,7 +131,7 @@ class TraceSession
     TraceSession(const TraceSession &) = delete;
     TraceSession &operator=(const TraceSession &) = delete;
 
-    /** The attached session, or nullptr. */
+    /** The calling thread's attached session, or nullptr. */
     static TraceSession *active();
 
     /** Session identity used to validate cached TraceTrackHandles. */
@@ -192,9 +196,19 @@ class TraceSession
 
 namespace detail {
 
-/** Active categories; zero whenever no session is attached. */
-extern std::uint32_t g_traceMask;
-extern TraceSession *g_traceSession;
+/**
+ * Active categories; zero whenever no session is attached. Both are
+ * thread_local: a TraceSession belongs to the thread that constructed
+ * it, so parallel sweep replicas (one Simulation per thread, see
+ * parallel.hh) each carry their own independent capture without any
+ * cross-thread synchronization on the recording fast path.
+ */
+// constinit: guaranteed-constant init means access compiles to a
+// plain TLS load instead of going through the dynamic-init wrapper
+// (which would put a call in every traceEnabled() and trips a UBSan
+// false positive under gcc).
+extern thread_local constinit std::uint32_t g_traceMask;
+extern thread_local constinit TraceSession *g_traceSession;
 
 std::uint32_t traceTrackSlow(TraceTrackHandle &handle, TraceCategory cat,
                              std::string name);

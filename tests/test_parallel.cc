@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the parallel experiment harness (sim/parallel.hh) and the
+ * sweep driver (app/sweep.hh): the work-stealing pool runs and steals
+ * correctly, SweepRunner keeps results in job-index order whatever
+ * the thread schedule, sweeps are byte-identical at --jobs=1 and
+ * --jobs=8, every replica matches a standalone run of the same point,
+ * trace sessions are thread-local, and the transmit-rate memoization
+ * in LinkDirection never returns a stale rate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/options.hh"
+#include "app/runner.hh"
+#include "app/sweep.hh"
+#include "fabric/bandwidth.hh"
+#include "fabric/link.hh"
+#include "sim/parallel.hh"
+#include "sim/ticks.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+using namespace coarse;
+using app::Options;
+using app::parseOptions;
+using app::parseSweepSpec;
+using app::runSweep;
+using app::sweepResultJson;
+using sim::SweepRunner;
+using sim::ThreadPool;
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ResolveThreadsNeverReturnsZero)
+{
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3u);
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(ran.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, SubmitFromInsideTask)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] {
+        ran.fetch_add(1);
+        pool.submit([&] { ran.fetch_add(1); });
+    });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, WaitWithNothingPendingReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    EXPECT_EQ(pool.stealCount(), 0u);
+}
+
+TEST(SweepRunner, SingleJobRunsInlineWithoutAPool)
+{
+    SweepRunner runner(1);
+    EXPECT_EQ(runner.jobs(), 1u);
+    std::thread::id mainThread = std::this_thread::get_id();
+    const auto threads = runner.map<std::thread::id>(
+        4, [](std::size_t) { return std::this_thread::get_id(); });
+    for (const auto &id : threads)
+        EXPECT_EQ(id, mainThread);
+    EXPECT_EQ(runner.stealCount(), 0u);
+}
+
+TEST(SweepRunner, ResultsLandInIndexOrderUnderJitter)
+{
+    SweepRunner runner(8);
+    // Early indices sleep longest, so a schedule-dependent collection
+    // would come back reversed; index slots must not care.
+    const auto results =
+        runner.map<std::size_t>(32, [](std::size_t i) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((32 - i) * 50));
+            return i * i;
+        });
+    ASSERT_EQ(results.size(), 32u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(SweepRunner, RethrowsLowestIndexFailure)
+{
+    SweepRunner runner(4);
+    std::atomic<int> completed{0};
+    try {
+        runner.forEach(8, [&](std::size_t i) {
+            if (i == 5)
+                throw std::runtime_error("job five failed");
+            if (i == 2)
+                throw std::runtime_error("job two failed");
+            completed.fetch_add(1);
+        });
+        FAIL() << "forEach() should have rethrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job two failed");
+    }
+    // Failures don't cancel siblings: the other six all ran.
+    EXPECT_EQ(completed.load(), 6);
+}
+
+TEST(SweepRunner, ZeroJobsIsANoOp)
+{
+    SweepRunner runner(8);
+    runner.forEach(0, [](std::size_t) { FAIL() << "ran a job"; });
+}
+
+TEST(Trace, SessionsAreThreadLocal)
+{
+    using sim::TraceSession;
+    ASSERT_EQ(TraceSession::active(), nullptr);
+    TraceSession mine;
+    EXPECT_EQ(TraceSession::active(), &mine);
+
+    // A second session on *another* thread is fine — each thread has
+    // its own attach point — and never disturbs this thread's.
+    std::thread other([&] {
+        EXPECT_EQ(TraceSession::active(), nullptr);
+        TraceSession theirs;
+        EXPECT_EQ(TraceSession::active(), &theirs);
+        EXPECT_NE(TraceSession::active(), &mine);
+    });
+    other.join();
+    EXPECT_EQ(TraceSession::active(), &mine);
+}
+
+/** Reference serialization mirroring LinkDirection::transmit. */
+sim::Tick
+expectedTransmit(sim::Tick now, sim::Tick &busyUntil,
+                 std::uint64_t bytes, std::uint64_t flowBytes,
+                 const fabric::BandwidthCurve &curve, double efficiency)
+{
+    const std::uint64_t lookup = flowBytes == 0 ? bytes : flowBytes;
+    const double seconds =
+        static_cast<double>(bytes) / (curve.at(lookup) * efficiency);
+    const auto serialization =
+        std::max<sim::Tick>(1, sim::fromSeconds(seconds));
+    busyUntil = std::max(now, busyUntil) + serialization;
+    return busyUntil;
+}
+
+TEST(Link, TransmitMemoizationNeverGoesStale)
+{
+    using fabric::BandwidthCurve;
+    const auto curveA =
+        BandwidthCurve::ramp(fabric::gbps(12.0), 4096, 2 << 20, 0.1);
+    const auto curveB = BandwidthCurve::flat(fabric::gbps(25.0));
+
+    // Interleave repeated sizes (cache hits), size changes, curve
+    // switches, flow-size overrides, and efficiency changes; every
+    // transmit must match the uncached reference exactly.
+    struct Step
+    {
+        std::uint64_t bytes;
+        std::uint64_t flowBytes;
+        const BandwidthCurve *curve;
+        double efficiency;
+    };
+    const std::vector<Step> steps = {
+        {4096, 0, &curveA, 1.0},       {4096, 0, &curveA, 1.0},
+        {4096, 0, &curveA, 0.5},       {65536, 0, &curveA, 1.0},
+        {4096, 0, &curveA, 1.0},       {4096, 0, &curveB, 1.0},
+        {4096, 0, &curveA, 1.0},       {4096, 1 << 20, &curveA, 1.0},
+        {4096, 1 << 20, &curveA, 1.0}, {4096, 0, &curveA, 1.0},
+        {1 << 20, 0, &curveB, 0.9},    {1 << 20, 0, &curveB, 0.9},
+    };
+
+    fabric::LinkDirection direction;
+    sim::Tick referenceBusy = 0;
+    sim::Tick now = 0;
+    for (const Step &step : steps) {
+        const sim::Tick expected =
+            expectedTransmit(now, referenceBusy, step.bytes,
+                             step.flowBytes, *step.curve,
+                             step.efficiency);
+        EXPECT_EQ(direction.transmit(now, step.bytes, step.flowBytes,
+                                     *step.curve, step.efficiency),
+                  expected);
+        now += sim::fromNanoseconds(100);
+    }
+}
+
+TEST(SweepSpec, CartesianProductLeftmostSlowest)
+{
+    const auto base = parseOptions({"--model", "bert_base"});
+    const auto points =
+        parseSweepSpec(base, "nodes=1,2;seed=1..3");
+    ASSERT_EQ(points.size(), 6u);
+    EXPECT_EQ(points[0].nodes, 1u);
+    EXPECT_EQ(points[0].seed, 1u);
+    EXPECT_EQ(points[2].nodes, 1u);
+    EXPECT_EQ(points[2].seed, 3u);
+    EXPECT_EQ(points[3].nodes, 2u);
+    EXPECT_EQ(points[3].seed, 1u);
+    EXPECT_EQ(points[5].nodes, 2u);
+    EXPECT_EQ(points[5].seed, 3u);
+    for (const Options &point : points)
+        EXPECT_EQ(point.model, "bert_base"); // base fields inherited
+}
+
+TEST(SweepSpec, SteppedRangeAndExplicitBatch)
+{
+    const auto base = parseOptions({});
+    const auto points = parseSweepSpec(base, "batch=2..8..2");
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].batch, 2u);
+    EXPECT_EQ(points[3].batch, 8u);
+}
+
+TEST(SweepSpec, SweptModelRederivesDefaultBatch)
+{
+    const auto base = parseOptions({"--model", "resnet50"});
+    EXPECT_EQ(base.batch, 64u);
+    const auto points =
+        parseSweepSpec(base, "model=resnet50,bert_base");
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].batch, 64u);
+    EXPECT_EQ(points[1].batch, 2u); // bert default, not resnet's 64
+
+    // ...unless the spec pins the batch explicitly.
+    const auto pinned =
+        parseSweepSpec(base, "model=resnet50,bert_base;batch=8");
+    ASSERT_EQ(pinned.size(), 2u);
+    EXPECT_EQ(pinned[1].batch, 8u);
+}
+
+TEST(SweepSpec, RejectsMalformedSpecs)
+{
+    const auto base = parseOptions({});
+    EXPECT_THROW(parseSweepSpec(base, "bogus=1"), sim::FatalError);
+    EXPECT_THROW(parseSweepSpec(base, "seed="), sim::FatalError);
+    EXPECT_THROW(parseSweepSpec(base, ""), sim::FatalError);
+    EXPECT_THROW(parseSweepSpec(base, "seed=8..1"), sim::FatalError);
+    // String keys validate eagerly, at parse time, not mid-sweep.
+    EXPECT_THROW(parseSweepSpec(base, "model=1..4"), sim::FatalError);
+    EXPECT_THROW(parseSweepSpec(base, "model=resnet51"),
+                 sim::FatalError);
+    EXPECT_THROW(parseSweepSpec(base, "scheme=Coarse"),
+                 sim::FatalError);
+}
+
+/** Run options.sweep and return the aggregated JSON-lines output. */
+std::string
+sweepOutput(Options options, unsigned jobs)
+{
+    options.jobs = jobs;
+    std::ostringstream out;
+    std::ostringstream diag;
+    EXPECT_EQ(runSweep(options, out, diag), 0);
+    return out.str();
+}
+
+TEST(Sweep, ByteIdenticalAcrossJobsLevels)
+{
+    const auto options = parseOptions(
+        {"--sweep", "seed=1..4;scheme=COARSE,AllReduce", "--model",
+         "resnet50", "--iters", "2"});
+    const std::string serial = sweepOutput(options, 1);
+    const std::string parallel = sweepOutput(options, 8);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(std::count(serial.begin(), serial.end(), '\n'), 8);
+}
+
+TEST(Sweep, EachReplicaMatchesAStandaloneRun)
+{
+    const auto options = parseOptions({"--sweep",
+                                       "seed=1..3;scheme=COARSE",
+                                       "--model", "bert_base",
+                                       "--iters", "2"});
+    const std::string aggregate = sweepOutput(options, 8);
+
+    std::vector<std::string> lines;
+    std::istringstream stream(aggregate);
+    for (std::string line; std::getline(stream, line);)
+        lines.push_back(line);
+
+    const auto points = parseSweepSpec(options, options.sweep);
+    ASSERT_EQ(lines.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        // A fresh single run of the same (config, seed) point must
+        // reproduce the sweep replica exactly — the sweep adds no
+        // hidden state.
+        const auto outcome = app::runOne(points[i], points[i].scheme);
+        EXPECT_EQ(lines[i], sweepResultJson(i, points[i],
+                                            points[i].scheme, outcome));
+    }
+}
+
+TEST(Sweep, ParallelSpeedupOnManyCores)
+{
+    if (std::thread::hardware_concurrency() < 4)
+        GTEST_SKIP() << "needs >= 4 hardware threads, have "
+                     << std::thread::hardware_concurrency();
+
+    const auto options = parseOptions(
+        {"--sweep", "seed=1..8;scheme=COARSE", "--model", "bert_base",
+         "--iters", "4"});
+    const auto timed = [&](unsigned jobs) {
+        const auto began = std::chrono::steady_clock::now();
+        const std::string output = sweepOutput(options, jobs);
+        const double seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now()
+                                   - began)
+                                   .count();
+        return std::pair<std::string, double>(output, seconds);
+    };
+    const auto [serialOut, serialS] = timed(1);
+    const auto [parallelOut, parallelS] = timed(0);
+    EXPECT_EQ(serialOut, parallelOut);
+    EXPECT_GE(serialS / parallelS, 3.0)
+        << "8 replicas across "
+        << std::thread::hardware_concurrency()
+        << " threads: serial " << serialS << " s, parallel "
+        << parallelS << " s";
+}
+
+} // namespace

@@ -39,12 +39,31 @@ run_suite build
 # COARSE_CHAOS_SEED, so a handful of extra seeds exercises recovery
 # orderings a single default seed would never hit. --timeout turns a
 # recovery hang into a fast failure instead of a wedged pipeline.
-echo "== build: chaos fault-seed sweep"
-for seed in 3 5 7 11 13; do
-    echo "== build: ctest -L chaos (COARSE_CHAOS_SEED=${seed})"
+# The seeds are independent replicas, so they fan out as background
+# jobs (each writing its own log, printed back in seed order).
+echo "== build: chaos fault-seed sweep (parallel)"
+chaos_seeds=(3 5 7 11 13)
+chaos_logdir=$(mktemp -d)
+trap 'rm -rf "${chaos_logdir}"' EXIT
+declare -A chaos_pids=()
+for seed in "${chaos_seeds[@]}"; do
     COARSE_CHAOS_SEED="${seed}" ctest --test-dir build -L chaos \
-        --output-on-failure -j "${jobs}" --timeout 120
+        --output-on-failure --timeout 120 \
+        > "${chaos_logdir}/seed-${seed}.log" 2>&1 &
+    chaos_pids["${seed}"]=$!
 done
+chaos_failed=0
+for seed in "${chaos_seeds[@]}"; do
+    status=0
+    wait "${chaos_pids[${seed}]}" || status=$?
+    echo "== build: ctest -L chaos (COARSE_CHAOS_SEED=${seed})"
+    cat "${chaos_logdir}/seed-${seed}.log"
+    if [[ "${status}" != 0 ]]; then
+        echo "== chaos seed ${seed} FAILED (exit ${status})" >&2
+        chaos_failed=1
+    fi
+done
+[[ "${chaos_failed}" == 0 ]] || exit 1
 
 if [[ "${fast}" == 0 ]]; then
     run_suite build-asan -DCOARSE_SANITIZE=address
@@ -61,6 +80,18 @@ if [[ "${fast}" == 0 ]]; then
     ctest --test-dir build-asan -L trace --output-on-failure \
         -j "${jobs}" --timeout 120
     run_suite build-ubsan -DCOARSE_SANITIZE=undefined
+    # ThreadSanitizer lane for the parallel experiment harness: the
+    # pool/sweep tests are the only ones that spawn threads, so TSan
+    # runs just that label (the full suite is single-threaded and
+    # already covered by the lanes above). A longer --timeout absorbs
+    # TSan's ~10x slowdown on the sweep determinism tests.
+    echo "== build-tsan: configure (-DCOARSE_SANITIZE=thread)"
+    cmake -B build-tsan -S . -DCOARSE_SANITIZE=thread
+    echo "== build-tsan: build test_parallel"
+    cmake --build build-tsan -j "${jobs}" --target test_parallel
+    echo "== build-tsan: ctest -L parallel"
+    ctest --test-dir build-tsan -L parallel --output-on-failure \
+        -j "${jobs}" --timeout 300
 fi
 
 if [[ "${coverage}" == 1 ]]; then
